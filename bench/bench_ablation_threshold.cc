@@ -1,0 +1,56 @@
+// Ablation (beyond the paper): the scheduler's balance-ratio trigger
+// threshold. The paper fixes one threshold; this sweep shows the trade-off
+// it encodes — a tight threshold chases sampling noise (adjustment churn),
+// a loose one tolerates imbalance.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "harness/experiment.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace flexmoe {
+namespace {
+
+int Run(bool quick) {
+  bench::PrintHeader(
+      "Ablation — scheduler trigger threshold (balance ratio)",
+      "GPT-MoE-S on 16 GPUs, threshold swept over {1.05 .. 2.0}");
+
+  Table table({"threshold", "step time (ms)", "balance", "ops applied",
+               "hours to target"});
+  for (double threshold : {1.05, 1.15, 1.3, 1.5, 2.0}) {
+    ExperimentOptions o;
+    o.system = "flexmoe";
+    o.model = GptMoES();
+    o.model.num_experts = 16;
+    o.model.num_moe_layers = 2;
+    o.num_gpus = 16;
+    o.balance_coef = 0.001;
+    o.scheduler.threshold = threshold;
+    o.measure_steps = quick ? 40 : 80;
+    o.warmup_steps = quick ? 10 : 25;
+    o.seed = 59;
+    const ExperimentReport r = *RunExperiment(o);
+    table.AddRow({StrFormat("%.2f", threshold),
+                  StrFormat("%.1f", r.mean_step_seconds * 1e3),
+                  StrFormat("%.2f", r.mean_balance_ratio),
+                  StrFormat("%lld",
+                            static_cast<long long>(r.stats.TotalOpsApplied())),
+                  StrFormat("%.2f", r.hours_to_target)});
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::printf(
+      "below the placement-granularity floor the threshold only adds churn\n"
+      "(ops rise, balance flat); far above it the scheduler sleeps through\n"
+      "real imbalance (balance and step time rise).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace flexmoe
+
+int main(int argc, char** argv) {
+  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv));
+}

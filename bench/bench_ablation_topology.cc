@@ -1,0 +1,97 @@
+// Ablation (beyond the paper): interconnect sensitivity. The paper's §5.5
+// notes its cluster is "high-speed interconnected" and balanced computation
+// dominates; this sweep scales the inter-node bandwidth to show where that
+// regime ends — on slow fabrics, All-to-All dominates and dynamic
+// placement's compute balancing buys less.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "collective/profiler.h"
+#include "core/flexmoe.h"
+#include "baselines/expert_parallel.h"
+#include "gate/trace_generator.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace flexmoe {
+namespace {
+
+struct RunResult {
+  double flex_ms = 0.0;
+  double ds_ms = 0.0;
+};
+
+RunResult RunAt(double inter_node_gbps, bool quick) {
+  TopologyOptions topt = AzureA100Options(16);
+  topt.inter_node_bytes_per_sec = inter_node_gbps * 1e9 / 8.0;
+  const Topology topo = *Topology::Create(topt);
+
+  ModelConfig model = GptMoES();
+  model.num_experts = 16;
+  model.num_moe_layers = 2;
+  model.tokens_per_gpu = 4096;
+  Profiler profiler(&topo, GpuSpec{}, ProfilerOptions{});
+  const HardwareProfile profile =
+      *profiler.Calibrate(model.expert_fwdbwd_flops_per_token());
+
+  TraceGeneratorOptions t;
+  t.num_experts = model.num_experts;
+  t.num_moe_layers = model.num_moe_layers;
+  t.num_gpus = 16;
+  t.tokens_per_gpu = model.tokens_per_gpu;
+  t.balance_coef = 0.001;
+  t.seed = 61;
+
+  const int steps = quick ? 40 : 80;
+  const int warm = quick ? 10 : 25;
+  RunResult result;
+  {
+    FlexMoEOptions o;
+    o.model = model;
+    o.num_gpus = 16;
+    auto sys = *FlexMoESystem::Create(o, &topo, &profile);
+    TraceGenerator gen = *TraceGenerator::Create(t);
+    for (int s = 0; s < steps; ++s) sys->RunStep(gen.Step());
+    result.flex_ms = sys->stats().MeanStepSeconds(warm) * 1e3;
+  }
+  {
+    ExpertParallelOptions o;
+    o.model = model;
+    o.num_gpus = 16;
+    o.capacity_factor = 0.0;  // uncapped EP: the pure-imbalance baseline
+    auto sys = *ExpertParallelSystem::Create(o, &topo, &profile);
+    TraceGenerator gen = *TraceGenerator::Create(t);
+    for (int s = 0; s < steps; ++s) sys->RunStep(gen.Step());
+    result.ds_ms = sys->stats().MeanStepSeconds(warm) * 1e3;
+  }
+  return result;
+}
+
+int Run(bool quick) {
+  bench::PrintHeader(
+      "Ablation — inter-node bandwidth sensitivity",
+      "FlexMoE vs uncapped expert parallelism on 16 GPUs (2 nodes)");
+
+  Table table({"inter-node link", "EP step (ms)", "FlexMoE step (ms)",
+               "FlexMoE speedup"});
+  for (double gbps : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+    const RunResult r = RunAt(gbps, quick);
+    table.AddRow({StrFormat("%.0f Gbps", gbps),
+                  StrFormat("%.1f", r.ds_ms), StrFormat("%.1f", r.flex_ms),
+                  StrFormat("%.2fx", r.ds_ms / r.flex_ms)});
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::printf(
+      "faster fabrics shrink the All-to-All floor shared by both systems,\n"
+      "so the balanced-compute advantage of dynamic placement grows with\n"
+      "bandwidth — the regime the paper's Section 5.5 cluster sits in.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace flexmoe
+
+int main(int argc, char** argv) {
+  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv));
+}

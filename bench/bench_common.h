@@ -1,0 +1,32 @@
+// Shared helpers for the per-figure bench binaries.
+
+#ifndef FLEXMOE_BENCH_BENCH_COMMON_H_
+#define FLEXMOE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace flexmoe {
+namespace bench {
+
+/// True if "--quick" was passed: benches then shrink step counts to smoke-
+/// test scale (used by CI-style runs; numbers become noisier).
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace bench
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_BENCH_BENCH_COMMON_H_

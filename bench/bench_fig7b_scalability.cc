@@ -1,0 +1,80 @@
+// Figure 7(b): scalability — throughput of a single 64-expert MoE layer on
+// 8/16/32/64 GPUs, normalized to DeepSpeed on 8 GPUs. The paper reports
+// FlexMoE reaching 6.7/10.7/19.8/35.6x while DeepSpeed and FasterMoE trail,
+// as balanced computation dominates on a fast interconnect.
+//
+// Throughput counts EFFECTIVE tokens (processed by their gate-chosen
+// experts): DeepSpeed runs at its training configuration (capacity 1.0),
+// so its dropped tokens do not count — the same normalization that makes
+// the paper's FlexMoE-vs-DeepSpeed-8 ratios exceed the GPU ratio.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "harness/experiment.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace flexmoe {
+namespace {
+
+ModelConfig SingleMoELayer() {
+  // One 64-expert MoE layer with GPT-MoE-L expert dimensions.
+  ModelConfig m = GptMoEL();
+  m.name = "MoE-layer-64e";
+  m.num_layers = 2;  // one attention block around the MoE layer
+  m.num_moe_layers = 1;
+  return m;
+}
+
+constexpr double kPaperFlex[] = {6.7, 10.7, 19.8, 35.6};
+
+int Run(bool quick) {
+  bench::PrintHeader("Figure 7(b) — scalability on 8/16/32/64 GPUs",
+                     "single MoE layer, 64 experts, speedup vs DeepSpeed-8");
+
+  const int gpu_counts[] = {8, 16, 32, 64};
+  const char* systems[] = {"deepspeed", "fastermoe", "flexmoe"};
+  double throughput[3][4] = {};
+
+  for (int gi = 0; gi < 4; ++gi) {
+    for (int si = 0; si < 3; ++si) {
+      ExperimentOptions o;
+      o.system = systems[si];
+      o.model = SingleMoELayer();
+      o.num_gpus = gpu_counts[gi];
+      o.balance_coef = 0.001;
+      o.capacity_factor = 1.0;  // DeepSpeed's training configuration
+      o.measure_steps = quick ? 40 : 100;
+      o.warmup_steps = quick ? 5 : 25;
+      o.seed = 47;
+      const ExperimentReport report = *RunExperiment(o);
+      throughput[si][gi] = report.throughput_tokens_per_sec *
+                           report.mean_effective_token_rate;
+    }
+  }
+
+  const double base = throughput[0][0];  // DeepSpeed on 8 GPUs
+  Table table({"GPUs", "DeepSpeed", "FasterMoE", "FlexMoE",
+               "FlexMoE (paper)"});
+  for (int gi = 0; gi < 4; ++gi) {
+    table.AddRow({StrFormat("%d", gpu_counts[gi]),
+                  StrFormat("%.1fx", throughput[0][gi] / base),
+                  StrFormat("%.1fx", throughput[1][gi] / base),
+                  StrFormat("%.1fx", throughput[2][gi] / base),
+                  StrFormat("%.1fx", kPaperFlex[gi])});
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::printf(
+      "shape check: FlexMoE scales near-linearly and holds a constant-\n"
+      "factor lead over DeepSpeed; FasterMoE sits between, losing ground\n"
+      "as GPU count grows (global shadow synchronization).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace flexmoe
+
+int main(int argc, char** argv) {
+  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv));
+}

@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for the scheduling-critical paths:
+// these run on every training step (router, balance metric) or on every
+// trigger (cost model, policy maker), so their throughput bounds how often
+// FlexMoE can afford to re-plan.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/balance.h"
+#include "core/cost_model.h"
+#include "core/policy_maker.h"
+#include "core/router.h"
+#include "gate/trace_generator.h"
+#include "placement/op_queue.h"
+
+namespace flexmoe {
+namespace {
+
+struct Env {
+  std::unique_ptr<Topology> topo;
+  HardwareProfile profile;
+  ModelConfig model;
+  CostModel cost;
+  Placement placement;
+  Assignment assignment;
+
+  static Env* Get(int num_gpus, int num_experts) {
+    static std::map<std::pair<int, int>, std::unique_ptr<Env>> cache;
+    auto& slot = cache[{num_gpus, num_experts}];
+    if (!slot) slot.reset(new Env(num_gpus, num_experts));
+    return slot.get();
+  }
+
+  Env(int num_gpus, int num_experts)
+      : topo(std::make_unique<Topology>(
+            *Topology::Create(AzureA100Options(num_gpus)))),
+        profile(topo.get(), GpuSpec{}),
+        model(GptMoES()),
+        cost(&profile,
+             [&] {
+               model.num_experts = num_experts;
+               return ShapeFromModel(model);
+             }()),
+        placement(*Placement::ExpertParallel(
+            {num_experts, num_gpus, 0})),
+        assignment(num_experts, num_gpus) {
+    TraceGeneratorOptions t;
+    t.num_experts = num_experts;
+    t.num_moe_layers = 1;
+    t.num_gpus = num_gpus;
+    t.tokens_per_gpu = 8192;
+    t.seed = 7;
+    TraceGenerator gen = *TraceGenerator::Create(t);
+    assignment = gen.Step()[0];
+  }
+};
+
+void BM_Router(benchmark::State& state) {
+  Env* env = Env::Get(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FlexibleRouter::Route(env->assignment, env->placement));
+  }
+}
+BENCHMARK(BM_Router)->Args({8, 32})->Args({32, 32})->Args({64, 64});
+
+void BM_BalanceRatio(benchmark::State& state) {
+  Env* env = Env::Get(64, 64);
+  const RoutedAssignment routed =
+      FlexibleRouter::Route(env->assignment, env->placement);
+  const std::vector<double> loads = routed.PerGpuComputeLoads();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BalanceRatio(loads));
+  }
+}
+BENCHMARK(BM_BalanceRatio);
+
+void BM_CostModelEstimate(benchmark::State& state) {
+  Env* env = Env::Get(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env->cost.EstimateLayerSeconds(env->assignment, env->placement));
+  }
+}
+BENCHMARK(BM_CostModelEstimate)->Args({8, 32})->Args({32, 32})->Args({64, 64});
+
+void BM_PolicyMakerPlan(benchmark::State& state) {
+  Env* env = Env::Get(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  PolicyMaker pm(&env->cost, PolicyMakerOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pm.MakeSchedulingPlan(env->assignment, env->placement));
+  }
+}
+BENCHMARK(BM_PolicyMakerPlan)->Args({8, 32})->Args({32, 32})->Args({64, 64});
+
+void BM_TraceGeneratorStep(benchmark::State& state) {
+  TraceGeneratorOptions t;
+  t.num_experts = 64;
+  t.num_moe_layers = 12;
+  t.num_gpus = 64;
+  t.tokens_per_gpu = 8192;
+  t.seed = 7;
+  TraceGenerator gen = *TraceGenerator::Create(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Step());
+  }
+}
+BENCHMARK(BM_TraceGeneratorStep);
+
+void BM_OpQueueMergePass(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ModificationQueue q(64e6);
+    for (int i = 0; i < 32; ++i) {
+      q.Enqueue(MakeShrink(i, i % 8));
+      q.Enqueue(MakeExpand(i, i % 8, (i + 1) % 8));
+    }
+    state.ResumeTiming();
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.PopBatch());
+    }
+  }
+}
+BENCHMARK(BM_OpQueueMergePass);
+
+}  // namespace
+}  // namespace flexmoe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Compare the four MoE training systems (DeepSpeed-style expert
+// parallelism, SWIPE, FasterMoE, FlexMoE) on the identical workload — a
+// miniature of the paper's Figure 5 / Figure 7 experiments, using only the
+// high-level experiment harness.
+//
+//   ./build/examples/compare_systems
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/reporters.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace flexmoe;
+
+int main() {
+  Table table({"system", "step time", "token eff", "expert eff",
+               "balance", "hours to target quality"});
+
+  for (const char* name : {"deepspeed", "swipe", "fastermoe", "flexmoe"}) {
+    ExperimentOptions options;
+    options.system = name;
+    options.model = GptMoES();
+    options.num_gpus = 32;
+    options.measure_steps = 80;
+    options.warmup_steps = 30;
+    options.balance_coef = 0.001;
+    options.seed = 7;
+
+    const ExperimentReport report = *RunExperiment(options);
+    std::printf("%s\n", ReportLine(report).c_str());
+    table.AddRow({report.system,
+                  HumanTime(report.mean_step_seconds),
+                  StrFormat("%.1f%%", report.mean_token_efficiency * 100),
+                  StrFormat("%.1f%%", report.mean_expert_efficiency * 100),
+                  StrFormat("%.2f", report.mean_balance_ratio),
+                  StrFormat("%.1f", report.hours_to_target)});
+  }
+
+  std::printf("\n%s\n", table.ToAscii().c_str());
+  std::printf(
+      "DeepSpeed is fastest per step (it drops tokens) but needs the most\n"
+      "steps; SWIPE balances by re-routing tokens to the wrong experts;\n"
+      "FasterMoE and FlexMoE process every token, and FlexMoE's fine-\n"
+      "grained placement reaches the target quality first.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "baselines/expert_parallel.h"
+
+#include <algorithm>
+
+#include "core/balance.h"
+
+namespace flexmoe {
+
+Result<Placement> FixedExpertParallelPlacement(int num_experts,
+                                               int num_gpus) {
+  PlacementOptions popt;
+  popt.num_experts = num_experts;
+  popt.num_gpus = num_gpus;
+  popt.slots_per_gpu = std::max(1, (num_experts + num_gpus - 1) / num_gpus);
+  FLEXMOE_RETURN_IF_ERROR(popt.Validate());
+  // Build directly instead of Placement::ExpertParallel: baselines hold
+  // exactly ONE vExpert per expert (no packing, no replicas).
+  Placement p = *Placement::ExpertParallel(popt);
+  for (int e = 0; e < num_experts; ++e) {
+    const std::vector<GpuId> hosts = p.HostGpus(e);
+    FLEXMOE_CHECK(hosts.size() == 1);
+    while (p.VExpertsOn(e, hosts[0]) > 1) {
+      FLEXMOE_RETURN_IF_ERROR(p.RemoveVExpert(e, hosts[0]));
+    }
+  }
+  FLEXMOE_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
+Status ExpertParallelOptions::Validate() const {
+  FLEXMOE_RETURN_IF_ERROR(model.Validate());
+  if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ExpertParallelSystem>> ExpertParallelSystem::Create(
+    const ExpertParallelOptions& options, const Topology* topo,
+    const HardwareProfile* profile) {
+  FLEXMOE_CHECK(topo != nullptr && profile != nullptr);
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+  if (topo->num_gpus() != options.num_gpus) {
+    return Status::InvalidArgument("topology GPU count mismatch");
+  }
+  FLEXMOE_ASSIGN_OR_RETURN(
+      Placement placement,
+      FixedExpertParallelPlacement(options.model.num_experts,
+                                   options.num_gpus));
+  return std::unique_ptr<ExpertParallelSystem>(new ExpertParallelSystem(
+      options, topo, profile, std::move(placement)));
+}
+
+ExpertParallelSystem::ExpertParallelSystem(
+    const ExpertParallelOptions& options, const Topology* topo,
+    const HardwareProfile* profile, Placement placement)
+    : options_(options),
+      topo_(topo),
+      profile_(profile),
+      cluster_(topo),
+      placement_(std::move(placement)),
+      step_executor_(&cluster_, profile, options.model) {}
+
+StepMetrics ExpertParallelSystem::RunStep(
+    const std::vector<Assignment>& layer_assignments) {
+  FLEXMOE_CHECK(static_cast<int>(layer_assignments.size()) ==
+                options_.model.num_moe_layers);
+  const int num_layers = static_cast<int>(layer_assignments.size());
+
+  int64_t total = 0, dropped = 0;
+  double balance_sum = 0.0;
+  std::vector<RoutedAssignment> routed;
+  routed.reserve(static_cast<size_t>(num_layers));
+  for (const Assignment& assignment : layer_assignments) {
+    total += assignment.Total();
+    const Assignment* effective = &assignment;
+    CapacityResult capped;
+    if (options_.capacity_factor > 0.0) {
+      capped = ApplyCapacity(assignment, options_.capacity_factor);
+      dropped += capped.dropped;
+      effective = &capped.kept;
+    }
+    routed.push_back(FlexibleRouter::Route(*effective, placement_));
+    balance_sum += BalanceRatio(routed.back().PerGpuComputeLoads());
+  }
+
+  std::vector<LayerWork> work(static_cast<size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    work[static_cast<size_t>(l)].routed = &routed[static_cast<size_t>(l)];
+    work[static_cast<size_t>(l)].placement = &placement_;  // no replicas
+  }
+  const StepTiming timing = step_executor_.ExecuteStep(work, nullptr);
+
+  const double token_eff =
+      total > 0 ? static_cast<double>(total - dropped) /
+                      static_cast<double>(total)
+                : 1.0;
+  StepMetrics metrics = MetricsFromTiming(
+      step_, timing.StepSeconds(), timing.a2a_seconds, timing.compute_seconds,
+      timing.sync_seconds, timing.non_moe_seconds + timing.dp_sync_seconds,
+      timing.per_gpu_expert_compute, balance_sum / num_layers, token_eff,
+      total, dropped);
+  ++step_;
+  stats_.Add(metrics);
+  return metrics;
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,65 @@
+// DeepSpeed-style expert parallelism baseline (paper Section 5 baselines):
+// one fixed home GPU per expert (GShard placement), a uniform expert
+// capacity (capacity factor 1.0 in the paper's runs), and token dropping
+// for everything beyond capacity. Smallest iteration time of all systems —
+// but the dropped tokens cost statistical efficiency (Table 2 / Figure 5).
+
+#ifndef FLEXMOE_BASELINES_EXPERT_PARALLEL_H_
+#define FLEXMOE_BASELINES_EXPERT_PARALLEL_H_
+
+#include <memory>
+
+#include "core/step_executor.h"
+#include "core/system.h"
+#include "gate/capacity.h"
+
+namespace flexmoe {
+
+/// \brief Baseline configuration.
+struct ExpertParallelOptions {
+  ModelConfig model;
+  int num_gpus = 64;
+  /// Per-expert capacity factor; <= 0 disables capacity (no dropping).
+  double capacity_factor = 1.0;
+
+  Status Validate() const;
+};
+
+/// \brief Classic expert parallelism with capacity-based token dropping.
+class ExpertParallelSystem : public MoESystem {
+ public:
+  static Result<std::unique_ptr<ExpertParallelSystem>> Create(
+      const ExpertParallelOptions& options, const Topology* topo,
+      const HardwareProfile* profile);
+
+  std::string name() const override { return "DeepSpeed"; }
+  StepMetrics RunStep(
+      const std::vector<Assignment>& layer_assignments) override;
+  const TrainingStats& stats() const override { return stats_; }
+  const ClusterState& cluster() const override { return cluster_; }
+
+  /// The fixed expert-parallel placement (identical for all layers).
+  const Placement& placement() const { return placement_; }
+
+ private:
+  ExpertParallelSystem(const ExpertParallelOptions& options,
+                       const Topology* topo, const HardwareProfile* profile,
+                       Placement placement);
+
+  ExpertParallelOptions options_;
+  const Topology* topo_;
+  const HardwareProfile* profile_;
+  ClusterState cluster_;
+  Placement placement_;
+  StepExecutor step_executor_;
+  TrainingStats stats_;
+  int64_t step_ = 0;
+};
+
+/// \brief Builds the canonical one-home-GPU-per-expert placement (exactly
+/// one vExpert per expert, no replicas).
+Result<Placement> FixedExpertParallelPlacement(int num_experts, int num_gpus);
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_BASELINES_EXPERT_PARALLEL_H_

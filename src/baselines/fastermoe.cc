@@ -1,0 +1,178 @@
+#include "baselines/fastermoe.h"
+
+#include <algorithm>
+
+#include "baselines/expert_parallel.h"
+#include "core/balance.h"
+
+namespace flexmoe {
+
+Status FasterMoEOptions::Validate() const {
+  FLEXMOE_RETURN_IF_ERROR(model.Validate());
+  if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
+  if (max_shadows_per_layer < 0) {
+    return Status::InvalidArgument("max_shadows_per_layer < 0");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FasterMoESystem>> FasterMoESystem::Create(
+    const FasterMoEOptions& options, const Topology* topo,
+    const HardwareProfile* profile) {
+  FLEXMOE_CHECK(topo != nullptr && profile != nullptr);
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+  if (topo->num_gpus() != options.num_gpus) {
+    return Status::InvalidArgument("topology GPU count mismatch");
+  }
+  FLEXMOE_ASSIGN_OR_RETURN(
+      Placement placement,
+      FixedExpertParallelPlacement(options.model.num_experts,
+                                   options.num_gpus));
+  return std::unique_ptr<FasterMoESystem>(new FasterMoESystem(
+      options, topo, profile, std::move(placement)));
+}
+
+FasterMoESystem::FasterMoESystem(const FasterMoEOptions& options,
+                                 const Topology* topo,
+                                 const HardwareProfile* profile,
+                                 Placement placement)
+    : options_(options),
+      topo_(topo),
+      profile_(profile),
+      cluster_(topo),
+      placement_(std::move(placement)),
+      step_executor_(&cluster_, profile, options.model) {}
+
+std::vector<int> FasterMoESystem::SelectShadows(
+    const Assignment& assignment) const {
+  const int num_experts = assignment.num_experts();
+  const int num_gpus = assignment.num_gpus();
+  const double flops = options_.model.expert_fwdbwd_flops_per_token();
+
+  // Broadcast of fp16 parameters + global AllReduce of gradients: the fixed
+  // price of shadowing one expert for one step.
+  std::vector<GpuId> all(static_cast<size_t>(num_gpus));
+  for (int g = 0; g < num_gpus; ++g) all[static_cast<size_t>(g)] = g;
+  const double param_bytes = static_cast<double>(
+      options_.model.expert_params()) * options_.model.param_bytes;
+  const double bcast_sec =
+      param_bytes / profile_->BandwidthBytesPerSec(0, num_gpus > 8 ? 8 : 1) +
+      profile_->LatencySeconds(0, num_gpus > 8 ? 8 : 1) *
+          static_cast<double>(num_gpus);
+  const double sync_sec =
+      profile_->AllReduceSeconds(options_.model.expert_grad_bytes(), all);
+  const double shadow_cost = bcast_sec + sync_sec;
+
+  // Shadowing relieves the bottleneck only down to the mean per-GPU load
+  // (below that, other experts keep the GPUs busy anyway) — this is the
+  // essence of FasterMoE's performance-model-driven policy.
+  const double mean_gpu_load =
+      static_cast<double>(assignment.Total()) / num_gpus;
+  std::vector<std::pair<double, int>> gains;
+  for (int e = 0; e < num_experts; ++e) {
+    const int64_t load = assignment.ExpertTotal(e);
+    if (load <= 0 || static_cast<double>(load) <= mean_gpu_load) continue;
+    const double saved =
+        profile_->ComputeSeconds(static_cast<double>(load), flops) -
+        profile_->ComputeSeconds(mean_gpu_load, flops);
+    const double gain = saved - shadow_cost;
+    if (gain > 0.0) gains.push_back({gain, e});
+  }
+  std::sort(gains.begin(), gains.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (static_cast<int>(gains.size()) > options_.max_shadows_per_layer) {
+    gains.resize(static_cast<size_t>(options_.max_shadows_per_layer));
+  }
+  std::vector<int> shadows;
+  shadows.reserve(gains.size());
+  for (const auto& [gain, e] : gains) shadows.push_back(e);
+  std::sort(shadows.begin(), shadows.end());
+  return shadows;
+}
+
+StepMetrics FasterMoESystem::RunStep(
+    const std::vector<Assignment>& layer_assignments) {
+  FLEXMOE_CHECK(static_cast<int>(layer_assignments.size()) ==
+                options_.model.num_moe_layers);
+  const int num_layers = static_cast<int>(layer_assignments.size());
+  const int num_gpus = options_.num_gpus;
+  const int num_experts = options_.model.num_experts;
+
+  last_shadows_.assign(static_cast<size_t>(num_layers), {});
+  std::vector<RoutedAssignment> routed(static_cast<size_t>(num_layers));
+  std::vector<LayerWork> work(static_cast<size_t>(num_layers));
+  int64_t total = 0;
+  double balance_sum = 0.0;
+
+  std::vector<GpuId> all(static_cast<size_t>(num_gpus));
+  for (int g = 0; g < num_gpus; ++g) all[static_cast<size_t>(g)] = g;
+
+  for (int l = 0; l < num_layers; ++l) {
+    const Assignment& assignment =
+        layer_assignments[static_cast<size_t>(l)];
+    total += assignment.Total();
+    const std::vector<int> shadows = SelectShadows(assignment);
+    last_shadows_[static_cast<size_t>(l)] = shadows;
+
+    RoutedAssignment& r = routed[static_cast<size_t>(l)];
+    r.num_experts = num_experts;
+    r.num_gpus = num_gpus;
+    r.expert_gpu_tokens.assign(
+        static_cast<size_t>(num_experts),
+        std::vector<int64_t>(static_cast<size_t>(num_gpus), 0));
+    r.dispatch.assign(static_cast<size_t>(num_gpus),
+                      std::vector<int64_t>(static_cast<size_t>(num_gpus), 0));
+
+    std::vector<bool> is_shadowed(static_cast<size_t>(num_experts), false);
+    for (int e : shadows) is_shadowed[static_cast<size_t>(e)] = true;
+
+    for (int e = 0; e < num_experts; ++e) {
+      if (is_shadowed[static_cast<size_t>(e)]) {
+        // Local processing at every source GPU.
+        for (int g = 0; g < num_gpus; ++g) {
+          const int64_t tokens = assignment.at(e, g);
+          if (tokens <= 0) continue;
+          r.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)] +=
+              tokens;
+          r.dispatch[static_cast<size_t>(g)][static_cast<size_t>(g)] += tokens;
+        }
+      } else {
+        const GpuId home = placement_.HostGpus(e).front();
+        for (int g = 0; g < num_gpus; ++g) {
+          const int64_t tokens = assignment.at(e, g);
+          if (tokens <= 0) continue;
+          r.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(home)] +=
+              tokens;
+          r.dispatch[static_cast<size_t>(g)][static_cast<size_t>(home)] +=
+              tokens;
+        }
+      }
+    }
+    balance_sum += BalanceRatio(r.PerGpuComputeLoads());
+
+    LayerWork& w = work[static_cast<size_t>(l)];
+    w.routed = &r;
+    w.placement = &placement_;  // fixed placement contributes no sync
+    const double param_bytes = static_cast<double>(
+        options_.model.expert_params()) * options_.model.param_bytes;
+    for (int e : shadows) {
+      w.broadcasts.push_back(
+          {placement_.HostGpus(e).front(), param_bytes});
+      w.extra_sync_groups.push_back(all);  // global shadow-gradient sync
+    }
+  }
+
+  const StepTiming timing = step_executor_.ExecuteStep(work, nullptr);
+  StepMetrics metrics = MetricsFromTiming(
+      step_, timing.StepSeconds(), timing.a2a_seconds, timing.compute_seconds,
+      timing.sync_seconds, timing.non_moe_seconds + timing.dp_sync_seconds,
+      timing.per_gpu_expert_compute, balance_sum / num_layers,
+      /*token_efficiency=*/1.0, total, /*tokens_dropped=*/0);
+  ++step_;
+  stats_.Add(metrics);
+  return metrics;
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,73 @@
+// FasterMoE baseline (He et al., PPoPP'22): dynamic "shadowing" of popular
+// experts. Each step, a performance model decides which experts are hot
+// enough that replicating them on EVERY GPU pays off; shadowed experts
+// process their tokens locally at the source GPU (no All-to-All for those
+// tokens) at the price of a parameter broadcast beforehand and a global
+// gradient AllReduce afterwards. No tokens are dropped.
+//
+// The paper's critique, reproduced here: the all-or-one granularity wastes
+// resources (global synchronization of shadows), so FasterMoE lands between
+// DeepSpeed and FlexMoE (Figures 5, 7).
+
+#ifndef FLEXMOE_BASELINES_FASTERMOE_H_
+#define FLEXMOE_BASELINES_FASTERMOE_H_
+
+#include <memory>
+
+#include "core/step_executor.h"
+#include "core/system.h"
+
+namespace flexmoe {
+
+/// \brief Baseline configuration.
+struct FasterMoEOptions {
+  ModelConfig model;
+  int num_gpus = 64;
+  /// Safety bound on shadowed experts per layer per step (the original
+  /// limits shadows by available memory).
+  int max_shadows_per_layer = 8;
+
+  Status Validate() const;
+};
+
+/// \brief FasterMoE with cost-model-driven shadowing.
+class FasterMoESystem : public MoESystem {
+ public:
+  static Result<std::unique_ptr<FasterMoESystem>> Create(
+      const FasterMoEOptions& options, const Topology* topo,
+      const HardwareProfile* profile);
+
+  std::string name() const override { return "FasterMoE"; }
+  StepMetrics RunStep(
+      const std::vector<Assignment>& layer_assignments) override;
+  const TrainingStats& stats() const override { return stats_; }
+  const ClusterState& cluster() const override { return cluster_; }
+
+  /// Experts shadowed in the most recent step (per layer), for tests.
+  const std::vector<std::vector<int>>& last_shadows() const {
+    return last_shadows_;
+  }
+
+ private:
+  FasterMoESystem(const FasterMoEOptions& options, const Topology* topo,
+                  const HardwareProfile* profile, Placement placement);
+
+  /// The shadowing decision: replicate iff the compute time saved by
+  /// processing expert `e` locally exceeds broadcast + AllReduce overhead
+  /// (FasterMoE's performance-model policy).
+  std::vector<int> SelectShadows(const Assignment& assignment) const;
+
+  FasterMoEOptions options_;
+  const Topology* topo_;
+  const HardwareProfile* profile_;
+  ClusterState cluster_;
+  Placement placement_;
+  StepExecutor step_executor_;
+  TrainingStats stats_;
+  std::vector<std::vector<int>> last_shadows_;
+  int64_t step_ = 0;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_BASELINES_FASTERMOE_H_

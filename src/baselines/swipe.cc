@@ -1,0 +1,160 @@
+#include "baselines/swipe.h"
+
+#include <algorithm>
+
+#include "baselines/expert_parallel.h"
+#include "core/balance.h"
+
+namespace flexmoe {
+
+Status SwipeOptions::Validate() const {
+  FLEXMOE_RETURN_IF_ERROR(model.Validate());
+  if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
+  return Status::OK();
+}
+
+SwipeRebalance RebalanceStrict(const Assignment& assignment) {
+  const int num_experts = assignment.num_experts();
+  const int num_gpus = assignment.num_gpus();
+  const int64_t total = assignment.Total();
+  const int64_t cap = (total + num_experts - 1) / num_experts;
+
+  SwipeRebalance result;
+  result.balanced = Assignment(num_experts, num_gpus);
+
+  // Per-expert room below the uniform cap.
+  std::vector<int64_t> room(static_cast<size_t>(num_experts), 0);
+  for (int e = 0; e < num_experts; ++e) {
+    const int64_t load = assignment.ExpertTotal(e);
+    room[static_cast<size_t>(e)] = std::max<int64_t>(0, cap - load);
+  }
+
+  // Keep up to cap per expert (proportionally by source GPU), collect the
+  // per-GPU overflow to redistribute.
+  std::vector<int64_t> overflow_per_gpu(static_cast<size_t>(num_gpus), 0);
+  for (int e = 0; e < num_experts; ++e) {
+    const int64_t load = assignment.ExpertTotal(e);
+    if (load <= cap) {
+      for (int g = 0; g < num_gpus; ++g) {
+        result.balanced.add(e, g, assignment.at(e, g));
+      }
+      continue;
+    }
+    int64_t to_keep = cap;
+    for (int g = 0; g < num_gpus; ++g) {
+      const int64_t here = assignment.at(e, g);
+      const int64_t keep = std::min(
+          here, static_cast<int64_t>(static_cast<double>(here) *
+                                     static_cast<double>(cap) /
+                                     static_cast<double>(load)));
+      result.balanced.add(e, g, keep);
+      to_keep -= keep;
+      overflow_per_gpu[static_cast<size_t>(g)] += here - keep;
+    }
+    // Rounding slack: keep a few more tokens (they are not re-assigned).
+    for (int g = 0; g < num_gpus && to_keep > 0; ++g) {
+      const int64_t extra =
+          std::min(to_keep, overflow_per_gpu[static_cast<size_t>(g)]);
+      if (extra > 0) {
+        result.balanced.add(e, g, extra);
+        overflow_per_gpu[static_cast<size_t>(g)] -= extra;
+        to_keep -= extra;
+      }
+    }
+  }
+
+  // Re-assign each GPU's overflow to experts with room (round-robin over
+  // experts, deterministic).
+  int e_cursor = 0;
+  for (int g = 0; g < num_gpus; ++g) {
+    int64_t pending = overflow_per_gpu[static_cast<size_t>(g)];
+    result.reassigned += pending;
+    int scanned = 0;
+    while (pending > 0 && scanned <= num_experts) {
+      const int e = e_cursor;
+      e_cursor = (e_cursor + 1) % num_experts;
+      ++scanned;
+      int64_t& r = room[static_cast<size_t>(e)];
+      if (r <= 0) continue;
+      const int64_t take = std::min(pending, r);
+      result.balanced.add(e, g, take);
+      r -= take;
+      pending -= take;
+      scanned = 0;
+    }
+    // Anything truly unplaceable (cap rounding) returns to its own expert:
+    // arbitrarily give it to expert 0 on this GPU; negligible counts.
+    if (pending > 0) {
+      result.balanced.add(0, g, pending);
+    }
+  }
+  return result;
+}
+
+Result<std::unique_ptr<SwipeSystem>> SwipeSystem::Create(
+    const SwipeOptions& options, const Topology* topo,
+    const HardwareProfile* profile) {
+  FLEXMOE_CHECK(topo != nullptr && profile != nullptr);
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+  if (topo->num_gpus() != options.num_gpus) {
+    return Status::InvalidArgument("topology GPU count mismatch");
+  }
+  FLEXMOE_ASSIGN_OR_RETURN(
+      Placement placement,
+      FixedExpertParallelPlacement(options.model.num_experts,
+                                   options.num_gpus));
+  return std::unique_ptr<SwipeSystem>(new SwipeSystem(
+      options, topo, profile, std::move(placement)));
+}
+
+SwipeSystem::SwipeSystem(const SwipeOptions& options, const Topology* topo,
+                         const HardwareProfile* profile, Placement placement)
+    : options_(options),
+      topo_(topo),
+      profile_(profile),
+      cluster_(topo),
+      placement_(std::move(placement)),
+      step_executor_(&cluster_, profile, options.model) {}
+
+StepMetrics SwipeSystem::RunStep(
+    const std::vector<Assignment>& layer_assignments) {
+  FLEXMOE_CHECK(static_cast<int>(layer_assignments.size()) ==
+                options_.model.num_moe_layers);
+  const int num_layers = static_cast<int>(layer_assignments.size());
+
+  int64_t total = 0, reassigned = 0;
+  double balance_sum = 0.0;
+  std::vector<RoutedAssignment> routed;
+  routed.reserve(static_cast<size_t>(num_layers));
+  for (const Assignment& assignment : layer_assignments) {
+    total += assignment.Total();
+    SwipeRebalance rb = RebalanceStrict(assignment);
+    reassigned += rb.reassigned;
+    routed.push_back(FlexibleRouter::Route(rb.balanced, placement_));
+    balance_sum += BalanceRatio(routed.back().PerGpuComputeLoads());
+  }
+
+  std::vector<LayerWork> work(static_cast<size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    work[static_cast<size_t>(l)].routed = &routed[static_cast<size_t>(l)];
+    work[static_cast<size_t>(l)].placement = &placement_;
+  }
+  const StepTiming timing = step_executor_.ExecuteStep(work, nullptr);
+
+  // Re-assigned tokens ARE processed (expert efficiency is high) but by the
+  // wrong experts (token efficiency suffers) — Figure 7(a)'s trade-off.
+  const double token_eff =
+      total > 0 ? static_cast<double>(total - reassigned) /
+                      static_cast<double>(total)
+                : 1.0;
+  StepMetrics metrics = MetricsFromTiming(
+      step_, timing.StepSeconds(), timing.a2a_seconds, timing.compute_seconds,
+      timing.sync_seconds, timing.non_moe_seconds + timing.dp_sync_seconds,
+      timing.per_gpu_expert_compute, balance_sum / num_layers, token_eff,
+      total, /*tokens_dropped=*/0);
+  ++step_;
+  stats_.Add(metrics);
+  return metrics;
+}
+
+}  // namespace flexmoe

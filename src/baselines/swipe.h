@@ -1,0 +1,63 @@
+// SWIPE baseline (BaGuaLu, PPoPP'22; paper Figure 7a): strict load balance
+// by re-assigning overflow tokens to under-loaded experts. The gate's
+// token-expert relation is modified — every expert ends up with (almost)
+// exactly the average load, so expert efficiency is near-perfect, but the
+// re-assigned tokens are processed by experts the gate did not choose,
+// which costs token efficiency (and therefore model quality).
+
+#ifndef FLEXMOE_BASELINES_SWIPE_H_
+#define FLEXMOE_BASELINES_SWIPE_H_
+
+#include <memory>
+
+#include "core/step_executor.h"
+#include "core/system.h"
+
+namespace flexmoe {
+
+/// \brief Baseline configuration.
+struct SwipeOptions {
+  ModelConfig model;
+  int num_gpus = 64;
+
+  Status Validate() const;
+};
+
+/// \brief Rebalances one assignment to uniform per-expert load; returns the
+/// balanced assignment and the number of re-assigned token-assignments.
+struct SwipeRebalance {
+  Assignment balanced;
+  int64_t reassigned = 0;
+};
+SwipeRebalance RebalanceStrict(const Assignment& assignment);
+
+/// \brief SWIPE-style strictly balanced MoE training.
+class SwipeSystem : public MoESystem {
+ public:
+  static Result<std::unique_ptr<SwipeSystem>> Create(
+      const SwipeOptions& options, const Topology* topo,
+      const HardwareProfile* profile);
+
+  std::string name() const override { return "SWIPE"; }
+  StepMetrics RunStep(
+      const std::vector<Assignment>& layer_assignments) override;
+  const TrainingStats& stats() const override { return stats_; }
+  const ClusterState& cluster() const override { return cluster_; }
+
+ private:
+  SwipeSystem(const SwipeOptions& options, const Topology* topo,
+              const HardwareProfile* profile, Placement placement);
+
+  SwipeOptions options_;
+  const Topology* topo_;
+  const HardwareProfile* profile_;
+  ClusterState cluster_;
+  Placement placement_;
+  StepExecutor step_executor_;
+  TrainingStats stats_;
+  int64_t step_ = 0;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_BASELINES_SWIPE_H_

@@ -1,0 +1,54 @@
+#include "collective/nccl_group.h"
+
+#include <algorithm>
+
+namespace flexmoe {
+
+GroupKey CanonicalGroupKey(std::vector<GpuId> members) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  return members;
+}
+
+Status NcclGroupCache::Options::Validate() const {
+  if (capacity == 0) return Status::InvalidArgument("capacity must be > 0");
+  if (creation_cost_sec < 0) {
+    return Status::InvalidArgument("creation_cost_sec must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<NcclGroupCache> NcclGroupCache::Create(const Options& options) {
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+  return NcclGroupCache(options);
+}
+
+double NcclGroupCache::Acquire(const std::vector<GpuId>& members) {
+  GroupKey key = CanonicalGroupKey(members);
+  if (key.size() < 2) return 0.0;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return 0.0;
+  }
+  ++stats_.misses;
+  if (lru_.size() >= options_.capacity) {
+    // Evict the least recently used group.
+    const GroupKey& victim = lru_.back();
+    index_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  index_[std::move(key)] = lru_.begin();
+  return options_.creation_cost_sec;
+}
+
+bool NcclGroupCache::Contains(const std::vector<GpuId>& members) const {
+  const GroupKey key = CanonicalGroupKey(members);
+  if (key.size() < 2) return false;
+  return index_.count(key) > 0;
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,76 @@
+// NCCL communicator-group management with an LRU cache.
+//
+// The paper (Section 4, "NCCL Group Management") notes that only a bounded
+// number of live NCCL groups may exist and that creating/destroying groups
+// is expensive, so FlexMoE keeps them in an LRU cache. Replicated experts
+// change their synchronization groups whenever the placement changes, which
+// makes cache behaviour matter.
+
+#ifndef FLEXMOE_COLLECTIVE_NCCL_GROUP_H_
+#define FLEXMOE_COLLECTIVE_NCCL_GROUP_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/status.h"
+
+namespace flexmoe {
+
+/// \brief Canonical (sorted, deduplicated) key identifying a device group.
+using GroupKey = std::vector<GpuId>;
+
+/// \brief Returns the canonical key for an arbitrary member list.
+GroupKey CanonicalGroupKey(std::vector<GpuId> members);
+
+/// \brief LRU cache of live communicator groups.
+class NcclGroupCache {
+ public:
+  struct Options {
+    /// Maximum number of simultaneously live groups. NCCL tolerates
+    /// thousands of communicators; the bound exists because each one pins
+    /// device buffers. It must comfortably exceed the number of
+    /// concurrently replicated experts (layers x replicated experts), or
+    /// steady-state eviction puts the ~100ms re-creation cost on the
+    /// critical path each step.
+    size_t capacity = 4096;
+    /// Wall-clock cost of creating a communicator for a missing group
+    /// (NCCL bootstrap + rendezvous), charged to the caller.
+    double creation_cost_sec = 0.12;
+
+    Status Validate() const;
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  static Result<NcclGroupCache> Create(const Options& options);
+
+  /// Ensures a communicator exists for `members`; returns the setup cost
+  /// incurred now (0 on a cache hit). Groups of size < 2 are free — no
+  /// communicator is needed.
+  double Acquire(const std::vector<GpuId>& members);
+
+  bool Contains(const std::vector<GpuId>& members) const;
+  size_t size() const { return lru_.size(); }
+  const Options& options() const { return options_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  explicit NcclGroupCache(const Options& options) : options_(options) {}
+
+  Options options_;
+  Stats stats_;
+  /// Most-recently-used at the front.
+  std::list<GroupKey> lru_;
+  std::map<GroupKey, std::list<GroupKey>::iterator> index_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_COLLECTIVE_NCCL_GROUP_H_

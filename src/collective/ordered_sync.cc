@@ -1,0 +1,73 @@
+#include "collective/ordered_sync.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+SyncSchedule PlanOrderedSync(const std::vector<SyncOp>& ops, int num_gpus) {
+  FLEXMOE_CHECK(num_gpus > 0);
+  SyncSchedule schedule;
+  schedule.per_gpu_order.assign(static_cast<size_t>(num_gpus), {});
+
+  // Sort op indices by (logical_id, index); each GPU posts the subsequence
+  // of ops whose group contains it, in that global order.
+  std::vector<int> order(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (ops[static_cast<size_t>(a)].logical_id !=
+        ops[static_cast<size_t>(b)].logical_id) {
+      return ops[static_cast<size_t>(a)].logical_id <
+             ops[static_cast<size_t>(b)].logical_id;
+    }
+    return a < b;
+  });
+  for (int idx : order) {
+    for (GpuId g : ops[static_cast<size_t>(idx)].group) {
+      FLEXMOE_CHECK(g >= 0 && g < num_gpus);
+      schedule.per_gpu_order[static_cast<size_t>(g)].push_back(idx);
+    }
+  }
+  return schedule;
+}
+
+bool ScheduleDeadlocks(const std::vector<SyncOp>& ops,
+                       const SyncSchedule& schedule, int num_gpus) {
+  FLEXMOE_CHECK(static_cast<int>(schedule.per_gpu_order.size()) == num_gpus);
+  // head[g] = position of the next unposted op in g's queue.
+  std::vector<size_t> head(static_cast<size_t>(num_gpus), 0);
+  std::vector<bool> done(ops.size(), false);
+
+  size_t remaining = 0;
+  for (const auto& q : schedule.per_gpu_order) remaining += q.size();
+
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    // A collective fires when every member GPU has it at its queue head.
+    for (size_t op_idx = 0; op_idx < ops.size(); ++op_idx) {
+      if (done[op_idx]) continue;
+      const auto& group = ops[op_idx].group;
+      bool ready = !group.empty();
+      for (GpuId g : group) {
+        const auto& q = schedule.per_gpu_order[static_cast<size_t>(g)];
+        const size_t h = head[static_cast<size_t>(g)];
+        if (h >= q.size() || q[h] != static_cast<int>(op_idx)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      done[op_idx] = true;
+      for (GpuId g : group) {
+        ++head[static_cast<size_t>(g)];
+        --remaining;
+      }
+      progress = true;
+    }
+  }
+  return remaining > 0;
+}
+
+}  // namespace flexmoe

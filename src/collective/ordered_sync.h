@@ -1,0 +1,51 @@
+// AllReduce coordination: deadlock avoidance via logical-id ordering.
+//
+// When the vExperts of a single GPU belong to several replicated experts,
+// each expert requires its own AllReduce. If two GPUs post these collectives
+// in different orders, NCCL deadlocks (paper Section 4, "AllReduce
+// Coordination"). FlexMoE assigns every expert a logical id and posts
+// synchronizations in ascending id order on every GPU.
+//
+// This module provides (a) the planner producing the per-GPU posting order,
+// and (b) an exact deadlock detector for arbitrary posting orders, used by
+// tests to demonstrate that unordered postings can deadlock while the
+// planner's output never does.
+
+#ifndef FLEXMOE_COLLECTIVE_ORDERED_SYNC_H_
+#define FLEXMOE_COLLECTIVE_ORDERED_SYNC_H_
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace flexmoe {
+
+/// \brief One pending synchronization collective.
+struct SyncOp {
+  int logical_id = 0;          ///< the expert's logical id
+  std::vector<GpuId> group;    ///< GPUs holding replicas of the expert
+  double bytes = 0.0;          ///< gradient payload
+};
+
+/// \brief Per-GPU posting schedule: schedule[g] lists indices into the
+/// original SyncOp vector in the order GPU g posts them.
+struct SyncSchedule {
+  std::vector<std::vector<int>> per_gpu_order;
+};
+
+/// \brief Produces the deadlock-free schedule: every GPU posts its ops in
+/// ascending logical-id order (ties broken by op index).
+SyncSchedule PlanOrderedSync(const std::vector<SyncOp>& ops, int num_gpus);
+
+/// \brief Exact deadlock check for a blocking-collective execution model.
+///
+/// Each GPU executes its posted collectives sequentially; a collective
+/// completes only when it is at the head of every member's queue. Returns
+/// true iff execution cannot drain all queues (i.e. the posting order
+/// deadlocks).
+bool ScheduleDeadlocks(const std::vector<SyncOp>& ops,
+                       const SyncSchedule& schedule, int num_gpus);
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_COLLECTIVE_ORDERED_SYNC_H_

@@ -1,0 +1,38 @@
+#include "core/balance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexmoe {
+
+double BalanceRatio(const std::vector<double>& per_gpu_loads) {
+  if (per_gpu_loads.empty()) return 1.0;
+  double max = 0.0, sum = 0.0;
+  for (double v : per_gpu_loads) {
+    max = std::max(max, v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(per_gpu_loads.size());
+  if (mean <= 0.0) return 1.0;
+  return max / mean;
+}
+
+double BalanceVariance(const std::vector<double>& per_gpu_loads) {
+  if (per_gpu_loads.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : per_gpu_loads) sum += v;
+  const double mean = sum / static_cast<double>(per_gpu_loads.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (double v : per_gpu_loads) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(per_gpu_loads.size());
+  return std::sqrt(var) / mean;
+}
+
+double BalanceRatioOf(const Assignment& assignment,
+                      const Placement& placement) {
+  const RoutedAssignment routed = FlexibleRouter::Route(assignment, placement);
+  return BalanceRatio(routed.PerGpuComputeLoads());
+}
+
+}  // namespace flexmoe

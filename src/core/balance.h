@@ -1,0 +1,33 @@
+// Balance metrics (paper Eq. 6 and the Variance alternative of Fig. 6a).
+//
+// The balance ratio is max-GPU-load / mean-GPU-load: >= 1 always, == 1 iff
+// perfectly balanced. Because the synchronous MoE layer finishes with its
+// slowest GPU, the ratio directly upper-bounds attainable GPU utilization
+// (utilization ~= 1 / balance_ratio).
+
+#ifndef FLEXMOE_CORE_BALANCE_H_
+#define FLEXMOE_CORE_BALANCE_H_
+
+#include <vector>
+
+#include "core/router.h"
+
+namespace flexmoe {
+
+/// \brief Paper Eq. 6: max_g(load_g) / mean_g(load_g). Returns 1 for empty
+/// or all-zero loads.
+double BalanceRatio(const std::vector<double>& per_gpu_loads);
+
+/// \brief The Variance alternative studied in Fig. 6a, reported as the
+/// coefficient of variation (stddev/mean) so that thresholds are
+/// dimensionless and workload-size independent.
+double BalanceVariance(const std::vector<double>& per_gpu_loads);
+
+/// \brief Routes `assignment` under `placement` and returns Eq. 6 on the
+/// resulting per-GPU compute loads.
+double BalanceRatioOf(const Assignment& assignment,
+                      const Placement& placement);
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_BALANCE_H_

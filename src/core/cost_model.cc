@@ -1,0 +1,113 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+ExpertShape ShapeFromModel(const ModelConfig& model) {
+  ExpertShape shape;
+  shape.fwdbwd_flops_per_token = model.expert_fwdbwd_flops_per_token();
+  shape.token_bytes = model.token_bytes();
+  shape.grad_bytes = model.expert_grad_bytes();
+  shape.state_bytes = model.expert_state_bytes();
+  return shape;
+}
+
+GpuId LayerCostEstimate::BottleneckGpu() const {
+  GpuId worst = 0;
+  for (size_t g = 1; g < per_gpu_seconds.size(); ++g) {
+    if (per_gpu_seconds[g] > per_gpu_seconds[static_cast<size_t>(worst)]) {
+      worst = static_cast<GpuId>(g);
+    }
+  }
+  return worst;
+}
+
+CostModel::CostModel(const HardwareProfile* profile, const ExpertShape& shape)
+    : profile_(profile), shape_(shape) {
+  FLEXMOE_CHECK(profile != nullptr);
+  FLEXMOE_CHECK(shape.fwdbwd_flops_per_token > 0);
+  FLEXMOE_CHECK(shape.token_bytes > 0);
+}
+
+double CostModel::ComputeSeconds(int64_t tokens) const {
+  if (tokens <= 0) return 0.0;
+  return profile_->ComputeSeconds(static_cast<double>(tokens),
+                                  shape_.fwdbwd_flops_per_token);
+}
+
+double CostModel::A2ASeconds(const RoutedAssignment& routed, GpuId dst) const {
+  // Eq. 8: pure bandwidth serialization at the receiving port; chunked
+  // flows overlap per-message latencies, so latency enters once per phase.
+  double seconds = 0.0;
+  double max_lat = 0.0;
+  for (GpuId src = 0; src < routed.num_gpus; ++src) {
+    const int64_t tokens =
+        routed.dispatch[static_cast<size_t>(src)][static_cast<size_t>(dst)];
+    if (tokens <= 0) continue;
+    const double bytes = static_cast<double>(tokens) * shape_.token_bytes;
+    seconds += bytes / profile_->BandwidthBytesPerSec(src, dst);
+    max_lat = std::max(max_lat, profile_->LatencySeconds(src, dst));
+  }
+  // Dispatch + combine, forward + backward: 4 crossings per step (Eq. 8).
+  return 4.0 * (seconds + 2.0 * max_lat);
+}
+
+double CostModel::SyncSeconds(const Placement& placement, int expert) const {
+  const std::vector<GpuId> group = placement.HostGpus(expert);
+  if (group.size() < 2) return 0.0;
+  return profile_->AllReduceSeconds(shape_.grad_bytes, group);
+}
+
+LayerCostEstimate CostModel::EstimateLayer(const RoutedAssignment& routed,
+                                           const Placement& placement) const {
+  const int num_gpus = routed.num_gpus;
+  LayerCostEstimate est;
+  est.per_gpu_seconds.assign(static_cast<size_t>(num_gpus), 0.0);
+  est.per_gpu_compute.assign(static_cast<size_t>(num_gpus), 0.0);
+  est.per_gpu_a2a.assign(static_cast<size_t>(num_gpus), 0.0);
+  est.per_gpu_sync.assign(static_cast<size_t>(num_gpus), 0.0);
+
+  // Per-expert sync costs are shared by all hosts of the expert.
+  std::vector<double> sync_of_expert(static_cast<size_t>(routed.num_experts),
+                                     0.0);
+  for (int e = 0; e < routed.num_experts; ++e) {
+    sync_of_expert[static_cast<size_t>(e)] = SyncSeconds(placement, e);
+  }
+
+  for (GpuId g = 0; g < num_gpus; ++g) {
+    double compute = 0.0;
+    double sync = 0.0;
+    for (int e = 0; e < routed.num_experts; ++e) {
+      const int64_t tokens =
+          routed.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)];
+      if (tokens > 0) compute += ComputeSeconds(tokens);
+      if (placement.VExpertsOn(e, g) > 0) {
+        sync += sync_of_expert[static_cast<size_t>(e)];
+      }
+    }
+    const double a2a = A2ASeconds(routed, g);
+    est.per_gpu_compute[static_cast<size_t>(g)] = compute;
+    est.per_gpu_a2a[static_cast<size_t>(g)] = a2a;
+    est.per_gpu_sync[static_cast<size_t>(g)] = sync;
+    est.per_gpu_seconds[static_cast<size_t>(g)] = compute + a2a + sync;
+  }
+  est.total_seconds = *std::max_element(est.per_gpu_seconds.begin(),
+                                        est.per_gpu_seconds.end());
+  return est;
+}
+
+LayerCostEstimate CostModel::EstimateLayer(const Assignment& assignment,
+                                           const Placement& placement) const {
+  return EstimateLayer(FlexibleRouter::Route(assignment, placement),
+                       placement);
+}
+
+double CostModel::EstimateLayerSeconds(const Assignment& assignment,
+                                       const Placement& placement) const {
+  return EstimateLayer(assignment, placement).total_seconds;
+}
+
+}  // namespace flexmoe

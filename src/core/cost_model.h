@@ -1,0 +1,82 @@
+// The Policy Maker's cost model (paper Section 3.4, Eqs. 5 and 7-9).
+//
+//   T(I, P) = max_g  sum_{e: (e,g) in P}  T_C(I_eg) + T_A2A(I_eg) + T_Sync(P, e)
+//
+//   T_C    = I_eg / TPS                       (Eq. 7, compute)
+//   T_A2A  = 4 * sum_g' count(g') / Bw_{g,g'} (Eq. 8, All-to-All, 4x/step)
+//   T_Sync = size(grads) / BPS(group(e))      (Eq. 9, replica AllReduce)
+//
+// All environmental variables (TPS, Bw, BPS) come from the profiled
+// HardwareProfile. The model is intentionally contention-free; it is
+// validated against the discrete-event executors in bench_fig6c_cost_model.
+
+#ifndef FLEXMOE_CORE_COST_MODEL_H_
+#define FLEXMOE_CORE_COST_MODEL_H_
+
+#include <vector>
+
+#include "core/router.h"
+#include "moe/model_config.h"
+#include "topology/profile.h"
+
+namespace flexmoe {
+
+/// \brief Per-expert quantities the cost model needs, derived from a
+/// ModelConfig.
+struct ExpertShape {
+  double fwdbwd_flops_per_token = 0.0;
+  double token_bytes = 0.0;   ///< activation payload per token (one A2A hop)
+  double grad_bytes = 0.0;    ///< per-expert gradient AllReduce payload
+  double state_bytes = 0.0;   ///< per-expert Expand/Migrate payload
+};
+
+ExpertShape ShapeFromModel(const ModelConfig& model);
+
+/// \brief Per-GPU additive cost breakdown for one MoE layer (Eq. 5 terms).
+struct LayerCostEstimate {
+  std::vector<double> per_gpu_seconds;
+  std::vector<double> per_gpu_compute;
+  std::vector<double> per_gpu_a2a;
+  std::vector<double> per_gpu_sync;
+  double total_seconds = 0.0;  ///< max over GPUs (Eq. 5 outer max)
+
+  GpuId BottleneckGpu() const;
+};
+
+/// \brief Analytic layer-time estimator.
+class CostModel {
+ public:
+  CostModel(const HardwareProfile* profile, const ExpertShape& shape);
+
+  const ExpertShape& shape() const { return shape_; }
+  const HardwareProfile& profile() const { return *profile_; }
+
+  /// Eq. 7: compute seconds for `tokens` tokens on one expert replica.
+  double ComputeSeconds(int64_t tokens) const;
+
+  /// Eq. 8 for one receiving GPU: 4 x sum over sources of bytes/Bw.
+  double A2ASeconds(const RoutedAssignment& routed, GpuId dst) const;
+
+  /// Eq. 9 for one expert under `placement`.
+  double SyncSeconds(const Placement& placement, int expert) const;
+
+  /// Eq. 5 evaluated on an explicit routing.
+  LayerCostEstimate EstimateLayer(const RoutedAssignment& routed,
+                                  const Placement& placement) const;
+
+  /// Convenience: routes `assignment` with FlexibleRouter, then estimates.
+  LayerCostEstimate EstimateLayer(const Assignment& assignment,
+                                  const Placement& placement) const;
+
+  /// Total estimated seconds (Eq. 5 outer max) for `assignment`.
+  double EstimateLayerSeconds(const Assignment& assignment,
+                              const Placement& placement) const;
+
+ private:
+  const HardwareProfile* profile_;
+  ExpertShape shape_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_COST_MODEL_H_

@@ -1,0 +1,199 @@
+#include "core/flexmoe.h"
+
+#include <algorithm>
+
+#include "core/balance.h"
+
+namespace flexmoe {
+
+Status FlexMoEOptions::Validate() const {
+  FLEXMOE_RETURN_IF_ERROR(model.Validate());
+  if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
+  FLEXMOE_RETURN_IF_ERROR(scheduler.Validate());
+  FLEXMOE_RETURN_IF_ERROR(policy.Validate());
+  FLEXMOE_RETURN_IF_ERROR(executor.Validate());
+  FLEXMOE_RETURN_IF_ERROR(group_cache.Validate());
+  if (max_pending_ops <= 0) {
+    return Status::InvalidArgument("max_pending_ops must be > 0");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FlexMoESystem>> FlexMoESystem::Create(
+    const FlexMoEOptions& options, const Topology* topo,
+    const HardwareProfile* profile) {
+  FLEXMOE_CHECK(topo != nullptr && profile != nullptr);
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+  if (topo->num_gpus() != options.num_gpus) {
+    return Status::InvalidArgument("topology GPU count mismatch");
+  }
+
+  PlacementOptions popt;
+  popt.num_experts = options.model.num_experts;
+  popt.num_gpus = options.num_gpus;
+  popt.slots_per_gpu = options.slots_per_gpu;
+  std::vector<Placement> initial;
+  initial.reserve(static_cast<size_t>(options.model.num_moe_layers));
+  for (int l = 0; l < options.model.num_moe_layers; ++l) {
+    FLEXMOE_ASSIGN_OR_RETURN(Placement p, Placement::ExpertParallel(popt));
+    initial.push_back(std::move(p));
+  }
+  FLEXMOE_ASSIGN_OR_RETURN(NcclGroupCache cache,
+                           NcclGroupCache::Create(options.group_cache));
+
+  return std::unique_ptr<FlexMoESystem>(new FlexMoESystem(
+      options, topo, profile, std::move(cache), std::move(initial)));
+}
+
+FlexMoESystem::FlexMoESystem(const FlexMoEOptions& options,
+                             const Topology* topo,
+                             const HardwareProfile* profile,
+                             NcclGroupCache group_cache,
+                             std::vector<Placement> initial)
+    : options_(options),
+      topo_(topo),
+      profile_(profile),
+      cluster_(topo),
+      cost_model_(profile, ShapeFromModel(options.model)),
+      policy_maker_(&cost_model_, options.policy),
+      scheduler_(&policy_maker_, options.scheduler),
+      group_cache_(std::move(group_cache)),
+      step_executor_(&cluster_, profile, options.model),
+      live_(initial),
+      target_(std::move(initial)) {
+  executors_.reserve(live_.size());
+  for (size_t l = 0; l < live_.size(); ++l) {
+    executors_.emplace_back(options_.executor, profile_,
+                            options_.model.expert_state_bytes());
+  }
+  next_plan_step_.assign(live_.size(), 0);
+  plan_backoff_.assign(live_.size(), 1);
+}
+
+const Placement& FlexMoESystem::live_placement(int layer) const {
+  FLEXMOE_CHECK(layer >= 0 && layer < static_cast<int>(live_.size()));
+  return live_[static_cast<size_t>(layer)];
+}
+
+const Placement& FlexMoESystem::target_placement(int layer) const {
+  FLEXMOE_CHECK(layer >= 0 && layer < static_cast<int>(target_.size()));
+  return target_[static_cast<size_t>(layer)];
+}
+
+StepMetrics FlexMoESystem::RunStep(
+    const std::vector<Assignment>& layer_assignments) {
+  FLEXMOE_CHECK(static_cast<int>(layer_assignments.size()) ==
+                options_.model.num_moe_layers);
+  const int num_layers = static_cast<int>(layer_assignments.size());
+  StepMetrics metrics;
+  metrics.step = step_;
+
+  // 1. Step boundary: completed background adjustments take effect on the
+  //    live placements; the next batches launch best-effort.
+  double boundary = step_executor_.Frontier();
+  double blocking = 0.0;
+  for (int l = 0; l < num_layers; ++l) {
+    const PlacementExecutor::TickResult tick =
+        executors_[static_cast<size_t>(l)].OnStepBoundary(
+            boundary, &cluster_, &live_[static_cast<size_t>(l)]);
+    metrics.ops_applied += tick.ops_applied;
+    metrics.ops_launched += tick.ops_launched;
+    blocking += tick.blocking_seconds;
+  }
+  if (blocking > 0.0) {
+    cluster_.BlockAll(boundary, blocking);
+    metrics.adjust_block_seconds = blocking;
+  }
+
+  // 1b. Pre-warm NCCL groups for the live placements. Communicator
+  //     bootstrap is host-side (CPU + sockets) work that overlaps with GPU
+  //     execution and with the copy engines, so it costs nothing on either
+  //     the training critical path or the background copy streams; the
+  //     step executor below then always hits the warm cache. The LRU cache
+  //     statistics still expose creation churn.
+  for (const Placement& placement : live_) {
+    for (int e = 0; e < placement.num_experts(); ++e) {
+      const std::vector<GpuId> group = placement.HostGpus(e);
+      if (group.size() >= 2) group_cache_.Acquire(group);
+    }
+  }
+
+  // 2. Route every layer on its live placement.
+  std::vector<RoutedAssignment> routed;
+  routed.reserve(static_cast<size_t>(num_layers));
+  double balance_sum = 0.0;
+  for (int l = 0; l < num_layers; ++l) {
+    routed.push_back(FlexibleRouter::Route(
+        layer_assignments[static_cast<size_t>(l)],
+        live_[static_cast<size_t>(l)]));
+    balance_sum += BalanceRatio(routed.back().PerGpuComputeLoads());
+    metrics.tokens_total += routed.back().Total();
+  }
+  metrics.balance_ratio = balance_sum / num_layers;
+
+  // 3. Execute the step on the event engine.
+  std::vector<LayerWork> work(static_cast<size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    work[static_cast<size_t>(l)].routed = &routed[static_cast<size_t>(l)];
+    work[static_cast<size_t>(l)].placement = &live_[static_cast<size_t>(l)];
+  }
+  const StepTiming timing = step_executor_.ExecuteStep(work, &group_cache_);
+
+  metrics.step_seconds = timing.StepSeconds() + blocking;
+  metrics.a2a_seconds = timing.a2a_seconds;
+  metrics.compute_seconds = timing.compute_seconds;
+  metrics.sync_seconds = timing.sync_seconds;
+  metrics.non_moe_seconds = timing.non_moe_seconds + timing.dp_sync_seconds;
+  metrics.token_efficiency = 1.0;  // FlexMoE never drops tokens
+  metrics.tokens_dropped = 0;
+
+  // Efficiency metrics from the engine's per-GPU expert-compute time.
+  const auto& pc = timing.per_gpu_expert_compute;
+  const double max_c = *std::max_element(pc.begin(), pc.end());
+  double mean_c = 0.0;
+  for (double v : pc) mean_c += v;
+  mean_c /= static_cast<double>(pc.size());
+  metrics.expert_efficiency = max_c > 0.0 ? mean_c / max_c : 1.0;
+  metrics.gpu_utilization =
+      metrics.step_seconds > 0.0
+          ? (mean_c + timing.non_moe_seconds) / metrics.step_seconds
+          : 0.0;
+
+  // 4. Scheduler: monitor this step's workloads, plan modifications on the
+  //    target placements, enqueue them for best-effort execution. Planning
+  //    happens against the target (which already reflects queued ops), so
+  //    it can track workload drift every step; the pending-op cap guards
+  //    against plans outrunning the background streams (stale tail is
+  //    dropped and the target resyncs to the live state).
+  for (int l = 0; l < num_layers; ++l) {
+    auto& executor = executors_[static_cast<size_t>(l)];
+    if (static_cast<int>(executor.pending_ops()) > options_.max_pending_ops) {
+      executor.ClearPending();
+      target_[static_cast<size_t>(l)] = live_[static_cast<size_t>(l)];
+      continue;  // re-plan from the fresh state next step
+    }
+    if (step_ < next_plan_step_[static_cast<size_t>(l)]) continue;
+    const SchedulerDecision decision = scheduler_.OnStep(
+        step_, layer_assignments[static_cast<size_t>(l)],
+        &target_[static_cast<size_t>(l)]);
+    if (!decision.ops.empty()) {
+      executor.Enqueue(decision.ops);
+    }
+    // Backoff: a trigger that found no beneficial modification means the
+    // placement is at its feasibility floor for this workload; searching
+    // again next step would find the same answer.
+    auto& backoff = plan_backoff_[static_cast<size_t>(l)];
+    if (decision.triggered && decision.plan_rounds == 0) {
+      next_plan_step_[static_cast<size_t>(l)] = step_ + backoff;
+      backoff = std::min(backoff * 2, 16);
+    } else {
+      backoff = 1;
+    }
+  }
+
+  ++step_;
+  stats_.Add(metrics);
+  return metrics;
+}
+
+}  // namespace flexmoe

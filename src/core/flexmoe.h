@@ -1,0 +1,93 @@
+// FlexMoESystem: the full FlexMoE runtime (paper Figure 4) assembled from
+// the building blocks — per-layer placements with vExperts, the flexible
+// token Router, the discrete-event step execution, the Scheduler + Policy
+// Maker monitoring loop, and the best-effort PlacementExecutor applying
+// Expand/Shrink/Migrate on a background stream.
+
+#ifndef FLEXMOE_CORE_FLEXMOE_H_
+#define FLEXMOE_CORE_FLEXMOE_H_
+
+#include <memory>
+#include <vector>
+
+#include "collective/nccl_group.h"
+#include "core/cost_model.h"
+#include "core/scheduler.h"
+#include "core/step_executor.h"
+#include "core/system.h"
+#include "placement/executor.h"
+
+namespace flexmoe {
+
+/// \brief FlexMoE configuration.
+struct FlexMoEOptions {
+  ModelConfig model;
+  int num_gpus = 64;
+  /// vExpert slots per GPU (0 = auto).
+  int slots_per_gpu = 0;
+  SchedulerOptions scheduler;
+  PolicyMakerOptions policy;
+  ExecutorOptions executor;
+  NcclGroupCache::Options group_cache;
+  /// Resync threshold: if a layer's pending-op queue exceeds this, stale
+  /// plans are dropped and the target placement resyncs to the live one.
+  int max_pending_ops = 64;
+
+  Status Validate() const;
+};
+
+/// \brief The FlexMoE training system.
+class FlexMoESystem : public MoESystem {
+ public:
+  /// `topo` and `profile` must outlive the system.
+  static Result<std::unique_ptr<FlexMoESystem>> Create(
+      const FlexMoEOptions& options, const Topology* topo,
+      const HardwareProfile* profile);
+
+  std::string name() const override { return "FlexMoE"; }
+  StepMetrics RunStep(
+      const std::vector<Assignment>& layer_assignments) override;
+  const TrainingStats& stats() const override { return stats_; }
+  const ClusterState& cluster() const override { return cluster_; }
+
+  const Placement& live_placement(int layer) const;
+  const Placement& target_placement(int layer) const;
+  const PlacementExecutor& executor(int layer) const {
+    return executors_[static_cast<size_t>(layer)];
+  }
+  const NcclGroupCache& group_cache() const { return group_cache_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  FlexMoESystem(const FlexMoEOptions& options, const Topology* topo,
+                const HardwareProfile* profile, NcclGroupCache group_cache,
+                std::vector<Placement> initial);
+
+  FlexMoEOptions options_;
+  const Topology* topo_;
+  const HardwareProfile* profile_;
+  ClusterState cluster_;
+  CostModel cost_model_;
+  PolicyMaker policy_maker_;
+  Scheduler scheduler_;
+  NcclGroupCache group_cache_;
+  StepExecutor step_executor_;
+
+  std::vector<Placement> live_;
+  std::vector<Placement> target_;
+  std::vector<PlacementExecutor> executors_;
+
+  /// Per-layer planning backoff: a trigger that accepts no plan doubles
+  /// the layer's cooldown (capped), an accepted plan resets it. Avoids
+  /// re-running the full candidate search every step once the placement
+  /// sits at the feasibility floor.
+  std::vector<int64_t> next_plan_step_;
+  std::vector<int> plan_backoff_;
+
+  TrainingStats stats_;
+  int64_t step_ = 0;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_FLEXMOE_H_

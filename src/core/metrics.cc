@@ -1,0 +1,104 @@
+#include "core/metrics.h"
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace flexmoe {
+
+StepMetrics MetricsFromTiming(int64_t step, double step_seconds,
+                              double a2a_seconds, double compute_seconds,
+                              double sync_seconds, double non_moe_seconds,
+                              const std::vector<double>& per_gpu_expert_compute,
+                              double balance_ratio, double token_efficiency,
+                              int64_t tokens_total, int64_t tokens_dropped) {
+  StepMetrics m;
+  m.step = step;
+  m.step_seconds = step_seconds;
+  m.a2a_seconds = a2a_seconds;
+  m.compute_seconds = compute_seconds;
+  m.sync_seconds = sync_seconds;
+  m.non_moe_seconds = non_moe_seconds;
+  m.balance_ratio = balance_ratio;
+  m.token_efficiency = token_efficiency;
+  m.tokens_total = tokens_total;
+  m.tokens_dropped = tokens_dropped;
+
+  double max_c = 0.0, mean_c = 0.0;
+  for (double v : per_gpu_expert_compute) {
+    max_c = v > max_c ? v : max_c;
+    mean_c += v;
+  }
+  if (!per_gpu_expert_compute.empty()) {
+    mean_c /= static_cast<double>(per_gpu_expert_compute.size());
+  }
+  m.expert_efficiency = max_c > 0.0 ? mean_c / max_c : 1.0;
+  m.gpu_utilization =
+      step_seconds > 0.0 ? (mean_c + non_moe_seconds) / step_seconds : 0.0;
+  return m;
+}
+
+void TrainingStats::Add(const StepMetrics& m) { steps_.push_back(m); }
+
+template <typename F>
+double TrainingStats::MeanOver(int warmup, F&& get) const {
+  if (static_cast<size_t>(warmup) >= steps_.size()) return 0.0;
+  double sum = 0.0;
+  int64_t n = 0;
+  for (size_t i = static_cast<size_t>(warmup); i < steps_.size(); ++i) {
+    sum += get(steps_[i]);
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TrainingStats::MeanStepSeconds(int warmup) const {
+  return MeanOver(warmup, [](const StepMetrics& m) { return m.step_seconds; });
+}
+
+double TrainingStats::MeanBalanceRatio(int warmup) const {
+  return MeanOver(warmup,
+                  [](const StepMetrics& m) { return m.balance_ratio; });
+}
+
+double TrainingStats::MeanTokenEfficiency(int warmup) const {
+  return MeanOver(warmup,
+                  [](const StepMetrics& m) { return m.token_efficiency; });
+}
+
+double TrainingStats::MeanExpertEfficiency(int warmup) const {
+  return MeanOver(warmup,
+                  [](const StepMetrics& m) { return m.expert_efficiency; });
+}
+
+double TrainingStats::MeanGpuUtilization(int warmup) const {
+  return MeanOver(warmup,
+                  [](const StepMetrics& m) { return m.gpu_utilization; });
+}
+
+double TrainingStats::TotalSeconds() const {
+  double total = 0.0;
+  for (const StepMetrics& m : steps_) total += m.step_seconds;
+  return total;
+}
+
+int64_t TrainingStats::TotalOpsApplied() const {
+  int64_t total = 0;
+  for (const StepMetrics& m : steps_) total += m.ops_applied;
+  return total;
+}
+
+double TrainingStats::Throughput(double tokens_per_step, int warmup) const {
+  const double mean = MeanStepSeconds(warmup);
+  return mean > 0.0 ? tokens_per_step / mean : 0.0;
+}
+
+std::string TrainingStats::Summary() const {
+  return StrFormat(
+      "steps=%lld mean_step=%s balance=%.3f token_eff=%.3f expert_eff=%.3f "
+      "gpu_util=%.3f ops=%lld",
+      static_cast<long long>(num_steps()), HumanTime(MeanStepSeconds()).c_str(),
+      MeanBalanceRatio(), MeanTokenEfficiency(), MeanExpertEfficiency(),
+      MeanGpuUtilization(), static_cast<long long>(TotalOpsApplied()));
+}
+
+}  // namespace flexmoe

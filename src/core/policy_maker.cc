@@ -1,0 +1,263 @@
+#include "core/policy_maker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "core/balance.h"
+
+namespace flexmoe {
+
+Status PolicyMakerOptions::Validate() const {
+  if (min_improvement_frac < 0.0 || min_improvement_frac >= 1.0) {
+    return Status::InvalidArgument("min_improvement_frac out of range");
+  }
+  if (min_migration_gain_sec < 0.0) {
+    return Status::InvalidArgument("min_migration_gain_sec < 0");
+  }
+  if (max_hot_candidates < 1) {
+    return Status::InvalidArgument("max_hot_candidates must be >= 1");
+  }
+  return Status::OK();
+}
+
+PolicyMaker::PolicyMaker(const CostModel* cost_model,
+                         const PolicyMakerOptions& options)
+    : cost_model_(cost_model), options_(options) {
+  FLEXMOE_CHECK(cost_model != nullptr);
+  FLEXMOE_CHECK(options.Validate().ok());
+}
+
+std::vector<double> PolicyMaker::VExpertCapacities(
+    const Assignment& assignment, const Placement& placement) const {
+  std::vector<double> caps(static_cast<size_t>(assignment.num_experts()));
+  for (int e = 0; e < assignment.num_experts(); ++e) {
+    caps[static_cast<size_t>(e)] =
+        static_cast<double>(assignment.ExpertTotal(e)) /
+        static_cast<double>(placement.VExperts(e));
+  }
+  return caps;
+}
+
+namespace {
+
+/// Search score for a candidate placement: the 8-norm of per-GPU times.
+/// It upper-bounds and closely tracks the Eq. 5 max, but unlike the bare
+/// max it strictly rewards relieving ANY heavily loaded GPU. That matters
+/// when two hot experts bottleneck different GPUs at nearly equal times:
+/// expanding either one leaves the max unchanged for one round, and a
+/// max-only objective would reject the move and stall, while the 8-norm
+/// lets the alternating moves through.
+double PlanScore(const LayerCostEstimate& est) {
+  double acc = 0.0;
+  for (double v : est.per_gpu_seconds) {
+    const double v2 = v * v;
+    const double v4 = v2 * v2;
+    acc += v4 * v4;
+  }
+  return std::pow(acc, 1.0 / 8.0);
+}
+
+}  // namespace
+
+std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
+    const Assignment& assignment, const Placement& placement) const {
+  const RoutedAssignment routed =
+      FlexibleRouter::Route(assignment, placement);
+  const LayerCostEstimate est0 = cost_model_->EstimateLayer(routed, placement);
+  const double score0 = PlanScore(est0);
+  const std::vector<double> caps = VExpertCapacities(assignment, placement);
+  const std::vector<int64_t> gpu_loads = routed.PerGpuComputeTokens();
+
+  // Hot candidates: the top-k experts by per-vExpert capacity (Alg. 2
+  // line 6 takes only the argmax; evaluating a few near-ties avoids
+  // stalls when two hot experts bottleneck different GPUs).
+  std::vector<int> order(static_cast<size_t>(assignment.num_experts()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return caps[static_cast<size_t>(a)] > caps[static_cast<size_t>(b)];
+  });
+  const int hot_count =
+      std::min(options_.max_hot_candidates,
+               static_cast<int>(order.size()));
+
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_hot = -1, best_cold = -1;
+  GpuId best_shrink = -1, best_dst = -1;
+
+  // Cold candidates: the coldest shrinkable experts (bottom-k by capacity).
+  // The paper takes only the argmin; a few candidates diversify the freed
+  // slots across GPUs, which matters once all slots are occupied.
+  std::vector<int> cold_candidates;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (placement.VExperts(*it) >= 2) cold_candidates.push_back(*it);
+    if (static_cast<int>(cold_candidates.size()) >=
+        options_.max_hot_candidates) {
+      break;
+    }
+  }
+  if (cold_candidates.empty()) return {};
+
+  for (int hi = 0; hi < hot_count; ++hi) {
+    const int hot = order[static_cast<size_t>(hi)];
+    if (assignment.ExpertTotal(hot) == 0) break;
+
+    for (int cold : cold_candidates) {
+      if (cold == hot) continue;
+
+      // Shrink-host candidates: hosts of the cold expert, least-loaded
+      // first (the freed slot usually becomes the hot expert's new home).
+      std::vector<GpuId> shrink_candidates;
+      for (const auto& [gpu, count] : placement.Replicas(cold)) {
+        shrink_candidates.push_back(gpu);
+      }
+      std::sort(shrink_candidates.begin(), shrink_candidates.end(),
+                [&](GpuId a, GpuId b) {
+                  return gpu_loads[static_cast<size_t>(a)] <
+                         gpu_loads[static_cast<size_t>(b)];
+                });
+      constexpr size_t kMaxShrinkCandidates = 2;
+      if (shrink_candidates.size() > kMaxShrinkCandidates) {
+        shrink_candidates.resize(kMaxShrinkCandidates);
+      }
+
+      // Nodes already hosting the hot expert: expanding there keeps the
+      // replica group node-local, whose AllReduce is an order of magnitude
+      // cheaper than a cross-node group (NVLink vs IB ring bottleneck).
+      const Topology& topo = cost_model_->profile().topology();
+      std::set<NodeId> hot_nodes;
+      for (GpuId h : placement.HostGpus(hot)) {
+        hot_nodes.insert(topo.NodeOf(h));
+      }
+
+      for (GpuId shrink_gpu : shrink_candidates) {
+        Placement after_shrink = placement;
+        if (!after_shrink.RemoveVExpert(cold, shrink_gpu).ok()) continue;
+
+        // Expand destinations: GPUs with a free slot; node-local to the
+        // hot expert's replicas first, then cheapest loads.
+        std::vector<GpuId> candidates;
+        for (GpuId g = 0; g < placement.num_gpus(); ++g) {
+          if (after_shrink.FreeSlots(g) > 0) candidates.push_back(g);
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](GpuId a, GpuId b) {
+                    const bool la = hot_nodes.count(topo.NodeOf(a)) > 0;
+                    const bool lb = hot_nodes.count(topo.NodeOf(b)) > 0;
+                    if (la != lb) return la;
+                    return gpu_loads[static_cast<size_t>(a)] <
+                           gpu_loads[static_cast<size_t>(b)];
+                  });
+        if (options_.max_expand_candidates > 0 &&
+            static_cast<int>(candidates.size()) >
+                options_.max_expand_candidates) {
+          candidates.resize(
+              static_cast<size_t>(options_.max_expand_candidates));
+        }
+        for (GpuId dst : candidates) {
+          Placement trial = after_shrink;
+          if (!trial.AddVExpert(hot, dst).ok()) continue;
+          const double score = PlanScore(
+              cost_model_->EstimateLayer(assignment, trial));
+          if (score < best_score) {
+            best_score = score;
+            best_hot = hot;
+            best_cold = cold;
+            best_shrink = shrink_gpu;
+            best_dst = dst;
+          }
+        }
+      }
+    }
+  }
+  if (best_dst < 0) return {};
+  if (best_score >= score0 * (1.0 - options_.min_improvement_frac)) return {};
+
+  // Expand copy source: free when dst already hosts the expert; otherwise
+  // the closest existing replica (same node preferred).
+  Placement after_shrink = placement;
+  FLEXMOE_CHECK(after_shrink.RemoveVExpert(best_cold, best_shrink).ok());
+  GpuId copy_src = -1;
+  if (after_shrink.VExpertsOn(best_hot, best_dst) == 0) {
+    const std::vector<GpuId> hosts = after_shrink.HostGpus(best_hot);
+    FLEXMOE_CHECK(!hosts.empty());
+    copy_src = hosts.front();
+    const Topology& topo = cost_model_->profile().topology();
+    for (GpuId h : hosts) {
+      if (topo.SameNode(h, best_dst)) {
+        copy_src = h;
+        break;
+      }
+    }
+  }
+
+  // Dependency order: the Shrink may free the very slot the Expand uses.
+  return {MakeShrink(best_cold, best_shrink),
+          MakeExpand(best_hot, copy_src, best_dst)};
+}
+
+double PolicyMaker::TotalSyncSeconds(const Placement& placement) const {
+  double total = 0.0;
+  for (int e = 0; e < placement.num_experts(); ++e) {
+    total += cost_model_->SyncSeconds(placement, e);
+  }
+  return total;
+}
+
+std::vector<ModOp> PolicyMaker::PlanMigrations(const Placement& placement,
+                                               int max_moves) const {
+  std::vector<ModOp> plan;
+  Placement current = placement;
+  const Topology& topo = cost_model_->profile().topology();
+
+  for (int move = 0; move < max_moves; ++move) {
+    const double base = TotalSyncSeconds(current);
+    double best_gain = options_.min_migration_gain_sec;
+    ModOp best_op;
+    bool found = false;
+
+    for (int e = 0; e < current.num_experts(); ++e) {
+      const std::vector<GpuId> hosts = current.HostGpus(e);
+      if (hosts.size() < 2 || topo.NodesSpanned(hosts) < 2) continue;
+
+      // Majority node: the node carrying most of e's vExperts.
+      std::map<NodeId, int> per_node;
+      for (const auto& [gpu, count] : current.Replicas(e)) {
+        per_node[topo.NodeOf(gpu)] += count;
+      }
+      NodeId major = per_node.begin()->first;
+      for (const auto& [node, count] : per_node) {
+        if (count > per_node[major]) major = node;
+      }
+
+      for (GpuId lonely : hosts) {
+        if (topo.NodeOf(lonely) == major) continue;
+        // Try to pull e's off-node replica onto the majority node by
+        // swapping with a vExpert already there.
+        for (GpuId target : topo.GpusOnNode(major)) {
+          // Swapping onto a GPU that already hosts e just packs — still
+          // useful, because it dissolves `lonely` from the replica group.
+          for (int partner : current.ExpertsOn(target)) {
+            if (partner == e) continue;
+            Placement trial = current;
+            const ModOp op = MakeMigrate(e, lonely, partner, target);
+            if (!ApplyOp(op, &trial).ok()) continue;
+            const double gain = base - TotalSyncSeconds(trial);
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_op = op;
+              found = true;
+            }
+          }
+        }
+      }
+    }
+    if (!found) break;
+    FLEXMOE_CHECK(ApplyOp(best_op, &current).ok());
+    plan.push_back(best_op);
+  }
+  return plan;
+}
+
+}  // namespace flexmoe

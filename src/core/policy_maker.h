@@ -1,0 +1,79 @@
+// Policy Maker (paper Algorithm 2): cost-model-driven greedy planning.
+//
+// Each call inspects the current workload I and placement P, finds the
+// expert with the maximum per-vExpert capacity (hottest) and the one with
+// the minimum (coldest), simulates Expand(hot) + Shrink(cold), and returns
+// the pair iff the estimated layer time strictly improves. The Scheduler
+// calls this in a loop until no beneficial modification remains.
+//
+// Beyond the paper's pseudocode, two concrete decisions are needed and are
+// made here:
+//  * which replica of the cold expert to shrink — the one on the most
+//    loaded GPU (relieves the bottleneck), preferring replica-group
+//    shrinkage ties;
+//  * which GPU receives the hot expert's new vExpert — every GPU with a
+//    free slot is evaluated through the cost model and the best one wins
+//    (GPUs already hosting the expert cost nothing to expand onto).
+
+#ifndef FLEXMOE_CORE_POLICY_MAKER_H_
+#define FLEXMOE_CORE_POLICY_MAKER_H_
+
+#include <vector>
+
+#include "core/cost_model.h"
+#include "placement/primitives.h"
+
+namespace flexmoe {
+
+/// \brief Planner configuration.
+struct PolicyMakerOptions {
+  /// Accept a plan only if t1 < t0 * (1 - min_improvement_frac); guards
+  /// against expand/shrink oscillation on estimation noise.
+  double min_improvement_frac = 0.005;
+  /// Upper bound on expand-destination candidates evaluated per plan
+  /// (<= 0 evaluates all GPUs with free slots). Bounded by default: each
+  /// candidate costs a full routing + Eq. 5 evaluation.
+  int max_expand_candidates = 4;
+  /// Experts considered for expansion per plan, hottest first. Evaluating
+  /// a few near-ties instead of only the argmax (the paper's literal
+  /// Alg. 2) prevents stalls when two hot experts bottleneck different
+  /// GPUs.
+  int max_hot_candidates = 3;
+  /// Improvement (seconds) a migration must deliver to be emitted.
+  double min_migration_gain_sec = 1e-5;
+
+  Status Validate() const;
+};
+
+/// \brief Implements Algorithm 2 plus background migration planning.
+class PolicyMaker {
+ public:
+  PolicyMaker(const CostModel* cost_model, const PolicyMakerOptions& options);
+
+  /// One Expand/Shrink round (Algorithm 2). Returns ops in dependency order
+  /// (Shrink first when it frees the slot the Expand consumes); empty if no
+  /// beneficial modification exists.
+  std::vector<ModOp> MakeSchedulingPlan(const Assignment& assignment,
+                                        const Placement& placement) const;
+
+  /// Background migration planning (Algorithm 1 line 9): up to `max_moves`
+  /// vExpert swaps that lower the total estimated synchronization cost by
+  /// consolidating replica groups onto fewer nodes.
+  std::vector<ModOp> PlanMigrations(const Placement& placement,
+                                    int max_moves) const;
+
+  /// Total Eq. 9 sync seconds across all experts (migration objective).
+  double TotalSyncSeconds(const Placement& placement) const;
+
+ private:
+  /// Per-vExpert capacity of each expert: I_e / n_e (Alg. 2 lines 3-5).
+  std::vector<double> VExpertCapacities(const Assignment& assignment,
+                                        const Placement& placement) const;
+
+  const CostModel* cost_model_;
+  PolicyMakerOptions options_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_POLICY_MAKER_H_

@@ -1,0 +1,152 @@
+#include "core/router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+std::vector<int64_t> RoutedAssignment::PerGpuComputeTokens() const {
+  std::vector<int64_t> loads(static_cast<size_t>(num_gpus), 0);
+  for (int e = 0; e < num_experts; ++e) {
+    for (int g = 0; g < num_gpus; ++g) {
+      loads[static_cast<size_t>(g)] +=
+          expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)];
+    }
+  }
+  return loads;
+}
+
+std::vector<double> RoutedAssignment::PerGpuComputeLoads() const {
+  const std::vector<int64_t> tokens = PerGpuComputeTokens();
+  std::vector<double> loads(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    loads[i] = static_cast<double>(tokens[i]);
+  }
+  return loads;
+}
+
+int64_t RoutedAssignment::Total() const {
+  int64_t total = 0;
+  for (const auto& row : expert_gpu_tokens) {
+    for (int64_t v : row) total += v;
+  }
+  return total;
+}
+
+int64_t RoutedAssignment::CrossGpuTokens() const {
+  int64_t total = 0;
+  for (int s = 0; s < num_gpus; ++s) {
+    for (int d = 0; d < num_gpus; ++d) {
+      if (s != d) total += dispatch[static_cast<size_t>(s)][static_cast<size_t>(d)];
+    }
+  }
+  return total;
+}
+
+RoutedAssignment FlexibleRouter::Route(const Assignment& assignment,
+                                       const Placement& placement) {
+  FLEXMOE_CHECK(assignment.num_experts() == placement.num_experts());
+  FLEXMOE_CHECK(assignment.num_gpus() == placement.num_gpus());
+  const int num_experts = assignment.num_experts();
+  const int num_gpus = assignment.num_gpus();
+
+  RoutedAssignment out;
+  out.num_experts = num_experts;
+  out.num_gpus = num_gpus;
+  out.expert_gpu_tokens.assign(
+      static_cast<size_t>(num_experts),
+      std::vector<int64_t>(static_cast<size_t>(num_gpus), 0));
+  out.dispatch.assign(static_cast<size_t>(num_gpus),
+                      std::vector<int64_t>(static_cast<size_t>(num_gpus), 0));
+
+  std::vector<int64_t> quota(static_cast<size_t>(num_gpus));
+  std::vector<int64_t> avail(static_cast<size_t>(num_gpus));
+  std::vector<int64_t> spill(static_cast<size_t>(num_gpus));
+
+  for (int e = 0; e < num_experts; ++e) {
+    const int64_t total = assignment.ExpertTotal(e);
+    if (total == 0) continue;
+    const int n_e = placement.VExperts(e);
+    FLEXMOE_CHECK_MSG(n_e >= 1, "expert with zero vExperts");
+    // cap_e = ceil(I_e / n_e): even partitioning across vExperts.
+    const int64_t cap = (total + n_e - 1) / n_e;
+
+    // Locality-first claim (Alg. 3 line 5).
+    for (GpuId g = 0; g < num_gpus; ++g) {
+      quota[static_cast<size_t>(g)] =
+          cap * static_cast<int64_t>(placement.VExpertsOn(e, g));
+      const int64_t local =
+          std::min(quota[static_cast<size_t>(g)], assignment.at(e, g));
+      out.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)] +=
+          local;
+      out.dispatch[static_cast<size_t>(g)][static_cast<size_t>(g)] += local;
+      avail[static_cast<size_t>(g)] = quota[static_cast<size_t>(g)] - local;
+      spill[static_cast<size_t>(g)] = assignment.at(e, g) - local;
+    }
+
+    // Proportional spill (Alg. 3 lines 8-10) with largest-remainder
+    // rounding, then a greedy pass for residual integer slack.
+    for (GpuId src = 0; src < num_gpus; ++src) {
+      int64_t s = spill[static_cast<size_t>(src)];
+      if (s <= 0) continue;
+      int64_t total_avail = 0;
+      for (GpuId g = 0; g < num_gpus; ++g) {
+        total_avail += avail[static_cast<size_t>(g)];
+      }
+      FLEXMOE_CHECK_MSG(total_avail >= s, "router capacity accounting broken");
+
+      // Proportional allocation.
+      std::vector<std::pair<double, GpuId>> remainders;
+      int64_t allocated = 0;
+      std::vector<int64_t> take(static_cast<size_t>(num_gpus), 0);
+      for (GpuId dst = 0; dst < num_gpus; ++dst) {
+        const int64_t a = avail[static_cast<size_t>(dst)];
+        if (a <= 0) continue;
+        const double exact = static_cast<double>(s) *
+                             static_cast<double>(a) /
+                             static_cast<double>(total_avail);
+        const int64_t base =
+            std::min(a, static_cast<int64_t>(std::floor(exact)));
+        take[static_cast<size_t>(dst)] = base;
+        allocated += base;
+        remainders.push_back({exact - std::floor(exact), dst});
+      }
+      std::sort(remainders.begin(), remainders.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      int64_t leftover = s - allocated;
+      for (const auto& [frac, dst] : remainders) {
+        if (leftover <= 0) break;
+        if (take[static_cast<size_t>(dst)] < avail[static_cast<size_t>(dst)]) {
+          ++take[static_cast<size_t>(dst)];
+          --leftover;
+        }
+      }
+      // Greedy residue (rounding can leave slack when many dsts saturate).
+      for (GpuId dst = 0; dst < num_gpus && leftover > 0; ++dst) {
+        const int64_t room =
+            avail[static_cast<size_t>(dst)] - take[static_cast<size_t>(dst)];
+        const int64_t extra = std::min(room, leftover);
+        take[static_cast<size_t>(dst)] += extra;
+        leftover -= extra;
+      }
+      FLEXMOE_CHECK_MSG(leftover == 0, "router failed to place spill");
+
+      for (GpuId dst = 0; dst < num_gpus; ++dst) {
+        const int64_t t = take[static_cast<size_t>(dst)];
+        if (t <= 0) continue;
+        out.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(dst)] +=
+            t;
+        out.dispatch[static_cast<size_t>(src)][static_cast<size_t>(dst)] += t;
+        avail[static_cast<size_t>(dst)] -= t;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,58 @@
+// Flexible token routing (paper Algorithm 3).
+//
+// Given the gate's assignment I (tokens per expert per source GPU) and the
+// current placement P, decide which replica processes each token:
+//   1. capacity per vExpert of expert e is cap_e = ceil(I_e / n_e) — even
+//      partitioning across the expert's vExperts (Section 3.2);
+//   2. locality first: tokens stay on their source GPU up to the local
+//      replica quota (cap_e x n_{e,g});
+//   3. the remainder spills to other replicas proportionally to their
+//      remaining available capacity.
+// Routing never drops or invents tokens (token conservation is property-
+// tested in router_test.cc).
+
+#ifndef FLEXMOE_CORE_ROUTER_H_
+#define FLEXMOE_CORE_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "moe/moe_layer.h"
+#include "placement/placement.h"
+
+namespace flexmoe {
+
+/// \brief The routing outcome for one MoE layer at one step.
+struct RoutedAssignment {
+  int num_experts = 0;
+  int num_gpus = 0;
+
+  /// expert_gpu_tokens[e][g]: tokens of expert e computed on GPU g.
+  std::vector<std::vector<int64_t>> expert_gpu_tokens;
+
+  /// dispatch[src][dst]: tokens moved from source GPU src to compute GPU
+  /// dst (src == dst entries are device-local).
+  std::vector<std::vector<int64_t>> dispatch;
+
+  /// Tokens of expert computation landing on each GPU.
+  std::vector<int64_t> PerGpuComputeTokens() const;
+  std::vector<double> PerGpuComputeLoads() const;
+
+  /// Total routed tokens (== I.Total() for lossless routing).
+  int64_t Total() const;
+
+  /// Tokens that crossed GPUs (dispatch off-diagonal mass).
+  int64_t CrossGpuTokens() const;
+};
+
+/// \brief Stateless implementation of Algorithm 3.
+class FlexibleRouter {
+ public:
+  /// Routes `assignment` under `placement`. Requires matching shapes.
+  static RoutedAssignment Route(const Assignment& assignment,
+                                const Placement& placement);
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_ROUTER_H_

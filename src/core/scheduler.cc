@@ -1,0 +1,124 @@
+#include "core/scheduler.h"
+
+#include "core/balance.h"
+
+namespace flexmoe {
+
+const char* TriggerMetricName(TriggerMetric m) {
+  switch (m) {
+    case TriggerMetric::kMaxRatio:
+      return "Max";
+    case TriggerMetric::kVariance:
+      return "Variance";
+  }
+  return "?";
+}
+
+const char* TriggerPolicyName(TriggerPolicy p) {
+  switch (p) {
+    case TriggerPolicy::kDynamic:
+      return "Dynamic";
+    case TriggerPolicy::kStaticInterval:
+      return "StaticInterval";
+  }
+  return "?";
+}
+
+Status SchedulerOptions::Validate() const {
+  if (threshold < 1.0) {
+    return Status::InvalidArgument("balance-ratio threshold must be >= 1");
+  }
+  if (variance_threshold < 0.0) {
+    return Status::InvalidArgument("variance_threshold must be >= 0");
+  }
+  if (static_interval_steps <= 0) {
+    return Status::InvalidArgument("static_interval_steps must be > 0");
+  }
+  if (max_plan_iterations <= 0) {
+    return Status::InvalidArgument("max_plan_iterations must be > 0");
+  }
+  if (max_migrations < 0) {
+    return Status::InvalidArgument("max_migrations must be >= 0");
+  }
+  return Status::OK();
+}
+
+Scheduler::Scheduler(const PolicyMaker* policy_maker,
+                     const SchedulerOptions& options)
+    : policy_maker_(policy_maker), options_(options) {
+  FLEXMOE_CHECK(policy_maker != nullptr);
+  FLEXMOE_CHECK(options.Validate().ok());
+}
+
+double Scheduler::MetricOf(const Assignment& assignment,
+                           const Placement& placement) const {
+  const RoutedAssignment routed =
+      FlexibleRouter::Route(assignment, placement);
+  const std::vector<double> loads = routed.PerGpuComputeLoads();
+  switch (options_.metric) {
+    case TriggerMetric::kMaxRatio:
+      return BalanceRatio(loads);
+    case TriggerMetric::kVariance:
+      return BalanceVariance(loads);
+  }
+  return 0.0;
+}
+
+bool Scheduler::ShouldTrigger(int64_t step, double metric_value) const {
+  if (options_.policy == TriggerPolicy::kStaticInterval) {
+    return step % options_.static_interval_steps == 0;
+  }
+  const double threshold = options_.metric == TriggerMetric::kMaxRatio
+                               ? options_.threshold
+                               : options_.variance_threshold;
+  return metric_value > threshold;
+}
+
+SchedulerDecision Scheduler::OnStep(int64_t step,
+                                    const Assignment& assignment,
+                                    Placement* target) {
+  FLEXMOE_CHECK(target != nullptr);
+  SchedulerDecision decision;
+  decision.metric_before = MetricOf(assignment, *target);
+  decision.metric_after = decision.metric_before;
+  if (!ShouldTrigger(step, decision.metric_before)) return decision;
+
+  decision.triggered = true;
+
+  // Algorithm 1 lines 3-8: iterate Expand/Shrink planning while the metric
+  // stays above threshold and the Policy Maker keeps finding improvements.
+  const double stop_threshold = options_.metric == TriggerMetric::kMaxRatio
+                                    ? options_.threshold
+                                    : options_.variance_threshold;
+  double metric = decision.metric_before;
+  for (int round = 0; round < options_.max_plan_iterations; ++round) {
+    if (options_.policy == TriggerPolicy::kDynamic &&
+        metric <= stop_threshold) {
+      break;
+    }
+    const std::vector<ModOp> plan =
+        policy_maker_->MakeSchedulingPlan(assignment, *target);
+    if (plan.empty()) break;  // Algorithm 1 lines 5-6
+    for (const ModOp& op : plan) {
+      FLEXMOE_CHECK(ApplyOp(op, target).ok());
+      decision.ops.push_back(op);
+    }
+    ++decision.plan_rounds;
+    metric = MetricOf(assignment, *target);
+  }
+  decision.metric_after = metric;
+
+  // Algorithm 1 line 9: background Migrations.
+  if (options_.max_migrations > 0) {
+    const std::vector<ModOp> migrations =
+        policy_maker_->PlanMigrations(*target, options_.max_migrations);
+    for (const ModOp& op : migrations) {
+      FLEXMOE_CHECK(ApplyOp(op, target).ok());
+      decision.ops.push_back(op);
+      ++decision.migrations;
+    }
+  }
+  return decision;
+}
+
+}  // namespace flexmoe

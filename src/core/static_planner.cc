@@ -1,0 +1,163 @@
+#include "core/static_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace flexmoe {
+
+Status StaticPlannerOptions::Validate() const {
+  return placement.Validate();
+}
+
+std::vector<int> ApportionVExperts(const std::vector<double>& expected_loads,
+                                   int total_slots) {
+  const int n = static_cast<int>(expected_loads.size());
+  FLEXMOE_CHECK(n > 0);
+  FLEXMOE_CHECK_MSG(total_slots >= n,
+                    "need at least one slot per expert");
+  double total_load = 0.0;
+  for (double v : expected_loads) {
+    FLEXMOE_CHECK(v >= 0.0);
+    total_load += v;
+  }
+
+  std::vector<int> counts(static_cast<size_t>(n), 1);  // floor of 1 each
+  int remaining = total_slots - n;
+  if (total_load <= 0.0 || remaining <= 0) return counts;
+
+  // Largest-remainder apportionment of the remaining slots.
+  std::vector<double> exact(static_cast<size_t>(n));
+  std::vector<std::pair<double, int>> remainders;
+  int assigned = 0;
+  for (int e = 0; e < n; ++e) {
+    exact[static_cast<size_t>(e)] =
+        expected_loads[static_cast<size_t>(e)] / total_load * remaining;
+    const int base = static_cast<int>(std::floor(exact[static_cast<size_t>(e)]));
+    counts[static_cast<size_t>(e)] += base;
+    assigned += base;
+    remainders.push_back(
+        {exact[static_cast<size_t>(e)] - base, e});
+  }
+  std::sort(remainders.begin(), remainders.end(), [](const auto& a,
+                                                     const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (int i = 0; i < remaining - assigned; ++i) {
+    ++counts[static_cast<size_t>(remainders[static_cast<size_t>(i)].second)];
+  }
+  return counts;
+}
+
+Result<Placement> PlanStaticPlacement(
+    const std::vector<double>& expected_loads, const Topology& topo,
+    const StaticPlannerOptions& options) {
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+  const PlacementOptions& popt = options.placement;
+  if (static_cast<int>(expected_loads.size()) != popt.num_experts) {
+    return Status::InvalidArgument("expected_loads size != num_experts");
+  }
+  if (topo.num_gpus() != popt.num_gpus) {
+    return Status::InvalidArgument("topology GPU count mismatch");
+  }
+
+  const int slots = popt.EffectiveSlotsPerGpu();
+  const std::vector<int> counts =
+      ApportionVExperts(expected_loads, popt.num_gpus * slots);
+
+  // Per-vExpert weight of each expert (even token split across replicas).
+  double total_load = std::accumulate(expected_loads.begin(),
+                                      expected_loads.end(), 0.0);
+  if (total_load <= 0.0) total_load = 1.0;
+
+  // LPT bin packing: place the heaviest experts' vExpert bundles first,
+  // each vExpert going to the currently lightest GPU with a free slot —
+  // preferring GPUs on nodes that already host the expert (cheap sync).
+  // Start from an empty placement built via the mutation API.
+  FLEXMOE_ASSIGN_OR_RETURN(Placement p, Placement::ExpertParallel(popt));
+  // Clear the canonical start down to one vExpert per expert so that the
+  // planner's assignment dominates.
+  for (int e = 0; e < popt.num_experts; ++e) {
+    const std::vector<GpuId> hosts = p.HostGpus(e);
+    for (GpuId g : hosts) {
+      while (p.VExperts(e) > 1 && p.VExpertsOn(e, g) > 0) {
+        FLEXMOE_RETURN_IF_ERROR(p.RemoveVExpert(e, g));
+      }
+    }
+  }
+
+  std::vector<int> order(static_cast<size_t>(popt.num_experts));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return expected_loads[static_cast<size_t>(a)] >
+           expected_loads[static_cast<size_t>(b)];
+  });
+
+  std::vector<double> gpu_weight(static_cast<size_t>(popt.num_gpus), 0.0);
+  for (int e = 0; e < popt.num_experts; ++e) {
+    // Account for the single anchor vExpert every expert already holds.
+    const GpuId anchor = p.HostGpus(e).front();
+    gpu_weight[static_cast<size_t>(anchor)] +=
+        expected_loads[static_cast<size_t>(e)] /
+        static_cast<double>(counts[static_cast<size_t>(e)]);
+  }
+
+  for (int e : order) {
+    const double per_vexpert =
+        expected_loads[static_cast<size_t>(e)] /
+        static_cast<double>(counts[static_cast<size_t>(e)]);
+    for (int k = 1; k < counts[static_cast<size_t>(e)]; ++k) {
+      GpuId best = -1;
+      bool best_affine = false;
+      for (GpuId g = 0; g < popt.num_gpus; ++g) {
+        if (p.FreeSlots(g) <= 0) continue;
+        bool affine = false;
+        if (options.node_affine) {
+          for (GpuId h : p.HostGpus(e)) {
+            if (topo.SameNode(h, g)) {
+              affine = true;
+              break;
+            }
+          }
+        }
+        if (best < 0 ||
+            (affine && !best_affine) ||
+            (affine == best_affine &&
+             gpu_weight[static_cast<size_t>(g)] <
+                 gpu_weight[static_cast<size_t>(best)])) {
+          best = g;
+          best_affine = affine;
+        }
+      }
+      if (best < 0) {
+        return Status::ResourceExhausted("ran out of vExpert slots");
+      }
+      FLEXMOE_RETURN_IF_ERROR(p.AddVExpert(e, best));
+      gpu_weight[static_cast<size_t>(best)] += per_vexpert;
+    }
+  }
+  FLEXMOE_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
+Result<Placement> PlanFromTrace(const RoutingTrace& trace, int layer,
+                                const Topology& topo,
+                                const StaticPlannerOptions& options) {
+  if (trace.num_steps() == 0) {
+    return Status::InvalidArgument("empty trace");
+  }
+  if (layer < 0 || layer >= trace.num_layers()) {
+    return Status::InvalidArgument("layer out of range");
+  }
+  std::vector<double> mean_loads(
+      static_cast<size_t>(trace.at(0, layer).num_experts()), 0.0);
+  for (int s = 0; s < trace.num_steps(); ++s) {
+    const std::vector<double> loads = trace.at(s, layer).ExpertLoads();
+    for (size_t e = 0; e < loads.size(); ++e) mean_loads[e] += loads[e];
+  }
+  for (double& v : mean_loads) v /= trace.num_steps();
+  return PlanStaticPlacement(mean_loads, topo, options);
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,55 @@
+// Static placement planning (the paper's future-work direction: placing
+// experts from *predicted* loads instead of reacting online).
+//
+// Given expected per-expert loads — e.g. the historical mean from a
+// recorded RoutingTrace, or profile statistics from a previous run — the
+// planner allocates the G x E vExpert slots proportionally to load
+// (largest-remainder apportionment, every expert >= 1 vExpert) and assigns
+// the replicas to GPUs with a longest-processing-time bin packing that
+// prefers node-local replica groups. FlexMoE can warm-start from this
+// placement and converge in a handful of steps instead of tens.
+
+#ifndef FLEXMOE_CORE_STATIC_PLANNER_H_
+#define FLEXMOE_CORE_STATIC_PLANNER_H_
+
+#include <vector>
+
+#include "gate/routing_trace.h"
+#include "placement/placement.h"
+#include "topology/topology.h"
+
+namespace flexmoe {
+
+/// \brief Options for the static planner.
+struct StaticPlannerOptions {
+  PlacementOptions placement;
+  /// Prefer placing an expert's replicas within as few nodes as possible
+  /// (cheaper gradient AllReduce groups).
+  bool node_affine = true;
+
+  Status Validate() const;
+};
+
+/// \brief vExpert apportionment: splits the total slot budget across
+/// experts proportionally to `expected_loads` (largest remainder), with
+/// every expert receiving at least one vExpert. Exposed for testing.
+std::vector<int> ApportionVExperts(const std::vector<double>& expected_loads,
+                                   int total_slots);
+
+/// \brief Builds a placement for the expected loads.
+///
+/// The returned placement is balanced in expectation: each GPU's share of
+/// load-weighted vExperts is within one vExpert granule of the mean.
+Result<Placement> PlanStaticPlacement(
+    const std::vector<double>& expected_loads, const Topology& topo,
+    const StaticPlannerOptions& options);
+
+/// \brief Convenience: plans from the mean per-expert loads of a recorded
+/// trace layer.
+Result<Placement> PlanFromTrace(const RoutingTrace& trace, int layer,
+                                const Topology& topo,
+                                const StaticPlannerOptions& options);
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_STATIC_PLANNER_H_

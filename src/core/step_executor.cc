@@ -1,0 +1,201 @@
+#include "core/step_executor.h"
+
+#include <algorithm>
+
+#include "collective/ordered_sync.h"
+#include "moe/transformer.h"
+
+namespace flexmoe {
+
+StepExecutor::StepExecutor(ClusterState* cluster,
+                           const HardwareProfile* profile,
+                           const ModelConfig& model)
+    : cluster_(cluster), profile_(profile), model_(model) {
+  FLEXMOE_CHECK(cluster != nullptr);
+  FLEXMOE_CHECK(profile != nullptr);
+  FLEXMOE_CHECK(model.Validate().ok());
+}
+
+double StepExecutor::Frontier() const {
+  double t = 0.0;
+  for (int g = 0; g < cluster_->num_gpus(); ++g) {
+    t = std::max(t, cluster_->GpuFreeAt(g));
+  }
+  return t;
+}
+
+ByteMatrix StepExecutor::DispatchBytes(const RoutedAssignment& routed,
+                                       bool transpose) const {
+  ByteMatrix bytes = MakeByteMatrix(routed.num_gpus);
+  for (int s = 0; s < routed.num_gpus; ++s) {
+    for (int d = 0; d < routed.num_gpus; ++d) {
+      const int64_t tokens =
+          routed.dispatch[static_cast<size_t>(s)][static_cast<size_t>(d)];
+      if (tokens <= 0) continue;
+      const double payload =
+          static_cast<double>(tokens) * model_.token_bytes();
+      if (transpose) {
+        bytes[static_cast<size_t>(d)][static_cast<size_t>(s)] += payload;
+      } else {
+        bytes[static_cast<size_t>(s)][static_cast<size_t>(d)] += payload;
+      }
+    }
+  }
+  return bytes;
+}
+
+double StepExecutor::RunExpertCompute(
+    const RoutedAssignment& routed, double flops_per_token,
+    const std::vector<double>& per_gpu_earliest, StepTiming* timing) {
+  double finish = 0.0;
+  for (GpuId g = 0; g < routed.num_gpus; ++g) {
+    double gpu_finish = per_gpu_earliest[static_cast<size_t>(g)];
+    for (int e = 0; e < routed.num_experts; ++e) {
+      const int64_t tokens =
+          routed.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)];
+      if (tokens <= 0) continue;
+      const double before = gpu_finish;
+      gpu_finish = ExecCompute(cluster_, *profile_, g,
+                               static_cast<double>(tokens), flops_per_token,
+                               gpu_finish);
+      timing->per_gpu_expert_compute[static_cast<size_t>(g)] +=
+          gpu_finish - before;
+    }
+    finish = std::max(finish, gpu_finish);
+  }
+  return finish;
+}
+
+StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
+                                     NcclGroupCache* group_cache) {
+  StepTiming timing;
+  timing.per_gpu_expert_compute.assign(
+      static_cast<size_t>(cluster_->num_gpus()), 0.0);
+  timing.start = Frontier();
+  double frontier = timing.start;
+
+  const double fwd_flops = model_.expert_fwd_flops_per_token();
+  const double bwd_flops = model_.expert_fwdbwd_flops_per_token() - fwd_flops;
+
+  // ---- Forward pass over MoE layers ------------------------------------
+  for (const LayerWork& work : layers) {
+    FLEXMOE_CHECK(work.routed != nullptr);
+    // Shadow-parameter broadcasts (baseline FasterMoE) precede the layer.
+    for (const ShadowBroadcast& bc : work.broadcasts) {
+      std::vector<GpuId> all(static_cast<size_t>(cluster_->num_gpus()));
+      for (int g = 0; g < cluster_->num_gpus(); ++g) {
+        all[static_cast<size_t>(g)] = g;
+      }
+      const CollectiveResult r = ExecBroadcast(cluster_, *profile_, bc.bytes,
+                                               bc.root, all, frontier);
+      timing.sync_seconds += r.finish - frontier;
+      frontier = r.finish;
+    }
+
+    const double phase0 = frontier;
+    const CollectiveResult dispatch = ExecAllToAll(
+        cluster_, *profile_, DispatchBytes(*work.routed, false), frontier);
+    timing.a2a_seconds += dispatch.finish - phase0;
+
+    const double compute_finish = RunExpertCompute(
+        *work.routed, fwd_flops, dispatch.per_gpu_finish, &timing);
+    timing.compute_seconds += std::max(0.0, compute_finish - dispatch.finish);
+
+    const CollectiveResult combine = ExecAllToAll(
+        cluster_, *profile_, DispatchBytes(*work.routed, true),
+        compute_finish);
+    timing.a2a_seconds += combine.finish - compute_finish;
+    frontier = combine.finish;
+  }
+
+  // ---- Non-MoE compute (attention, dense FFNs, gate, optimizer) --------
+  {
+    const double non_moe = NonMoEComputeSeconds(model_, *profile_);
+    double phase_finish = frontier;
+    for (GpuId g = 0; g < cluster_->num_gpus(); ++g) {
+      const double start = cluster_->compute(g).Reserve(frontier, non_moe);
+      phase_finish = std::max(phase_finish, start + non_moe);
+    }
+    timing.non_moe_seconds += phase_finish - frontier;
+    frontier = phase_finish;
+  }
+
+  // ---- Backward pass in reverse order -----------------------------------
+  // A layer's expert gradients are final right after its backward compute,
+  // so its replica AllReduces launch immediately and overlap with the
+  // remaining (shallower) layers' backward work — the standard bucketed-
+  // overlap of DDP, applied per expert. The step only stretches if syncs
+  // outlast the backward pass.
+  double sync_finish = frontier;
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    const LayerWork& work = *it;
+    const double phase0 = frontier;
+    const CollectiveResult dispatch = ExecAllToAll(
+        cluster_, *profile_, DispatchBytes(*work.routed, false), frontier);
+    timing.a2a_seconds += dispatch.finish - phase0;
+
+    const double compute_finish = RunExpertCompute(
+        *work.routed, bwd_flops, dispatch.per_gpu_finish, &timing);
+    timing.compute_seconds += std::max(0.0, compute_finish - dispatch.finish);
+
+    // Launch this layer's expert syncs, ordered by logical id (== expert
+    // id): every GPU posts in the same ascending order, so the posting is
+    // deadlock-free, and disjoint groups overlap through the stream model.
+    std::vector<SyncOp> ops;
+    if (work.placement != nullptr) {
+      for (int e = 0; e < work.placement->num_experts(); ++e) {
+        const std::vector<GpuId> group = work.placement->HostGpus(e);
+        if (group.size() >= 2) {
+          ops.push_back({e, group, model_.expert_grad_bytes()});
+        }
+      }
+    }
+    int extra_id = work.routed->num_experts;
+    for (const auto& group : work.extra_sync_groups) {
+      if (group.size() >= 2) {
+        ops.push_back({extra_id++, group, model_.expert_grad_bytes()});
+      }
+    }
+    for (const SyncOp& op : ops) {
+      double earliest = compute_finish;
+      if (group_cache != nullptr) {
+        earliest += group_cache->Acquire(op.group);
+      }
+      const CollectiveResult r = ExecRingAllReduce(cluster_, *profile_,
+                                                   op.bytes, op.group,
+                                                   earliest);
+      sync_finish = std::max(sync_finish, r.finish);
+      timing.sync_busy_seconds += r.finish - earliest;
+    }
+
+    const CollectiveResult combine = ExecAllToAll(
+        cluster_, *profile_, DispatchBytes(*work.routed, true),
+        compute_finish);
+    timing.a2a_seconds += combine.finish - compute_finish;
+    frontier = combine.finish;
+  }
+
+  // The step ends when both the backward pass and the slowest expert sync
+  // are done; only the non-overlapped tail counts as sync time.
+  timing.sync_seconds += std::max(0.0, sync_finish - frontier);
+  frontier = std::max(frontier, sync_finish);
+
+  // ---- Data-parallel AllReduce of non-MoE gradients ----------------------
+  // (every system pays it; tracked separately from the Eq. 9 expert sync).
+  {
+    std::vector<GpuId> all(static_cast<size_t>(cluster_->num_gpus()));
+    for (int g = 0; g < cluster_->num_gpus(); ++g) {
+      all[static_cast<size_t>(g)] = g;
+    }
+    const CollectiveResult dp = ExecRingAllReduce(
+        cluster_, *profile_, model_.non_moe_params() * model_.grad_bytes, all,
+        frontier);
+    timing.dp_sync_seconds += dp.finish - frontier;
+    frontier = dp.finish;
+  }
+
+  timing.end = frontier;
+  return timing;
+}
+
+}  // namespace flexmoe

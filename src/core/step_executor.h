@@ -1,0 +1,101 @@
+// Shared engine-level execution of one training step. FlexMoE and every
+// baseline system express a step as a list of LayerWork items (routing +
+// placement + optional extras) and delegate the simulated execution here,
+// so all systems are timed by the identical machinery:
+//
+//   forward:  per layer — [shadow broadcasts] -> dispatch A2A -> expert
+//             compute (1/3 of fwd+bwd FLOPs) -> combine A2A
+//   middle:   non-MoE compute (attention, dense FFNs, gate, optimizer)
+//   backward: per layer, reverse order — grad dispatch A2A -> expert
+//             compute (2/3) -> grad combine A2A
+//   sync:     per replicated expert, AllReduce in ascending logical-id
+//             order (deadlock-free posting), NCCL groups via LRU cache;
+//             then the data-parallel AllReduce of non-MoE gradients.
+
+#ifndef FLEXMOE_CORE_STEP_EXECUTOR_H_
+#define FLEXMOE_CORE_STEP_EXECUTOR_H_
+
+#include <vector>
+
+#include "collective/engine_ops.h"
+#include "collective/nccl_group.h"
+#include "core/router.h"
+#include "moe/model_config.h"
+#include "placement/placement.h"
+
+namespace flexmoe {
+
+/// \brief One shadow-parameter broadcast (FasterMoE baseline).
+struct ShadowBroadcast {
+  GpuId root = 0;
+  double bytes = 0.0;
+};
+
+/// \brief Everything needed to execute one MoE layer.
+struct LayerWork {
+  const RoutedAssignment* routed = nullptr;
+  /// Placement for replica synchronization; nullptr => no replica sync
+  /// (e.g. plain expert parallelism).
+  const Placement* placement = nullptr;
+  /// Extra synchronization groups beyond the placement-derived ones
+  /// (e.g. FasterMoE's global shadow-gradient AllReduce).
+  std::vector<std::vector<GpuId>> extra_sync_groups;
+  std::vector<ShadowBroadcast> broadcasts;
+};
+
+/// \brief Timing of one executed step.
+struct StepTiming {
+  double start = 0.0;
+  double end = 0.0;
+  double a2a_seconds = 0.0;
+  double compute_seconds = 0.0;
+  /// Expert-replica synchronization on the critical path: only the tail
+  /// that outlasts the backward pass (syncs overlap with backward).
+  double sync_seconds = 0.0;
+  /// Total expert-sync activity regardless of overlap (launch-to-finish
+  /// summed over collectives); measures the sync work replication costs
+  /// even when it hides behind backward compute.
+  double sync_busy_seconds = 0.0;
+  /// Data-parallel AllReduce of non-MoE gradients (every system pays it).
+  double dp_sync_seconds = 0.0;
+  double non_moe_seconds = 0.0;
+  /// Expert-compute busy seconds per GPU this step (efficiency metrics).
+  std::vector<double> per_gpu_expert_compute;
+
+  double StepSeconds() const { return end - start; }
+};
+
+/// \brief Executes steps on the discrete-event cluster.
+class StepExecutor {
+ public:
+  StepExecutor(ClusterState* cluster, const HardwareProfile* profile,
+               const ModelConfig& model);
+
+  /// Executes one full step; `group_cache` may be nullptr (no group costs).
+  StepTiming ExecuteStep(const std::vector<LayerWork>& layers,
+                         NcclGroupCache* group_cache);
+
+  /// The earliest time all training-critical streams are free — the start
+  /// of the next step.
+  double Frontier() const;
+
+ private:
+  /// Builds the dispatch byte matrix (optionally transposed for combine).
+  ByteMatrix DispatchBytes(const RoutedAssignment& routed,
+                           bool transpose) const;
+
+  /// Runs expert compute for one layer with the given FLOPs/token; returns
+  /// the phase finish time.
+  double RunExpertCompute(const RoutedAssignment& routed,
+                          double flops_per_token,
+                          const std::vector<double>& per_gpu_earliest,
+                          StepTiming* timing);
+
+  ClusterState* cluster_;
+  const HardwareProfile* profile_;
+  ModelConfig model_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_STEP_EXECUTOR_H_

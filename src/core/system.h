@@ -1,0 +1,42 @@
+// MoESystem: the common interface every training system in the comparison
+// implements (FlexMoE and the DeepSpeed / FasterMoE / SWIPE baselines).
+// A system owns its simulated cluster and consumes per-step, per-layer
+// routing assignments produced by a shared TraceGenerator, so all systems
+// in an experiment see the identical token stream.
+
+#ifndef FLEXMOE_CORE_SYSTEM_H_
+#define FLEXMOE_CORE_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "moe/moe_layer.h"
+#include "sim/stream.h"
+
+namespace flexmoe {
+
+/// \brief Abstract distributed MoE training system.
+class MoESystem {
+ public:
+  virtual ~MoESystem() = default;
+
+  /// Human-readable system name ("FlexMoE", "DeepSpeed", ...).
+  virtual std::string name() const = 0;
+
+  /// Executes one training step for the given per-MoE-layer assignments
+  /// and returns its metrics. Implementations advance their simulated
+  /// cluster clock internally.
+  virtual StepMetrics RunStep(
+      const std::vector<Assignment>& layer_assignments) = 0;
+
+  /// All metrics recorded so far.
+  virtual const TrainingStats& stats() const = 0;
+
+  /// The simulated cluster (stream utilization introspection).
+  virtual const ClusterState& cluster() const = 0;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_SYSTEM_H_

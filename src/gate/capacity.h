@@ -1,0 +1,38 @@
+// Expert-capacity enforcement (the Switch-Transformer/DeepSpeed mechanism
+// the paper critiques): each expert accepts at most
+//   ceil(capacity_factor * total_assignments / num_experts)
+// token-assignments; the overflow is dropped (skipped via the residual
+// connection), reducing token efficiency and model quality.
+
+#ifndef FLEXMOE_GATE_CAPACITY_H_
+#define FLEXMOE_GATE_CAPACITY_H_
+
+#include "moe/moe_layer.h"
+
+namespace flexmoe {
+
+/// \brief Outcome of capacity enforcement on one assignment.
+struct CapacityResult {
+  Assignment kept;        ///< assignments that fit under the capacity
+  int64_t dropped = 0;    ///< token-assignments dropped
+  int64_t total = 0;      ///< original token-assignments
+  int64_t capacity_per_expert = 0;
+
+  /// Fraction of token-assignments that reached their experts.
+  double TokenEfficiency() const {
+    return total > 0
+               ? static_cast<double>(total - dropped) / static_cast<double>(total)
+               : 1.0;
+  }
+};
+
+/// \brief Applies a uniform per-expert capacity to `assignment`.
+///
+/// Overflow within an expert is dropped proportionally across source GPUs
+/// (largest-remainder rounding keeps counts exact).
+CapacityResult ApplyCapacity(const Assignment& assignment,
+                             double capacity_factor);
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_GATE_CAPACITY_H_

@@ -1,0 +1,118 @@
+#include "gate/gate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexmoe {
+
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  FLEXMOE_CHECK(!logits.empty());
+  const double m = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> probs(logits.size());
+  double total = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - m);
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+Status TopKGateOptions::Validate() const {
+  if (num_experts <= 0) return Status::InvalidArgument("num_experts <= 0");
+  if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
+  if (top_k <= 0 || top_k > num_experts) {
+    return Status::InvalidArgument("top_k out of range");
+  }
+  if (tokens_per_gpu <= 0) {
+    return Status::InvalidArgument("tokens_per_gpu <= 0");
+  }
+  return Status::OK();
+}
+
+Result<TopKGate> TopKGate::Create(const TopKGateOptions& options) {
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+  return TopKGate(options);
+}
+
+Assignment TopKGate::Sample(const std::vector<std::vector<double>>& gpu_logits,
+                            Rng* rng) const {
+  FLEXMOE_CHECK(static_cast<int>(gpu_logits.size()) == options_.num_gpus);
+  Assignment out(options_.num_experts, options_.num_gpus);
+  for (int g = 0; g < options_.num_gpus; ++g) {
+    const auto& logits = gpu_logits[static_cast<size_t>(g)];
+    FLEXMOE_CHECK(static_cast<int>(logits.size()) == options_.num_experts);
+    if (options_.exact_sampling) {
+      SampleExact(logits, g, rng, &out);
+    } else {
+      SampleMultinomial(Softmax(logits), g, rng, &out);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Exact marginal of the SECOND choice under without-replacement top-k:
+/// P(e second) = sum_{f != e} p_f * p_e / (1 - p_f)
+///             = p_e * (S - p_e / (1 - p_e)),  S = sum_f p_f / (1 - p_f).
+std::vector<double> SecondChoiceMarginal(const std::vector<double>& probs) {
+  constexpr double kEps = 1e-12;
+  double s = 0.0;
+  for (double p : probs) s += p / std::max(kEps, 1.0 - p);
+  std::vector<double> out(probs.size());
+  double total = 0.0;
+  for (size_t e = 0; e < probs.size(); ++e) {
+    const double q =
+        probs[e] * std::max(0.0, s - probs[e] / std::max(kEps, 1.0 - probs[e]));
+    out[e] = q;
+    total += q;
+  }
+  if (total <= 0.0) return probs;
+  for (double& q : out) q /= total;
+  return out;
+}
+
+}  // namespace
+
+void TopKGate::SampleMultinomial(const std::vector<double>& probs, int gpu,
+                                 Rng* rng, Assignment* out) const {
+  // Round 1 samples from the gate distribution itself; round 2 samples
+  // from the exact second-choice marginal of without-replacement top-k.
+  // Rounds beyond 2 (the paper uses Top-2 everywhere) reuse the round-2
+  // marginal — a documented approximation.
+  std::vector<double> current = probs;
+  for (int round = 0; round < options_.top_k; ++round) {
+    const std::vector<int64_t> counts =
+        rng->Multinomial(options_.tokens_per_gpu, current);
+    for (int e = 0; e < options_.num_experts; ++e) {
+      out->add(e, gpu, counts[static_cast<size_t>(e)]);
+    }
+    if (round == 0 && options_.top_k > 1) {
+      current = SecondChoiceMarginal(probs);
+    }
+  }
+}
+
+void TopKGate::SampleExact(const std::vector<double>& logits, int gpu,
+                           Rng* rng, Assignment* out) const {
+  const int k = options_.top_k;
+  std::vector<double> perturbed(logits.size());
+  std::vector<int> order(logits.size());
+  for (int64_t t = 0; t < options_.tokens_per_gpu; ++t) {
+    for (size_t e = 0; e < logits.size(); ++e) {
+      perturbed[e] = logits[e] + rng->Gumbel();
+    }
+    // Partial selection of the k largest perturbed logits: the Gumbel-max
+    // trick makes this an exact sample of without-replacement top-k.
+    for (size_t e = 0; e < order.size(); ++e) order[e] = static_cast<int>(e);
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](int a, int b) {
+                        return perturbed[static_cast<size_t>(a)] >
+                               perturbed[static_cast<size_t>(b)];
+                      });
+    for (int i = 0; i < k; ++i) out->add(order[static_cast<size_t>(i)], gpu, 1);
+  }
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,63 @@
+// Top-K gate simulation: converts per-GPU expert logits into the routing
+// count matrix I[e][g]. Two sampling modes:
+//  * count-level multinomial (fast; used for full training runs), and
+//  * exact per-token Gumbel top-k (slow; used by tests to validate the
+//    multinomial approximation).
+//
+// The MoE system never inspects token values — only routing counts — so a
+// count-accurate gate exercises exactly the code paths the paper's system
+// optimizes.
+
+#ifndef FLEXMOE_GATE_GATE_H_
+#define FLEXMOE_GATE_GATE_H_
+
+#include <vector>
+
+#include "moe/moe_layer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace flexmoe {
+
+/// \brief Numerically stable softmax.
+std::vector<double> Softmax(const std::vector<double>& logits);
+
+/// \brief Gate configuration.
+struct TopKGateOptions {
+  int num_experts = 64;
+  int num_gpus = 64;
+  int top_k = 2;
+  int64_t tokens_per_gpu = 8192;
+  /// Exact per-token Gumbel sampling instead of multinomial counts.
+  bool exact_sampling = false;
+
+  Status Validate() const;
+};
+
+/// \brief Samples routing counts from per-GPU logits.
+class TopKGate {
+ public:
+  static Result<TopKGate> Create(const TopKGateOptions& options);
+
+  /// \param gpu_logits one logit vector (size num_experts) per GPU.
+  /// Produces an Assignment whose total equals tokens_per_gpu x num_gpus x
+  /// top_k (every token yields exactly top_k expert assignments).
+  Assignment Sample(const std::vector<std::vector<double>>& gpu_logits,
+                    Rng* rng) const;
+
+  const TopKGateOptions& options() const { return options_; }
+
+ private:
+  explicit TopKGate(const TopKGateOptions& options) : options_(options) {}
+
+  void SampleMultinomial(const std::vector<double>& probs, int gpu,
+                         Rng* rng, Assignment* out) const;
+  void SampleExact(const std::vector<double>& logits, int gpu, Rng* rng,
+                   Assignment* out) const;
+
+  TopKGateOptions options_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_GATE_GATE_H_

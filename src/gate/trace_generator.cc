@@ -1,0 +1,187 @@
+#include "gate/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace flexmoe {
+
+Status TraceGeneratorOptions::Validate() const {
+  if (num_experts <= 0) return Status::InvalidArgument("num_experts <= 0");
+  if (num_moe_layers <= 0) {
+    return Status::InvalidArgument("num_moe_layers <= 0");
+  }
+  if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
+  if (tokens_per_gpu <= 0) {
+    return Status::InvalidArgument("tokens_per_gpu <= 0");
+  }
+  if (top_k <= 0 || top_k > num_experts) {
+    return Status::InvalidArgument("top_k out of range");
+  }
+  if (skew_top_share <= 0.0 || skew_top_share > 1.0) {
+    return Status::InvalidArgument("skew_top_share must be in (0, 1]");
+  }
+  if (logit_sigma < 0.0) return Status::InvalidArgument("logit_sigma < 0");
+  if (ou_theta <= 0.0 || ou_theta > 1.0) {
+    return Status::InvalidArgument("ou_theta must be in (0, 1]");
+  }
+  if (balance_coef < 0.0) return Status::InvalidArgument("balance_coef < 0");
+  if (balance_tau_steps <= 0.0) {
+    return Status::InvalidArgument("balance_tau_steps <= 0");
+  }
+  return Status::OK();
+}
+
+double CalibrateLogitSigma(int num_experts, int top_count,
+                           double target_share, uint64_t seed) {
+  FLEXMOE_CHECK(num_experts > 0);
+  FLEXMOE_CHECK(top_count > 0 && top_count <= num_experts);
+  FLEXMOE_CHECK(target_share > 0.0 && target_share <= 1.0);
+  // The uniform share (sigma -> 0) lower-bounds achievable top-k share.
+  const double uniform_share =
+      static_cast<double>(top_count) / static_cast<double>(num_experts);
+  if (target_share <= uniform_share) return 0.0;
+
+  auto mean_topk_share = [&](double sigma) {
+    Rng rng(seed);
+    constexpr int kTrials = 256;
+    double acc = 0.0;
+    std::vector<double> logits(static_cast<size_t>(num_experts));
+    for (int trial = 0; trial < kTrials; ++trial) {
+      for (double& z : logits) z = rng.Normal(0.0, sigma);
+      std::vector<double> probs = Softmax(logits);
+      std::sort(probs.begin(), probs.end(), std::greater<double>());
+      double share = 0.0;
+      for (int i = 0; i < top_count; ++i) share += probs[static_cast<size_t>(i)];
+      acc += share;
+    }
+    return acc / kTrials;
+  };
+
+  // Share is monotone in sigma: binary search.
+  double lo = 0.0, hi = 8.0;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mean_topk_share(mid) < target_share) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+Result<TraceGenerator> TraceGenerator::Create(
+    const TraceGeneratorOptions& options) {
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+  const int top_count =
+      options.skew_top_count > 0
+          ? options.skew_top_count
+          : std::max(1, (options.num_experts * 10 + 32) / 64);
+  const double sigma0 =
+      options.logit_sigma > 0.0
+          ? options.logit_sigma
+          : CalibrateLogitSigma(options.num_experts, top_count,
+                                options.skew_top_share, options.seed);
+
+  TopKGateOptions gate_opts;
+  gate_opts.num_experts = options.num_experts;
+  gate_opts.num_gpus = options.num_gpus;
+  gate_opts.top_k = options.top_k;
+  gate_opts.tokens_per_gpu = options.tokens_per_gpu;
+  gate_opts.exact_sampling = options.exact_sampling;
+  FLEXMOE_ASSIGN_OR_RETURN(TopKGate gate, TopKGate::Create(gate_opts));
+  return TraceGenerator(options, sigma0, std::move(gate));
+}
+
+TraceGenerator::TraceGenerator(const TraceGeneratorOptions& options,
+                               double sigma0, TopKGate gate)
+    : options_(options),
+      sigma0_(sigma0),
+      gate_(std::move(gate)),
+      rng_(options.seed) {
+  logits_.resize(static_cast<size_t>(options_.num_moe_layers));
+  jitter_.resize(static_cast<size_t>(options_.num_moe_layers));
+  for (int l = 0; l < options_.num_moe_layers; ++l) {
+    auto& z = logits_[static_cast<size_t>(l)];
+    z.resize(static_cast<size_t>(options_.num_experts));
+    for (double& v : z) v = rng_.Normal(0.0, sigma0_);
+    auto& layer_jitter = jitter_[static_cast<size_t>(l)];
+    layer_jitter.resize(static_cast<size_t>(options_.num_gpus));
+    for (auto& j : layer_jitter) {
+      j.resize(static_cast<size_t>(options_.num_experts));
+      for (double& v : j) v = rng_.Normal(0.0, options_.gpu_jitter_sigma);
+    }
+  }
+}
+
+double TraceGenerator::TargetSigma(int64_t t) const {
+  if (options_.balance_coef <= 0.0) return sigma0_;
+  // Equilibrium shrink factor calibrated against the paper's Figure 2
+  // utilization range; approached with time constant balance_tau_steps.
+  const double eq_scale =
+      1.0 / (1.0 + options_.balance_strength * std::sqrt(options_.balance_coef));
+  const double ramp =
+      1.0 - std::exp(-static_cast<double>(t) / options_.balance_tau_steps);
+  return sigma0_ * (1.0 - (1.0 - eq_scale) * ramp);
+}
+
+void TraceGenerator::EvolveLayer(int layer) {
+  auto& z = logits_[static_cast<size_t>(layer)];
+  const double theta = options_.ou_theta;
+  // Equilibrium-preserving OU noise: keeps the process variance constant
+  // while the direction drifts (expert ranks swap smoothly).
+  const double noise_sigma = sigma0_ * std::sqrt(2.0 * theta);
+  for (double& v : z) {
+    v += -theta * v + rng_.Normal(0.0, noise_sigma);
+  }
+  // Renormalize to the balance-pressure target scale.
+  double mean = std::accumulate(z.begin(), z.end(), 0.0) /
+                static_cast<double>(z.size());
+  double var = 0.0;
+  for (double v : z) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(z.size());
+  const double sd = std::sqrt(std::max(var, 1e-12));
+  const double target = TargetSigma(step_);
+  for (double& v : z) v = (v - mean) * (target / sd);
+
+  // Per-GPU jitter follows its own faster OU process.
+  auto& layer_jitter = jitter_[static_cast<size_t>(layer)];
+  const double jtheta = options_.gpu_jitter_theta;
+  const double jnoise = options_.gpu_jitter_sigma * std::sqrt(2.0 * jtheta);
+  for (auto& j : layer_jitter) {
+    for (double& v : j) v += -jtheta * v + rng_.Normal(0.0, jnoise);
+  }
+}
+
+std::vector<std::vector<double>> TraceGenerator::JitteredGpuLogits(int layer) {
+  const auto& z = logits_[static_cast<size_t>(layer)];
+  const auto& layer_jitter = jitter_[static_cast<size_t>(layer)];
+  std::vector<std::vector<double>> per_gpu(
+      static_cast<size_t>(options_.num_gpus));
+  for (int g = 0; g < options_.num_gpus; ++g) {
+    auto& out = per_gpu[static_cast<size_t>(g)];
+    out.resize(z.size());
+    const auto& j = layer_jitter[static_cast<size_t>(g)];
+    for (size_t e = 0; e < z.size(); ++e) out[e] = z[e] + j[e];
+  }
+  return per_gpu;
+}
+
+std::vector<Assignment> TraceGenerator::Step() {
+  std::vector<Assignment> out;
+  out.reserve(static_cast<size_t>(options_.num_moe_layers));
+  for (int l = 0; l < options_.num_moe_layers; ++l) {
+    EvolveLayer(l);
+    out.push_back(gate_.Sample(JitteredGpuLogits(l), &rng_));
+  }
+  ++step_;
+  return out;
+}
+
+const std::vector<double>& TraceGenerator::LayerLogits(int layer) const {
+  FLEXMOE_CHECK(layer >= 0 && layer < options_.num_moe_layers);
+  return logits_[static_cast<size_t>(layer)];
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,159 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+
+#include "baselines/expert_parallel.h"
+#include "baselines/fastermoe.h"
+#include "baselines/swipe.h"
+#include "collective/profiler.h"
+#include "util/string_util.h"
+
+namespace flexmoe {
+
+Status ExperimentOptions::Validate() const {
+  FLEXMOE_RETURN_IF_ERROR(model.Validate());
+  const std::string key = ToLower(system);
+  if (key != "flexmoe" && key != "deepspeed" && key != "fastermoe" &&
+      key != "swipe") {
+    return Status::InvalidArgument(
+        StrFormat("unknown system '%s'", system.c_str()));
+  }
+  if (num_gpus <= 0 || num_gpus % 8 != 0) {
+    return Status::InvalidArgument("num_gpus must be a positive multiple of 8");
+  }
+  if (measure_steps <= 0) {
+    return Status::InvalidArgument("measure_steps must be > 0");
+  }
+  if (warmup_steps < 0 || warmup_steps >= measure_steps) {
+    return Status::InvalidArgument("warmup_steps out of range");
+  }
+  return Status::OK();
+}
+
+Result<TraceGenerator> BuildTraceGenerator(const ExperimentOptions& options) {
+  TraceGeneratorOptions t = options.use_trace_overrides
+                                ? options.trace
+                                : TraceGeneratorOptions{};
+  if (!options.use_trace_overrides) {
+    t.num_experts = options.model.num_experts;
+    t.num_moe_layers = options.model.num_moe_layers;
+    t.num_gpus = options.num_gpus;
+    t.tokens_per_gpu = options.model.tokens_per_gpu;
+    t.top_k = options.model.top_k;
+    t.balance_coef = options.balance_coef;
+    t.seed = options.seed;
+  }
+  return TraceGenerator::Create(t);
+}
+
+Result<std::unique_ptr<MoESystem>> BuildSystem(
+    const ExperimentOptions& options, const Topology* topo,
+    const HardwareProfile* profile) {
+  const std::string key = ToLower(options.system);
+  if (key == "flexmoe") {
+    FlexMoEOptions o;
+    o.model = options.model;
+    o.num_gpus = options.num_gpus;
+    o.slots_per_gpu = options.slots_per_gpu;
+    o.scheduler = options.scheduler;
+    o.policy = options.policy;
+    o.executor = options.executor;
+    FLEXMOE_ASSIGN_OR_RETURN(auto sys,
+                             FlexMoESystem::Create(o, topo, profile));
+    return std::unique_ptr<MoESystem>(std::move(sys));
+  }
+  if (key == "deepspeed") {
+    ExpertParallelOptions o;
+    o.model = options.model;
+    o.num_gpus = options.num_gpus;
+    o.capacity_factor = options.capacity_factor;
+    FLEXMOE_ASSIGN_OR_RETURN(auto sys,
+                             ExpertParallelSystem::Create(o, topo, profile));
+    return std::unique_ptr<MoESystem>(std::move(sys));
+  }
+  if (key == "fastermoe") {
+    FasterMoEOptions o;
+    o.model = options.model;
+    o.num_gpus = options.num_gpus;
+    FLEXMOE_ASSIGN_OR_RETURN(auto sys,
+                             FasterMoESystem::Create(o, topo, profile));
+    return std::unique_ptr<MoESystem>(std::move(sys));
+  }
+  if (key == "swipe") {
+    SwipeOptions o;
+    o.model = options.model;
+    o.num_gpus = options.num_gpus;
+    FLEXMOE_ASSIGN_OR_RETURN(auto sys,
+                             SwipeSystem::Create(o, topo, profile));
+    return std::unique_ptr<MoESystem>(std::move(sys));
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown system '%s'", options.system.c_str()));
+}
+
+Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+
+  FLEXMOE_ASSIGN_OR_RETURN(Topology topo,
+                           Topology::Create(AzureA100Options(options.num_gpus)));
+  const GpuSpec spec;
+  HardwareProfile profile(&topo, spec);
+  if (options.calibrate_profile) {
+    Profiler profiler(&topo, spec, ProfilerOptions{});
+    FLEXMOE_ASSIGN_OR_RETURN(
+        profile,
+        profiler.Calibrate(options.model.expert_fwdbwd_flops_per_token()));
+  }
+
+  FLEXMOE_ASSIGN_OR_RETURN(TraceGenerator gen, BuildTraceGenerator(options));
+  FLEXMOE_ASSIGN_OR_RETURN(std::unique_ptr<MoESystem> system,
+                           BuildSystem(options, &topo, &profile));
+
+  for (int s = 0; s < options.measure_steps; ++s) {
+    system->RunStep(gen.Step());
+  }
+
+  ExperimentReport report;
+  report.system = system->name();
+  report.model = options.model.name;
+  report.num_gpus = options.num_gpus;
+  report.stats = system->stats();
+  report.tokens_per_step = static_cast<double>(options.model.tokens_per_gpu) *
+                           options.num_gpus;
+  const int warmup = options.warmup_steps;
+  report.mean_step_seconds = report.stats.MeanStepSeconds(warmup);
+  report.throughput_tokens_per_sec =
+      report.stats.Throughput(report.tokens_per_step, warmup);
+  report.mean_token_efficiency = report.stats.MeanTokenEfficiency(warmup);
+  report.mean_effective_token_rate =
+      EffectiveTokenRate(report.system, report.mean_token_efficiency);
+  report.mean_expert_efficiency = report.stats.MeanExpertEfficiency(warmup);
+  report.mean_gpu_utilization = report.stats.MeanGpuUtilization(warmup);
+  report.mean_balance_ratio = report.stats.MeanBalanceRatio(warmup);
+
+  // Time-to-quality: effective tokens needed to hit the DeepSpeed-quality
+  // target, at this system's measured effective-token rate and step time.
+  // Models without a Table 2 calibration (synthetic microbenchmarks)
+  // report throughput only.
+  const Result<ConvergenceModel> conv = PrimaryConvergence(options.model);
+  if (conv.ok()) {
+    report.target_metric_name = conv->calibration().metric_name;
+    report.target_metric = conv->DefaultTarget();
+    const double u_target = conv->EffectiveTokensForMetric(
+        report.target_metric, options.balance_coef);
+    const double eff_tokens_per_step =
+        report.tokens_per_step * report.mean_effective_token_rate;
+    report.steps_to_target =
+        std::isfinite(u_target) && eff_tokens_per_step > 0
+            ? u_target / eff_tokens_per_step
+            : std::numeric_limits<double>::infinity();
+    report.hours_to_target =
+        report.steps_to_target * report.mean_step_seconds / 3600.0;
+    report.metric_at_budget = conv->MetricAt(
+        conv->calibration().u_total_tokens * report.mean_effective_token_rate,
+        options.balance_coef);
+  }
+  return report;
+}
+
+}  // namespace flexmoe

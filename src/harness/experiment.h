@@ -1,0 +1,95 @@
+// Experiment harness: builds a simulated cluster, profiles it, generates a
+// routing trace, runs a training system over it, and reports the paper's
+// metrics (step time, throughput, efficiencies, time-to-quality).
+//
+// All systems in one comparison share the same trace seed, so they consume
+// an identical token stream — exactly how the paper fixes hyper-parameters
+// across systems (Section 5.1).
+
+#ifndef FLEXMOE_HARNESS_EXPERIMENT_H_
+#define FLEXMOE_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/flexmoe.h"
+#include "core/system.h"
+#include "gate/trace_generator.h"
+#include "moe/model_config.h"
+#include "quality/targets.h"
+
+namespace flexmoe {
+
+/// \brief One experiment configuration.
+struct ExperimentOptions {
+  /// "flexmoe" | "deepspeed" | "fastermoe" | "swipe".
+  std::string system = "flexmoe";
+  ModelConfig model = GptMoES();
+  int num_gpus = 32;
+
+  /// Simulated steps to measure (plus warmup excluded from aggregates).
+  int measure_steps = 200;
+  int warmup_steps = 20;
+
+  uint64_t seed = 42;
+  double balance_coef = 0.001;   ///< paper default for all systems
+  double capacity_factor = 1.0;  ///< DeepSpeed only; <= 0 disables capacity
+
+  /// FlexMoE-specific knobs.
+  SchedulerOptions scheduler;
+  PolicyMakerOptions policy;
+  ExecutorOptions executor;
+  int slots_per_gpu = 0;
+
+  /// Calibrate the hardware profile against the event engine (paper's
+  /// pre-training profiling pass). Disable for raw analytic defaults.
+  bool calibrate_profile = true;
+
+  /// Optional explicit trace generator overrides (<=0 fields are derived
+  /// from the model/num_gpus).
+  TraceGeneratorOptions trace;
+  bool use_trace_overrides = false;
+
+  Status Validate() const;
+};
+
+/// \brief Aggregated outcome of one experiment.
+struct ExperimentReport {
+  std::string system;
+  std::string model;
+  int num_gpus = 0;
+
+  TrainingStats stats;
+  double tokens_per_step = 0.0;   ///< tokens (not assignments) per step
+  double mean_step_seconds = 0.0;
+  double throughput_tokens_per_sec = 0.0;
+  double mean_token_efficiency = 1.0;
+  double mean_effective_token_rate = 1.0;
+  double mean_expert_efficiency = 1.0;
+  double mean_gpu_utilization = 0.0;
+  double mean_balance_ratio = 1.0;
+
+  /// Time-to-quality (paper Figure 5): reach the DeepSpeed Table 2 value.
+  std::string target_metric_name;
+  double target_metric = 0.0;
+  double steps_to_target = 0.0;
+  double hours_to_target = 0.0;
+  /// Metric value at the full training budget (paper Table 2 readout).
+  double metric_at_budget = 0.0;
+};
+
+/// \brief Builds the trace generator an experiment would use (exposed so
+/// benches can pre-inspect the workload).
+Result<TraceGenerator> BuildTraceGenerator(const ExperimentOptions& options);
+
+/// \brief Builds the system under test against the given cluster.
+Result<std::unique_ptr<MoESystem>> BuildSystem(
+    const ExperimentOptions& options, const Topology* topo,
+    const HardwareProfile* profile);
+
+/// \brief Runs the full experiment and aggregates the report.
+Result<ExperimentReport> RunExperiment(const ExperimentOptions& options);
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,89 @@
+// Best-effort placement executor (paper Section 4, "Best-Effort
+// Adjustment"): modifications run on a separate background copy stream,
+// concurrently with training, and take effect at the first step boundary
+// after their transfer completes. A blocking mode — execute every pending
+// op synchronously before the step — models the static scheduling baseline
+// of Figure 6(b).
+
+#ifndef FLEXMOE_PLACEMENT_EXECUTOR_H_
+#define FLEXMOE_PLACEMENT_EXECUTOR_H_
+
+#include <vector>
+
+#include "collective/engine_ops.h"
+#include "placement/op_queue.h"
+#include "placement/placement.h"
+
+namespace flexmoe {
+
+/// \brief Executor configuration.
+struct ExecutorOptions {
+  /// Background copies contend with training traffic; they run at
+  /// 1/slowdown of the profiled link bandwidth.
+  double background_slowdown = 1.25;
+  /// Synchronous mode: apply everything immediately, charging the transfer
+  /// time to the training step.
+  bool blocking = false;
+  /// Batches launched per step boundary. Transfers serialize on the
+  /// background streams regardless, so several batches in flight mainly
+  /// improve pipelining of same-source copies.
+  int max_batches_per_boundary = 16;
+  /// Boundaries an op that failed to apply (its prerequisite still in
+  /// flight) is retried before being dropped.
+  int apply_retry_boundaries = 3;
+
+  Status Validate() const;
+};
+
+/// \brief Applies queued placement modifications to the live placement.
+class PlacementExecutor {
+ public:
+  PlacementExecutor(const ExecutorOptions& options,
+                    const HardwareProfile* profile,
+                    double expert_state_bytes);
+
+  /// Queues scheduler-produced ops (already in dependency order:
+  /// shrinks before the expands that reuse their slots).
+  void Enqueue(const std::vector<ModOp>& ops);
+
+  /// Drops pending (not yet launched) ops; used when the scheduler
+  /// re-plans from scratch after a workload shift.
+  void ClearPending();
+
+  struct TickResult {
+    int ops_applied = 0;      ///< ops that took effect on `live` this tick
+    int ops_launched = 0;     ///< transfers started this tick
+    int ops_dropped = 0;      ///< ops invalidated by placement drift
+    double blocking_seconds = 0.0;  ///< only in blocking mode
+  };
+
+  /// Step-boundary hook: applies completed transfers to `live`, then (best
+  /// effort) launches the next batch if the involved background streams are
+  /// idle. In blocking mode everything executes and applies now.
+  TickResult OnStepBoundary(double now, ClusterState* cluster,
+                            Placement* live);
+
+  size_t pending_ops() const { return queue_.size(); }
+  size_t in_flight_ops() const { return in_flight_.size(); }
+
+ private:
+  struct InFlight {
+    ModOp op;
+    double finish_time = 0.0;
+    int retries_left = 0;
+  };
+
+  /// Applies an op to the live placement, fixing up stale expand sources;
+  /// returns false if the op is no longer applicable.
+  bool ApplyToLive(const ModOp& op, Placement* live);
+
+  ExecutorOptions options_;
+  const HardwareProfile* profile_;
+  double expert_state_bytes_;
+  ModificationQueue queue_;
+  std::vector<InFlight> in_flight_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_PLACEMENT_EXECUTOR_H_

@@ -1,0 +1,67 @@
+#include "placement/op_queue.h"
+
+#include <set>
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+ModificationQueue::ModificationQueue(double expert_state_bytes)
+    : expert_state_bytes_(expert_state_bytes) {
+  FLEXMOE_CHECK(expert_state_bytes >= 0.0);
+}
+
+void ModificationQueue::Enqueue(const ModOp& op) { queue_.push_back(op); }
+
+void ModificationQueue::Enqueue(const std::vector<ModOp>& ops) {
+  for (const ModOp& op : ops) queue_.push_back(op);
+}
+
+OpBatch ModificationQueue::PopBatch() {
+  OpBatch batch;
+  std::set<GpuId> busy;
+
+  while (!queue_.empty()) {
+    const ModOp op = queue_.front();
+    const double bytes = OpTransferBytes(op, expert_state_bytes_);
+
+    if (bytes <= 0.0) {
+      // Shrinks and packing expands are free: always absorbable.
+      batch.free_ops.push_back(op);
+      queue_.pop_front();
+      continue;
+    }
+
+    // Merge with an existing group over the same endpoints.
+    TransferGroup* merged = nullptr;
+    for (TransferGroup& tg : batch.transfers) {
+      if (tg.src == op.src && tg.dst == op.dst) {
+        merged = &tg;
+        break;
+      }
+    }
+    if (merged != nullptr) {
+      merged->bytes += bytes;
+      merged->ops.push_back(op);
+      queue_.pop_front();
+      continue;
+    }
+
+    // New endpoint pair: admit only if disjoint from selected transfers.
+    if (busy.count(op.src) > 0 || busy.count(op.dst) > 0) {
+      break;  // preserve FIFO: later ops may depend on this one
+    }
+    TransferGroup tg;
+    tg.src = op.src;
+    tg.dst = op.dst;
+    tg.bytes = bytes;
+    tg.ops.push_back(op);
+    batch.transfers.push_back(std::move(tg));
+    busy.insert(op.src);
+    busy.insert(op.dst);
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,61 @@
+// Modification queue with the paper's "Paralleled Operation Modification"
+// optimization (Section 4): consecutive primitives that share the same
+// source and destination are merged into one larger transfer (better
+// bandwidth utilization, single launch), and primitives that share neither
+// endpoint are batched to run concurrently.
+
+#ifndef FLEXMOE_PLACEMENT_OP_QUEUE_H_
+#define FLEXMOE_PLACEMENT_OP_QUEUE_H_
+
+#include <deque>
+#include <vector>
+
+#include "placement/primitives.h"
+
+namespace flexmoe {
+
+/// \brief Transfers between one (src, dst) pair, merged from >= 1 ops.
+struct TransferGroup {
+  GpuId src = -1;
+  GpuId dst = -1;
+  double bytes = 0.0;
+  std::vector<ModOp> ops;
+};
+
+/// \brief A set of transfer groups that can execute concurrently (no two
+/// groups share an endpoint GPU) plus any free ops (shrinks, packing
+/// expands) that apply instantly.
+struct OpBatch {
+  std::vector<TransferGroup> transfers;
+  std::vector<ModOp> free_ops;
+
+  bool empty() const { return transfers.empty() && free_ops.empty(); }
+};
+
+/// \brief FIFO queue of pending modifications with batch extraction.
+class ModificationQueue {
+ public:
+  explicit ModificationQueue(double expert_state_bytes);
+
+  void Enqueue(const ModOp& op);
+  void Enqueue(const std::vector<ModOp>& ops);
+
+  /// Pops the next batch: starting at the queue head, greedily absorbs ops
+  /// whose endpoints do not collide with already-selected transfers,
+  /// merging same-(src,dst) ops into one group. Stops at the first
+  /// conflicting op to preserve FIFO ordering (a conflicting op may depend
+  /// on an earlier one completing).
+  OpBatch PopBatch();
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  void Clear() { queue_.clear(); }
+
+ private:
+  double expert_state_bytes_;
+  std::deque<ModOp> queue_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_PLACEMENT_OP_QUEUE_H_

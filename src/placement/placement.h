@@ -1,0 +1,100 @@
+// The vExpert abstraction and the expert-to-device mapping P (paper
+// Section 3.2).
+//
+// Each GPU owns a fixed number of vExpert slots — the minimum schedulable
+// units of expert computation. Every slot is assigned to exactly one expert;
+// slots of the same expert on the same GPU are "packed" (they share weights
+// and merely increase that GPU's capacity share for the expert). An
+// expert's tokens are partitioned evenly across all of its vExperts.
+
+#ifndef FLEXMOE_PLACEMENT_PLACEMENT_H_
+#define FLEXMOE_PLACEMENT_PLACEMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topology/topology.h"
+#include "util/status.h"
+
+namespace flexmoe {
+
+/// \brief Sizing parameters of a placement.
+struct PlacementOptions {
+  int num_experts = 64;
+  int num_gpus = 64;
+  /// vExpert slots per GPU; 0 selects the default granularity
+  /// max(4, 2 * ceil(num_experts / num_gpus)).
+  int slots_per_gpu = 0;
+
+  int EffectiveSlotsPerGpu() const;
+  Status Validate() const;
+};
+
+/// \brief The mutable expert-to-device mapping P.
+class Placement {
+ public:
+  /// Canonical initial state: classic expert parallelism. Experts are
+  /// block-distributed over GPUs and each expert's initial vExperts all
+  /// live on its home GPU (fully packed).
+  static Result<Placement> ExpertParallel(const PlacementOptions& options);
+
+  int num_experts() const { return options_.num_experts; }
+  int num_gpus() const { return options_.num_gpus; }
+  int slots_per_gpu() const { return slots_per_gpu_; }
+  int total_slots() const { return num_gpus() * slots_per_gpu_; }
+
+  /// Total vExperts allocated to `expert` (n_e >= 1 always).
+  int VExperts(int expert) const;
+
+  /// vExperts of `expert` on `gpu` (n_{e,g}).
+  int VExpertsOn(int expert, GpuId gpu) const;
+
+  /// GPUs hosting at least one vExpert of `expert`, ascending.
+  std::vector<GpuId> HostGpus(int expert) const;
+
+  /// The per-expert replica map (gpu -> vExpert count).
+  const std::map<GpuId, int>& Replicas(int expert) const;
+
+  /// Experts hosted on `gpu`, ascending (used for ordered synchronization).
+  std::vector<int> ExpertsOn(GpuId gpu) const;
+
+  int UsedSlots(GpuId gpu) const;
+  int FreeSlots(GpuId gpu) const;
+
+  /// Ideal per-vExpert token capacity for a batch of `total_tokens`
+  /// (paper: B / (G * E)).
+  double IdealVExpertCapacity(int64_t total_tokens) const;
+
+  // --- Mutations (used by the placement primitives) ----------------------
+
+  /// Adds one vExpert of `expert` on `gpu`. Fails if the GPU has no free
+  /// slot.
+  Status AddVExpert(int expert, GpuId gpu);
+
+  /// Removes one vExpert of `expert` from `gpu`. Fails if absent or if it
+  /// would leave the expert with zero vExperts.
+  Status RemoveVExpert(int expert, GpuId gpu);
+
+  /// Full invariant check: every slot bound, every expert >= 1 vExpert,
+  /// per-GPU slot limits respected.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Placement& other) const;
+
+ private:
+  Placement(const PlacementOptions& options, int slots_per_gpu);
+
+  PlacementOptions options_;
+  int slots_per_gpu_ = 0;
+  /// replicas_[e]: gpu -> vExpert count.
+  std::vector<std::map<GpuId, int>> replicas_;
+  /// used_slots_[g]: bound slots on GPU g.
+  std::vector<int> used_slots_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_PLACEMENT_PLACEMENT_H_

@@ -1,0 +1,75 @@
+#include "quality/targets.h"
+
+#include "util/string_util.h"
+
+namespace flexmoe {
+
+namespace {
+
+QualityCalibration Ppl(double ds, double flex, double u_total) {
+  QualityCalibration c;
+  c.metric_name = "PPL";
+  c.kind = MetricKind::kPerplexity;
+  c.deepspeed_value = ds;
+  c.flexmoe_value = flex;
+  c.u_total_tokens = u_total;
+  return c;
+}
+
+QualityCalibration Acc(const char* name, double ds, double flex,
+                       double u_total) {
+  QualityCalibration c;
+  c.metric_name = name;
+  c.kind = MetricKind::kAccuracy;
+  c.deepspeed_value = ds;
+  c.flexmoe_value = flex;
+  c.u_total_tokens = u_total;
+  return c;
+}
+
+// Training budgets (tokens at 100% efficiency) that set the U scale; S
+// models train on 32 GPUs, L models on 64 (paper Section 5.2).
+constexpr double kSmallBudget = 18e9;
+constexpr double kLargeBudget = 26e9;
+
+}  // namespace
+
+const QualityCalibration& ModelQuality::primary() const {
+  FLEXMOE_CHECK(!metrics.empty());
+  // PPL models expose exactly one metric; Swin lists acc@1 then acc@5 and
+  // reports acc@5 as headline.
+  return metrics.back();
+}
+
+Result<ModelQuality> QualityForModel(const ModelConfig& model) {
+  ModelQuality q;
+  q.model_name = model.name;
+  const std::string key = ToLower(model.name);
+  // Paper Table 2.
+  if (key == "bert-moe-s") {
+    q.metrics = {Ppl(3.53, 3.14, kSmallBudget)};
+  } else if (key == "bert-moe-l") {
+    q.metrics = {Ppl(3.31, 3.07, kLargeBudget)};
+  } else if (key == "gpt-moe-s") {
+    q.metrics = {Ppl(12.2, 11.72, kSmallBudget)};
+  } else if (key == "gpt-moe-l") {
+    q.metrics = {Ppl(10.71, 10.47, kLargeBudget)};
+  } else if (key == "swin-moe-s") {
+    q.metrics = {Acc("acc@1", 77.316, 77.754, kSmallBudget),
+                 Acc("acc@5", 93.838, 94.042, kSmallBudget)};
+  } else if (key == "swin-moe-l") {
+    q.metrics = {Acc("acc@1", 77.022, 77.109, kLargeBudget),
+                 Acc("acc@5", 93.642, 93.663, kLargeBudget)};
+  } else {
+    return Status::NotFound(
+        StrFormat("no quality calibration for '%s'", model.name.c_str()));
+  }
+  return q;
+}
+
+Result<ConvergenceModel> PrimaryConvergence(const ModelConfig& model) {
+  FLEXMOE_ASSIGN_OR_RETURN(ModelQuality q, QualityForModel(model));
+  return ConvergenceModel::Create(q.primary());
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,32 @@
+// Quality calibration anchors for every Table 1 model, taken from the
+// paper's Table 2 (DeepSpeed vs FlexMoE at the end of training).
+
+#ifndef FLEXMOE_QUALITY_TARGETS_H_
+#define FLEXMOE_QUALITY_TARGETS_H_
+
+#include <vector>
+
+#include "moe/model_config.h"
+#include "quality/convergence.h"
+
+namespace flexmoe {
+
+/// \brief All metric calibrations of one model (NLP models report PPL;
+/// Swin reports acc@1 and acc@5).
+struct ModelQuality {
+  std::string model_name;
+  std::vector<QualityCalibration> metrics;
+
+  /// The headline metric (PPL for BERT/GPT, acc@5 for Swin).
+  const QualityCalibration& primary() const;
+};
+
+/// \brief Paper Table 2 anchors for `model`.
+Result<ModelQuality> QualityForModel(const ModelConfig& model);
+
+/// \brief Convergence model for the headline metric of `model`.
+Result<ConvergenceModel> PrimaryConvergence(const ModelConfig& model);
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_QUALITY_TARGETS_H_

@@ -1,0 +1,37 @@
+#include "sim/engine.h"
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+void SimEngine::ScheduleAt(double t, std::function<void()> fn) {
+  FLEXMOE_CHECK_MSG(t >= now_, "cannot schedule in the past");
+  queue_.Push(t, std::move(fn));
+}
+
+void SimEngine::ScheduleAfter(double dt, std::function<void()> fn) {
+  FLEXMOE_CHECK(dt >= 0.0);
+  queue_.Push(now_ + dt, std::move(fn));
+}
+
+void SimEngine::Run() {
+  while (!queue_.empty()) {
+    Event e = queue_.Pop();
+    now_ = e.time;
+    e.fn();
+  }
+}
+
+void SimEngine::RunUntil(double t) {
+  FLEXMOE_CHECK(t >= now_);
+  while (!queue_.empty() && queue_.PeekTime() <= t) {
+    Event e = queue_.Pop();
+    now_ = e.time;
+    e.fn();
+  }
+  now_ = t;
+}
+
+void SimEngine::AdvanceTo(double t) { RunUntil(t); }
+
+}  // namespace flexmoe

@@ -1,0 +1,50 @@
+// SimEngine: virtual clock + event loop. Collective executors advance the
+// clock with timeline arithmetic over Streams; the callback queue exists for
+// asynchronous actors (e.g. best-effort placement adjustments that complete
+// mid-training and take effect at the next step boundary).
+
+#ifndef FLEXMOE_SIM_ENGINE_H_
+#define FLEXMOE_SIM_ENGINE_H_
+
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace flexmoe {
+
+/// \brief Deterministic discrete-event simulation engine.
+class SimEngine {
+ public:
+  SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Current simulated time in seconds.
+  double now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void ScheduleAt(double t, std::function<void()> fn);
+
+  /// Schedules `fn` after a delay of `dt` seconds (dt >= 0).
+  void ScheduleAfter(double dt, std::function<void()> fn);
+
+  /// Runs until the event queue drains.
+  void Run();
+
+  /// Processes all events with time <= t, then sets the clock to t.
+  void RunUntil(double t);
+
+  /// Moves the clock forward without firing events scheduled beyond `t`.
+  /// Events due before `t` ARE fired (time never goes backwards).
+  void AdvanceTo(double t);
+
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_SIM_ENGINE_H_

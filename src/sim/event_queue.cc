@@ -1,0 +1,28 @@
+#include "sim/event_queue.h"
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+void EventQueue::Push(double time, std::function<void()> fn) {
+  heap_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+Event EventQueue::Pop() {
+  FLEXMOE_CHECK(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+double EventQueue::PeekTime() const {
+  FLEXMOE_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,51 @@
+// Time-ordered event queue for the discrete-event engine. Ties are broken by
+// insertion sequence so simulations are deterministic.
+
+#ifndef FLEXMOE_SIM_EVENT_QUEUE_H_
+#define FLEXMOE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace flexmoe {
+
+/// \brief A scheduled callback with a firing time.
+struct Event {
+  double time = 0.0;
+  uint64_t seq = 0;  ///< insertion order; breaks time ties deterministically
+  std::function<void()> fn;
+};
+
+/// \brief Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Inserts an event at absolute time `time`.
+  void Push(double time, std::function<void()> fn);
+
+  /// Removes and returns the earliest event. Requires !empty().
+  Event Pop();
+
+  /// Firing time of the earliest event. Requires !empty().
+  double PeekTime() const;
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  void Clear();
+
+ private:
+  struct Cmp {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Cmp> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,64 @@
+// Minimal leveled logger. Intended for diagnostics from long experiment runs;
+// benches print their results through util/table.h instead.
+
+#ifndef FLEXMOE_UTIL_LOGGING_H_
+#define FLEXMOE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flexmoe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement at zero formatting cost.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace flexmoe
+
+#define FLEXMOE_LOG(level)                                      \
+  (static_cast<int>(::flexmoe::LogLevel::k##level) <            \
+   static_cast<int>(::flexmoe::GetLogLevel()))                  \
+      ? (void)0                                                 \
+      : (void)::flexmoe::internal::LogMessage(                  \
+            ::flexmoe::LogLevel::k##level, __FILE__, __LINE__)
+
+#define FLEXMOE_LOG_DEBUG ::flexmoe::internal::LogMessage(::flexmoe::LogLevel::kDebug, __FILE__, __LINE__)
+#define FLEXMOE_LOG_INFO ::flexmoe::internal::LogMessage(::flexmoe::LogLevel::kInfo, __FILE__, __LINE__)
+#define FLEXMOE_LOG_WARN ::flexmoe::internal::LogMessage(::flexmoe::LogLevel::kWarning, __FILE__, __LINE__)
+#define FLEXMOE_LOG_ERROR ::flexmoe::internal::LogMessage(::flexmoe::LogLevel::kError, __FILE__, __LINE__)
+
+#endif  // FLEXMOE_UTIL_LOGGING_H_

@@ -1,0 +1,190 @@
+// Status / Result<T>: exception-free error handling for the FlexMoE library.
+//
+// Library code never throws; recoverable errors are returned as Status (or
+// Result<T> when a value is produced), while programmer errors abort via
+// FLEXMOE_CHECK. This mirrors the RocksDB/Arrow convention for database-grade
+// C++ libraries.
+
+#ifndef FLEXMOE_UTIL_STATUS_H_
+#define FLEXMOE_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace flexmoe {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A lightweight success-or-error value.
+///
+/// Functions that can fail for reasons the caller should handle return a
+/// Status. Use the factory functions (Status::InvalidArgument(...)) rather
+/// than constructing codes by hand so that messages stay consistent.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "<CodeName>: <message>" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value-or-error result, analogous to absl::StatusOr<T>.
+///
+/// Access the value only after checking ok(); value access on an error
+/// Result aborts the process (programmer error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(rep_).ok()) {
+      std::fprintf(stderr, "Result<T> constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result<T>::value() on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace internal
+
+}  // namespace flexmoe
+
+/// Aborts with a diagnostic if `cond` is false. For invariants/programmer
+/// errors only; user-facing failures must return Status instead.
+#define FLEXMOE_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::flexmoe::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                    \
+  } while (false)
+
+#define FLEXMOE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::flexmoe::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                    \
+  } while (false)
+
+/// Propagates a non-OK Status to the caller.
+#define FLEXMOE_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::flexmoe::Status _status = (expr);            \
+    if (!_status.ok()) return _status;             \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// assigns the value to `lhs`.
+#define FLEXMOE_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  FLEXMOE_ASSIGN_OR_RETURN_IMPL_(                  \
+      FLEXMOE_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define FLEXMOE_CONCAT_INNER_(x, y) x##y
+#define FLEXMOE_CONCAT_(x, y) FLEXMOE_CONCAT_INNER_(x, y)
+
+#define FLEXMOE_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                   \
+  if (!result.ok()) return result.status();                \
+  lhs = std::move(result).value()
+
+#endif  // FLEXMOE_UTIL_STATUS_H_

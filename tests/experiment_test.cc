@@ -1,0 +1,114 @@
+// Integration tests of the experiment harness: every system runs end to
+// end, reports are sane, and the paper's headline orderings hold on a
+// shared workload.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/reporters.h"
+
+namespace flexmoe {
+namespace {
+
+ExperimentOptions SmallExperiment(const std::string& system) {
+  ExperimentOptions o;
+  o.system = system;
+  o.model = GptMoES();
+  o.model.num_moe_layers = 2;     // keep test runtime modest
+  o.model.tokens_per_gpu = 2048;
+  o.num_gpus = 8;
+  o.measure_steps = 40;
+  o.warmup_steps = 10;
+  o.seed = 5;
+  return o;
+}
+
+TEST(ExperimentOptionsTest, Validation) {
+  EXPECT_TRUE(SmallExperiment("flexmoe").Validate().ok());
+  ExperimentOptions o = SmallExperiment("nosuch");
+  EXPECT_FALSE(o.Validate().ok());
+  o = SmallExperiment("flexmoe");
+  o.num_gpus = 12;
+  EXPECT_FALSE(o.Validate().ok());
+  o = SmallExperiment("flexmoe");
+  o.warmup_steps = o.measure_steps;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(ExperimentTest, AllSystemsRun) {
+  for (const std::string system :
+       {"flexmoe", "deepspeed", "fastermoe", "swipe"}) {
+    const auto report = RunExperiment(SmallExperiment(system));
+    ASSERT_TRUE(report.ok()) << system;
+    EXPECT_GT(report->mean_step_seconds, 0.0) << system;
+    EXPECT_GT(report->throughput_tokens_per_sec, 0.0) << system;
+    EXPECT_GT(report->steps_to_target, 0.0) << system;
+    EXPECT_GT(report->hours_to_target, 0.0) << system;
+    EXPECT_GE(report->mean_balance_ratio, 1.0) << system;
+    EXPECT_EQ(report->num_gpus, 8) << system;
+    EXPECT_FALSE(ReportLine(*report).empty());
+  }
+}
+
+TEST(ExperimentTest, DeterministicReports) {
+  const auto r1 = RunExperiment(SmallExperiment("flexmoe"));
+  const auto r2 = RunExperiment(SmallExperiment("flexmoe"));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(r1->mean_step_seconds, r2->mean_step_seconds);
+  EXPECT_DOUBLE_EQ(r1->hours_to_target, r2->hours_to_target);
+}
+
+TEST(ExperimentTest, FlexMoEBalancesBetterThanUncappedBaselines) {
+  const auto flex = RunExperiment(SmallExperiment("flexmoe"));
+  ExperimentOptions ep = SmallExperiment("deepspeed");
+  ep.capacity_factor = 0.0;  // uncapped: raw imbalance visible
+  const auto ds = RunExperiment(ep);
+  ASSERT_TRUE(flex.ok() && ds.ok());
+  EXPECT_LT(flex->mean_balance_ratio, ds->mean_balance_ratio);
+}
+
+TEST(ExperimentTest, HeadlineOrderingTimeToQuality) {
+  // The paper's Figure 5 shape: FlexMoE < FasterMoE < DeepSpeed in hours
+  // to the common quality target.
+  const auto flex = RunExperiment(SmallExperiment("flexmoe"));
+  const auto faster = RunExperiment(SmallExperiment("fastermoe"));
+  const auto ds = RunExperiment(SmallExperiment("deepspeed"));
+  ASSERT_TRUE(flex.ok() && faster.ok() && ds.ok());
+  EXPECT_LT(flex->hours_to_target, faster->hours_to_target);
+  EXPECT_LT(flex->hours_to_target, ds->hours_to_target);
+}
+
+TEST(ExperimentTest, TokenEfficiencySemantics) {
+  const auto flex = RunExperiment(SmallExperiment("flexmoe"));
+  const auto ds = RunExperiment(SmallExperiment("deepspeed"));
+  const auto swipe = RunExperiment(SmallExperiment("swipe"));
+  ASSERT_TRUE(flex.ok() && ds.ok() && swipe.ok());
+  EXPECT_DOUBLE_EQ(flex->mean_token_efficiency, 1.0);
+  EXPECT_LT(ds->mean_token_efficiency, 1.0);
+  EXPECT_LT(swipe->mean_token_efficiency, 1.0);
+  // SWIPE's re-assigned tokens keep partial value.
+  EXPECT_GT(swipe->mean_effective_token_rate,
+            swipe->mean_token_efficiency);
+}
+
+TEST(ExperimentTest, BuildTraceGeneratorDerivesFromModel) {
+  const ExperimentOptions o = SmallExperiment("flexmoe");
+  const auto gen = BuildTraceGenerator(o);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->options().num_experts, o.model.num_experts);
+  EXPECT_EQ(gen->options().num_gpus, o.num_gpus);
+  EXPECT_EQ(gen->options().top_k, 2);
+}
+
+TEST(ReportersTest, SpeedupFormat) {
+  EXPECT_EQ(FormatSpeedup(1.726), "1.73x");
+}
+
+TEST(ReportersTest, AsciiHelpersProduceOutput) {
+  EXPECT_FALSE(AsciiSeries({1, 2, 3, 2, 1}, 20, 5).empty());
+  EXPECT_FALSE(AsciiCdf({0.4, 0.7, 0.9, 1.0}, 30).empty());
+  EXPECT_TRUE(AsciiSeries({}, 20, 5).empty());
+}
+
+}  // namespace
+}  // namespace flexmoe

@@ -1,0 +1,181 @@
+// Failure injection: the systems must survive degenerate and adversarial
+// workloads without crashing, losing tokens, or violating invariants.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/expert_parallel.h"
+#include "baselines/fastermoe.h"
+#include "baselines/swipe.h"
+#include "core/flexmoe.h"
+
+namespace flexmoe {
+namespace {
+
+struct Env {
+  std::unique_ptr<Topology> topo;
+  HardwareProfile profile;
+
+  static Env Make(int num_gpus = 8) {
+    auto topo = std::make_unique<Topology>(
+        *Topology::Create(AzureA100Options(num_gpus)));
+    HardwareProfile profile(topo.get(), GpuSpec{});
+    return Env{std::move(topo), std::move(profile)};
+  }
+};
+
+ModelConfig TinyModel() {
+  ModelConfig m = GptMoES();
+  m.num_experts = 8;
+  m.num_moe_layers = 2;
+  m.tokens_per_gpu = 1024;
+  return m;
+}
+
+std::vector<Assignment> MakeStep(const ModelConfig& m, int gpus,
+                                 int64_t per_cell) {
+  std::vector<Assignment> step;
+  for (int l = 0; l < m.num_moe_layers; ++l) {
+    Assignment a(m.num_experts, gpus);
+    for (int e = 0; e < m.num_experts; ++e) {
+      for (int g = 0; g < gpus; ++g) a.set(e, g, per_cell);
+    }
+    step.push_back(std::move(a));
+  }
+  return step;
+}
+
+class AllSystemsTest : public testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<MoESystem> MakeSystem(Env* env, const ModelConfig& m) {
+    const std::string name = GetParam();
+    if (name == "flexmoe") {
+      FlexMoEOptions o;
+      o.model = m;
+      o.num_gpus = env->topo->num_gpus();
+      return *FlexMoESystem::Create(o, env->topo.get(), &env->profile);
+    }
+    if (name == "deepspeed") {
+      ExpertParallelOptions o;
+      o.model = m;
+      o.num_gpus = env->topo->num_gpus();
+      return *ExpertParallelSystem::Create(o, env->topo.get(), &env->profile);
+    }
+    if (name == "fastermoe") {
+      FasterMoEOptions o;
+      o.model = m;
+      o.num_gpus = env->topo->num_gpus();
+      return *FasterMoESystem::Create(o, env->topo.get(), &env->profile);
+    }
+    SwipeOptions o;
+    o.model = m;
+    o.num_gpus = env->topo->num_gpus();
+    return *SwipeSystem::Create(o, env->topo.get(), &env->profile);
+  }
+};
+
+TEST_P(AllSystemsTest, SurvivesEmptySteps) {
+  Env env = Env::Make();
+  const ModelConfig m = TinyModel();
+  auto sys = MakeSystem(&env, m);
+  // A step where the gate routed zero tokens everywhere (e.g. a pipeline
+  // bubble): must not crash, divide by zero, or report nonsense.
+  for (int s = 0; s < 3; ++s) {
+    const StepMetrics metrics = sys->RunStep(MakeStep(m, 8, 0));
+    EXPECT_GE(metrics.step_seconds, 0.0);
+    EXPECT_EQ(metrics.tokens_dropped, 0);
+    EXPECT_GE(metrics.balance_ratio, 1.0);
+  }
+}
+
+TEST_P(AllSystemsTest, SurvivesSingleExpertConcentration) {
+  Env env = Env::Make();
+  const ModelConfig m = TinyModel();
+  auto sys = MakeSystem(&env, m);
+  // Every token to expert 0 — the most adversarial routing possible.
+  std::vector<Assignment> step;
+  for (int l = 0; l < m.num_moe_layers; ++l) {
+    Assignment a(m.num_experts, 8);
+    for (int g = 0; g < 8; ++g) a.set(0, g, 8192);
+    step.push_back(std::move(a));
+  }
+  for (int s = 0; s < 5; ++s) {
+    const StepMetrics metrics = sys->RunStep(step);
+    EXPECT_GT(metrics.step_seconds, 0.0);
+    EXPECT_GT(metrics.tokens_total, 0);
+  }
+}
+
+TEST_P(AllSystemsTest, SurvivesAlternatingExtremes) {
+  Env env = Env::Make();
+  const ModelConfig m = TinyModel();
+  auto sys = MakeSystem(&env, m);
+  // The workload flips between two opposite concentrations every step —
+  // the worst case for any reactive placement policy.
+  for (int s = 0; s < 12; ++s) {
+    std::vector<Assignment> step;
+    for (int l = 0; l < m.num_moe_layers; ++l) {
+      Assignment a(m.num_experts, 8);
+      const int hot = (s % 2 == 0) ? 0 : m.num_experts - 1;
+      for (int g = 0; g < 8; ++g) {
+        a.set(hot, g, 4000);
+        a.set((hot + 3) % m.num_experts, g, 100);
+      }
+      step.push_back(std::move(a));
+    }
+    const StepMetrics metrics = sys->RunStep(step);
+    EXPECT_GT(metrics.step_seconds, 0.0);
+  }
+}
+
+TEST_P(AllSystemsTest, RejectsWrongLayerCount) {
+  Env env = Env::Make();
+  const ModelConfig m = TinyModel();
+  auto sys = MakeSystem(&env, m);
+  std::vector<Assignment> wrong = MakeStep(m, 8, 10);
+  wrong.pop_back();  // one layer short
+  EXPECT_DEATH(sys->RunStep(wrong), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, AllSystemsTest,
+                         testing::Values("flexmoe", "deepspeed", "fastermoe",
+                                         "swipe"));
+
+TEST(FlexMoEFailureTest, PlacementsSurviveAdversarialFlipFlop) {
+  Env env = Env::Make();
+  ModelConfig m = TinyModel();
+  FlexMoEOptions o;
+  o.model = m;
+  o.num_gpus = 8;
+  auto sys = *FlexMoESystem::Create(o, env.topo.get(), &env.profile);
+  for (int s = 0; s < 30; ++s) {
+    std::vector<Assignment> step;
+    for (int l = 0; l < m.num_moe_layers; ++l) {
+      Assignment a(m.num_experts, 8);
+      const int hot = s % m.num_experts;  // rotating hot expert
+      for (int g = 0; g < 8; ++g) a.set(hot, g, 3000);
+      step.push_back(std::move(a));
+    }
+    sys->RunStep(step);
+    for (int l = 0; l < m.num_moe_layers; ++l) {
+      ASSERT_TRUE(sys->live_placement(l).Validate().ok()) << "step " << s;
+      ASSERT_TRUE(sys->target_placement(l).Validate().ok()) << "step " << s;
+    }
+  }
+}
+
+TEST(FlexMoEFailureTest, ZeroMigrationConfiguration) {
+  Env env = Env::Make();
+  FlexMoEOptions o;
+  o.model = TinyModel();
+  o.num_gpus = 8;
+  o.scheduler.max_migrations = 0;  // Migrate disabled entirely
+  auto sys = *FlexMoESystem::Create(o, env.topo.get(), &env.profile);
+  std::vector<Assignment> step = MakeStep(o.model, 8, 500);
+  for (int s = 0; s < 10; ++s) sys->RunStep(step);
+  EXPECT_EQ(sys->stats().num_steps(), 10);
+}
+
+}  // namespace
+}  // namespace flexmoe

@@ -1,0 +1,185 @@
+// Tests for the Policy Maker (Algorithm 2) and migration planning.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/policy_maker.h"
+#include "util/rng.h"
+
+namespace flexmoe {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Topology> topo;
+  HardwareProfile profile;
+  ModelConfig model;
+  CostModel cost;
+  PolicyMaker pm;
+
+  static Fixture Make(int nodes = 2, int gpus_per_node = 4) {
+    TopologyOptions topt;
+    topt.num_nodes = nodes;
+    topt.gpus_per_node = gpus_per_node;
+    ModelConfig model = GptMoES();
+    model.num_experts = 8;
+    return Fixture(std::make_unique<Topology>(*Topology::Create(topt)),
+                   model);
+  }
+
+  Fixture(std::unique_ptr<Topology> t, ModelConfig m)
+      : topo(std::move(t)),
+        profile(topo.get(), GpuSpec{}),
+        model(std::move(m)),
+        cost(&profile, ShapeFromModel(model)),
+        pm(&cost, PolicyMakerOptions{}) {}
+};
+
+Placement MakePlacement(int experts, int gpus, int slots = 2) {
+  PlacementOptions o;
+  o.num_experts = experts;
+  o.num_gpus = gpus;
+  o.slots_per_gpu = slots;
+  return *Placement::ExpertParallel(o);
+}
+
+Assignment SkewedAssignment(int experts, int gpus, int64_t hot_load,
+                            int64_t cold_load) {
+  Assignment a(experts, gpus);
+  for (int g = 0; g < gpus; ++g) {
+    a.set(0, g, hot_load / gpus);
+    for (int e = 1; e < experts; ++e) a.set(e, g, cold_load / gpus);
+  }
+  return a;
+}
+
+TEST(PolicyMakerOptionsTest, Validation) {
+  PolicyMakerOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.min_improvement_frac = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o = PolicyMakerOptions{};
+  o.min_migration_gain_sec = -1;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(PolicyMakerTest, NoPlanWhenBalanced) {
+  const Fixture f = Fixture::Make();
+  const Placement p = MakePlacement(8, 8);
+  Assignment a(8, 8);
+  for (int e = 0; e < 8; ++e) a.set(e, e, 1000);  // perfectly even
+  EXPECT_TRUE(f.pm.MakeSchedulingPlan(a, p).empty());
+}
+
+TEST(PolicyMakerTest, PlanExpandsHotShrinksCold) {
+  const Fixture f = Fixture::Make();
+  const Placement p = MakePlacement(8, 8);
+  const Assignment a = SkewedAssignment(8, 8, 64000, 800);
+  const std::vector<ModOp> plan = f.pm.MakeSchedulingPlan(a, p);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].type, ModOpType::kShrink);
+  EXPECT_EQ(plan[1].type, ModOpType::kExpand);
+  EXPECT_EQ(plan[1].expert, 0);       // the hot expert expands
+  EXPECT_NE(plan[0].expert, 0);       // a cold expert shrinks
+}
+
+TEST(PolicyMakerTest, PlanStrictlyImprovesEstimatedTime) {
+  const Fixture f = Fixture::Make();
+  Placement p = MakePlacement(8, 8);
+  const Assignment a = SkewedAssignment(8, 8, 64000, 800);
+  const double t0 = f.cost.EstimateLayerSeconds(a, p);
+  const std::vector<ModOp> plan = f.pm.MakeSchedulingPlan(a, p);
+  ASSERT_FALSE(plan.empty());
+  for (const ModOp& op : plan) ASSERT_TRUE(ApplyOp(op, &p).ok());
+  const double t1 = f.cost.EstimateLayerSeconds(a, p);
+  EXPECT_LT(t1, t0);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(PolicyMakerTest, IterationConvergesToNoPlan) {
+  // Repeatedly applying plans must terminate (Algorithm 1's inner loop).
+  const Fixture f = Fixture::Make();
+  Placement p = MakePlacement(8, 8);
+  const Assignment a = SkewedAssignment(8, 8, 64000, 800);
+  int rounds = 0;
+  double last = f.cost.EstimateLayerSeconds(a, p);
+  while (rounds < 64) {
+    const std::vector<ModOp> plan = f.pm.MakeSchedulingPlan(a, p);
+    if (plan.empty()) break;
+    for (const ModOp& op : plan) ASSERT_TRUE(ApplyOp(op, &p).ok());
+    const double now = f.cost.EstimateLayerSeconds(a, p);
+    EXPECT_LT(now, last);  // monotone improvement
+    last = now;
+    ++rounds;
+  }
+  EXPECT_LT(rounds, 64);
+  EXPECT_GT(rounds, 0);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(PolicyMakerTest, SlotAccountingPreservedByPlans) {
+  const Fixture f = Fixture::Make();
+  Placement p = MakePlacement(8, 8);
+  const int total_before =
+      p.total_slots();
+  const Assignment a = SkewedAssignment(8, 8, 64000, 800);
+  for (int i = 0; i < 8; ++i) {
+    const auto plan = f.pm.MakeSchedulingPlan(a, p);
+    if (plan.empty()) break;
+    for (const ModOp& op : plan) ASSERT_TRUE(ApplyOp(op, &p).ok());
+  }
+  int used = 0;
+  for (GpuId g = 0; g < 8; ++g) used += p.UsedSlots(g);
+  // Paired Expand/Shrink keeps the total used-slot count constant.
+  EXPECT_EQ(used, total_before);
+}
+
+TEST(PolicyMakerTest, RespectsMinImprovementGuard) {
+  PolicyMakerOptions strict;
+  strict.min_improvement_frac = 0.99;  // require a 99% improvement
+  Fixture f = Fixture::Make();
+  PolicyMaker pm(&f.cost, strict);
+  const Placement p = MakePlacement(8, 8);
+  const Assignment a = SkewedAssignment(8, 8, 64000, 800);
+  EXPECT_TRUE(pm.MakeSchedulingPlan(a, p).empty());
+}
+
+TEST(PolicyMakerTest, TotalSyncSecondsZeroWithoutReplicas) {
+  const Fixture f = Fixture::Make();
+  const Placement p = MakePlacement(8, 8);
+  EXPECT_EQ(f.pm.TotalSyncSeconds(p), 0.0);
+}
+
+TEST(PolicyMakerTest, MigrationConsolidatesCrossNodeReplicas) {
+  const Fixture f = Fixture::Make(2, 4);  // nodes {0..3}, {4..7}
+  Placement p = MakePlacement(8, 8);
+  // Expert 0: replicas on g0, g1 (node 0) and a lonely one on g4 (node 1).
+  ASSERT_TRUE(p.RemoveVExpert(1, 1).ok());
+  ASSERT_TRUE(p.AddVExpert(0, 1).ok());
+  ASSERT_TRUE(p.RemoveVExpert(4, 4).ok());
+  ASSERT_TRUE(p.AddVExpert(0, 4).ok());
+  const double sync_before = f.pm.TotalSyncSeconds(p);
+  EXPECT_GT(sync_before, 0.0);
+
+  const std::vector<ModOp> migrations = f.pm.PlanMigrations(p, 4);
+  ASSERT_FALSE(migrations.empty());
+  for (const ModOp& op : migrations) {
+    EXPECT_EQ(op.type, ModOpType::kMigrate);
+    ASSERT_TRUE(ApplyOp(op, &p).ok());
+  }
+  const double sync_after = f.pm.TotalSyncSeconds(p);
+  EXPECT_LT(sync_after, sync_before);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(PolicyMakerTest, NoMigrationWhenAlreadyConsolidated) {
+  const Fixture f = Fixture::Make();
+  Placement p = MakePlacement(8, 8);
+  // Replicas within one node only.
+  ASSERT_TRUE(p.RemoveVExpert(1, 1).ok());
+  ASSERT_TRUE(p.AddVExpert(0, 1).ok());
+  EXPECT_TRUE(f.pm.PlanMigrations(p, 4).empty());
+}
+
+}  // namespace
+}  // namespace flexmoe

@@ -1,0 +1,140 @@
+// Tests for the pre-training profiling pass: linear fits, calibrated
+// profiles, and estimate-vs-engine agreement (the property behind the
+// paper's Figure 6(c): < 3% mean error).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collective/profiler.h"
+
+namespace flexmoe {
+namespace {
+
+Topology MakeTopo(int nodes = 2, int gpus_per_node = 4) {
+  TopologyOptions opts;
+  opts.num_nodes = nodes;
+  opts.gpus_per_node = gpus_per_node;
+  return *Topology::Create(opts);
+}
+
+TEST(FitLinearTest, ExactRecovery) {
+  // y = 0.5 + 2x
+  const LinearCost fit = FitLinear({1, 2, 3, 4}, {2.5, 4.5, 6.5, 8.5});
+  EXPECT_NEAR(fit.alpha_sec, 0.5, 1e-9);
+  EXPECT_NEAR(fit.beta_sec_per_byte, 2.0, 1e-9);
+  EXPECT_NEAR(fit.Seconds(10), 20.5, 1e-9);
+}
+
+TEST(FitLinearTest, NegativeInterceptClampsToZero) {
+  const LinearCost fit = FitLinear({1, 2}, {0.5, 1.5});  // y = -0.5 + x
+  EXPECT_EQ(fit.alpha_sec, 0.0);
+}
+
+TEST(ProfilerOptionsTest, Validation) {
+  ProfilerOptions opts;
+  EXPECT_TRUE(opts.Validate().ok());
+  opts.compute_tokens = {100};
+  EXPECT_FALSE(opts.Validate().ok());
+  opts = ProfilerOptions{};
+  opts.max_group_size = 1;
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(ProfilerTest, CalibrateRejectsBadFlops) {
+  const Topology topo = MakeTopo();
+  Profiler profiler(&topo, GpuSpec{}, ProfilerOptions{});
+  EXPECT_FALSE(profiler.Calibrate(0.0).ok());
+}
+
+TEST(ProfilerTest, ComputeCalibrationMatchesEngine) {
+  const Topology topo = MakeTopo();
+  const GpuSpec spec;
+  Profiler profiler(&topo, spec, ProfilerOptions{});
+  const double flops = 1.4e7;  // GPT-MoE-S expert fwd+bwd FLOPs/token scale
+  const HardwareProfile profile = *profiler.Calibrate(flops);
+
+  // Estimated compute time must match the engine on unseen sizes.
+  ClusterState cluster(&topo);
+  for (double tokens : {500.0, 3000.0, 60000.0}) {
+    ClusterState fresh(&topo);
+    const double real = ExecCompute(&fresh, profile, 0, tokens, flops, 0.0);
+    const double est = profile.ComputeSeconds(tokens, flops);
+    EXPECT_NEAR(est, real, real * 0.03) << tokens;
+  }
+}
+
+TEST(ProfilerTest, P2pCalibrationMatchesEngine) {
+  const Topology topo = MakeTopo();
+  Profiler profiler(&topo, GpuSpec{}, ProfilerOptions{});
+  const HardwareProfile profile = *profiler.Calibrate(1e7);
+  for (double bytes : {2e5, 5e6, 2e8}) {
+    ClusterState fresh(&topo);
+    const CollectiveResult real = ExecP2p(&fresh, profile, bytes, 0, 5, 0.0);
+    const double est = profile.P2pSeconds(bytes, 0, 5);
+    EXPECT_NEAR(est, real.finish, real.finish * 0.03) << bytes;
+  }
+}
+
+TEST(ProfilerTest, AllReduceCalibrationCoversGroups) {
+  const Topology topo = MakeTopo();
+  ProfilerOptions opts;
+  opts.max_group_size = 6;
+  Profiler profiler(&topo, GpuSpec{}, opts);
+  const HardwareProfile profile = *profiler.Calibrate(1e7);
+
+  // Single-node signature present up to gpus/node, multi-node beyond.
+  EXPECT_NE(profile.FindAllReduceCalibration({2, 1}), nullptr);
+  EXPECT_NE(profile.FindAllReduceCalibration({4, 1}), nullptr);
+  EXPECT_NE(profile.FindAllReduceCalibration({2, 2}), nullptr);
+}
+
+TEST(ProfilerTest, AllReduceEstimateMatchesEngine) {
+  const Topology topo = MakeTopo();
+  Profiler profiler(&topo, GpuSpec{}, ProfilerOptions{});
+  const HardwareProfile profile = *profiler.Calibrate(1e7);
+
+  const std::vector<std::vector<GpuId>> groups = {
+      {0, 1}, {0, 1, 2, 3}, {0, 4}, {0, 1, 4, 5}};
+  for (const auto& group : groups) {
+    for (double bytes : {1e6, 3e7}) {
+      ClusterState fresh(&topo);
+      const CollectiveResult real =
+          ExecRingAllReduce(&fresh, profile, bytes, group, 0.0);
+      const double est = profile.AllReduceSeconds(bytes, group);
+      EXPECT_NEAR(est, real.finish, real.finish * 0.05)
+          << "k=" << group.size() << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(ProfilerTest, Figure6cStyleMeanErrorBelow3Percent) {
+  // Aggregate estimate/real ratio across primitives and sizes — the exact
+  // experiment of paper Figure 6(c).
+  const Topology topo = MakeTopo(4, 8);
+  Profiler profiler(&topo, GpuSpec{}, ProfilerOptions{});
+  const double flops = 1.4e7;
+  const HardwareProfile profile = *profiler.Calibrate(flops);
+
+  double total_err = 0.0;
+  int n = 0;
+  for (double tokens : {512.0, 2048.0, 8192.0, 32768.0}) {
+    ClusterState fresh(&topo);
+    const double real = ExecCompute(&fresh, profile, 0, tokens, flops, 0.0);
+    total_err += std::abs(profile.ComputeSeconds(tokens, flops) / real - 1.0);
+    ++n;
+  }
+  for (double bytes : {1e6, 1e7, 1e8}) {
+    ClusterState fresh(&topo);
+    const CollectiveResult real =
+        ExecRingAllReduce(&fresh, profile, bytes, {0, 1, 8, 9}, 0.0);
+    total_err +=
+        std::abs(profile.AllReduceSeconds(bytes, {0, 1, 8, 9}) / real.finish -
+                 1.0);
+    ++n;
+  }
+  EXPECT_LT(total_err / n, 0.03);
+}
+
+}  // namespace
+}  // namespace flexmoe

@@ -1,0 +1,168 @@
+// Tests for the statistical-efficiency (convergence) model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quality/convergence.h"
+#include "quality/targets.h"
+
+namespace flexmoe {
+namespace {
+
+QualityCalibration PplCalib() {
+  QualityCalibration c;
+  c.metric_name = "PPL";
+  c.kind = MetricKind::kPerplexity;
+  c.deepspeed_value = 3.53;
+  c.flexmoe_value = 3.14;
+  c.u_total_tokens = 18e9;
+  return c;
+}
+
+QualityCalibration AccCalib() {
+  QualityCalibration c;
+  c.metric_name = "acc@5";
+  c.kind = MetricKind::kAccuracy;
+  c.deepspeed_value = 93.838;
+  c.flexmoe_value = 94.042;
+  c.u_total_tokens = 18e9;
+  return c;
+}
+
+TEST(QualityCalibrationTest, Validation) {
+  EXPECT_TRUE(PplCalib().Validate().ok());
+  QualityCalibration c = PplCalib();
+  c.flexmoe_value = 4.0;  // PPL must improve for FlexMoE
+  EXPECT_FALSE(c.Validate().ok());
+  c = AccCalib();
+  c.flexmoe_value = 90.0;  // accuracy must improve for FlexMoE
+  EXPECT_FALSE(c.Validate().ok());
+  c = PplCalib();
+  c.nominal_ds_token_eff = 1.2;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConvergenceModelTest, AnchorsReproduceTable2) {
+  const ConvergenceModel m = *ConvergenceModel::Create(PplCalib());
+  // FlexMoE anchor: full budget at 100% efficiency.
+  EXPECT_NEAR(m.MetricAt(18e9, 0.001), 3.14, 1e-9);
+  // DeepSpeed anchor: nominal efficiency x budget.
+  EXPECT_NEAR(m.MetricAt(18e9 * PplCalib().nominal_ds_token_eff, 0.001),
+              3.53, 1e-9);
+}
+
+TEST(ConvergenceModelTest, AccuracyAnchors) {
+  const ConvergenceModel m = *ConvergenceModel::Create(AccCalib());
+  EXPECT_NEAR(m.MetricAt(18e9, 0.001), 94.042, 1e-9);
+  EXPECT_NEAR(m.MetricAt(18e9 * AccCalib().nominal_ds_token_eff, 0.001),
+              93.838, 1e-9);
+  EXPECT_FALSE(m.LowerIsBetter());
+}
+
+TEST(ConvergenceModelTest, MonotoneInTokens) {
+  const ConvergenceModel ppl = *ConvergenceModel::Create(PplCalib());
+  const ConvergenceModel acc = *ConvergenceModel::Create(AccCalib());
+  double last_ppl = 1e9, last_acc = 0.0;
+  for (double u = 1e9; u <= 64e9; u *= 2) {
+    const double p = ppl.MetricAt(u, 0.001);
+    const double a = acc.MetricAt(u, 0.001);
+    EXPECT_LT(p, last_ppl);  // perplexity falls with more tokens
+    EXPECT_GT(a, last_acc);  // accuracy rises
+    last_ppl = p;
+    last_acc = a;
+  }
+}
+
+TEST(ConvergenceModelTest, InverseRoundtrip) {
+  const ConvergenceModel m = *ConvergenceModel::Create(PplCalib());
+  for (double u : {2e9, 9e9, 18e9, 40e9}) {
+    const double metric = m.MetricAt(u, 0.001);
+    const double back = m.EffectiveTokensForMetric(metric, 0.001);
+    EXPECT_NEAR(back, u, u * 1e-6);
+  }
+}
+
+TEST(ConvergenceModelTest, UnreachableTargetIsInfinite) {
+  const ConvergenceModel m = *ConvergenceModel::Create(PplCalib());
+  // Below the asymptote: unreachable.
+  EXPECT_TRUE(std::isinf(
+      m.EffectiveTokensForMetric(m.asymptote() - 0.01, 0.001)));
+}
+
+TEST(ConvergenceModelTest, DefaultTargetIsDeepSpeedValue) {
+  const ConvergenceModel m = *ConvergenceModel::Create(PplCalib());
+  EXPECT_DOUBLE_EQ(m.DefaultTarget(), 3.53);
+}
+
+TEST(BalanceLossPenaltyTest, MatchesFigure2Fit) {
+  EXPECT_DOUBLE_EQ(BalanceLossPenalty(0.0), 0.0);
+  // Figure 2: acc drop ~0.11 points at coef 0.001, ~0.61 at coef 0.05.
+  EXPECT_NEAR(BalanceLossPenalty(0.001), 0.114, 0.03);
+  EXPECT_NEAR(BalanceLossPenalty(0.05), 0.607, 0.1);
+  // Monotone increasing.
+  EXPECT_LT(BalanceLossPenalty(0.001), BalanceLossPenalty(0.01));
+}
+
+TEST(ConvergenceModelTest, LargerCoefWorsensQuality) {
+  const ConvergenceModel acc = *ConvergenceModel::Create(AccCalib());
+  const double base = acc.MetricAt(18e9, 0.001);
+  EXPECT_LT(acc.MetricAt(18e9, 0.05), base);
+  EXPECT_GT(acc.MetricAt(18e9, 0.0), base);  // no balance loss: best quality
+  const ConvergenceModel ppl = *ConvergenceModel::Create(PplCalib());
+  EXPECT_GT(ppl.MetricAt(18e9, 0.05), ppl.MetricAt(18e9, 0.001));
+}
+
+TEST(ConvergenceModelTest, PenaltyShiftsTokensToTarget) {
+  const ConvergenceModel m = *ConvergenceModel::Create(AccCalib());
+  const double u1 = m.EffectiveTokensForMetric(93.838, 0.001);
+  const double u2 = m.EffectiveTokensForMetric(93.838, 0.01);
+  EXPECT_GT(u2, u1);  // heavier balance loss needs more tokens
+}
+
+TEST(EffectiveTokenRateTest, PerSystemSemantics) {
+  EXPECT_DOUBLE_EQ(EffectiveTokenRate("FlexMoE", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(EffectiveTokenRate("DeepSpeed", 0.6), 0.6);
+  // SWIPE: re-assigned tokens retain 25% value.
+  EXPECT_NEAR(EffectiveTokenRate("SWIPE", 0.6), 0.6 + 0.25 * 0.4, 1e-12);
+  EXPECT_GT(EffectiveTokenRate("swipe", 0.6),
+            EffectiveTokenRate("deepspeed", 0.6));
+}
+
+TEST(TargetsTest, AllTable1ModelsCovered) {
+  for (const ModelConfig& model : AllModelPresets()) {
+    const auto q = QualityForModel(model);
+    ASSERT_TRUE(q.ok()) << model.name;
+    EXPECT_FALSE(q->metrics.empty());
+    for (const QualityCalibration& c : q->metrics) {
+      EXPECT_TRUE(c.Validate().ok()) << model.name << " " << c.metric_name;
+    }
+    EXPECT_TRUE(PrimaryConvergence(model).ok()) << model.name;
+  }
+}
+
+TEST(TargetsTest, SwinReportsAccuracies) {
+  const ModelQuality q = *QualityForModel(SwinMoES());
+  ASSERT_EQ(q.metrics.size(), 2u);
+  EXPECT_EQ(q.metrics[0].metric_name, "acc@1");
+  EXPECT_EQ(q.metrics[1].metric_name, "acc@5");
+  EXPECT_EQ(q.primary().metric_name, "acc@5");
+  EXPECT_EQ(q.primary().kind, MetricKind::kAccuracy);
+}
+
+TEST(TargetsTest, NlpModelsReportPerplexity) {
+  const ModelQuality q = *QualityForModel(GptMoEL());
+  ASSERT_EQ(q.metrics.size(), 1u);
+  EXPECT_EQ(q.primary().metric_name, "PPL");
+  EXPECT_DOUBLE_EQ(q.primary().deepspeed_value, 10.71);
+  EXPECT_DOUBLE_EQ(q.primary().flexmoe_value, 10.47);
+}
+
+TEST(TargetsTest, UnknownModelRejected) {
+  ModelConfig fake = GptMoES();
+  fake.name = "Unknown-MoE";
+  EXPECT_FALSE(QualityForModel(fake).ok());
+}
+
+}  // namespace
+}  // namespace flexmoe

@@ -1,0 +1,225 @@
+// Tests for flexible token routing (Algorithm 3): conservation, locality,
+// even partitioning, and proportional spill.
+
+#include <gtest/gtest.h>
+
+#include "core/balance.h"
+#include "core/router.h"
+#include "util/rng.h"
+
+namespace flexmoe {
+namespace {
+
+Placement MakePlacement(int experts, int gpus, int slots) {
+  PlacementOptions o;
+  o.num_experts = experts;
+  o.num_gpus = gpus;
+  o.slots_per_gpu = slots;
+  return *Placement::ExpertParallel(o);
+}
+
+TEST(RouterTest, AllLocalWhenCapacitySuffices) {
+  // One expert, one GPU hosting it, all tokens local.
+  Placement p = MakePlacement(2, 2, 2);
+  Assignment a(2, 2);
+  a.set(0, 0, 100);
+  a.set(1, 1, 80);
+  const RoutedAssignment r = FlexibleRouter::Route(a, p);
+  EXPECT_EQ(r.expert_gpu_tokens[0][0], 100);
+  EXPECT_EQ(r.expert_gpu_tokens[1][1], 80);
+  EXPECT_EQ(r.dispatch[0][0], 100);
+  EXPECT_EQ(r.CrossGpuTokens(), 0);
+}
+
+TEST(RouterTest, RemoteTokensDispatchToHost) {
+  Placement p = MakePlacement(2, 2, 2);
+  Assignment a(2, 2);
+  a.set(0, 1, 60);  // tokens for expert 0 originate on GPU 1; expert 0 @ GPU 0
+  const RoutedAssignment r = FlexibleRouter::Route(a, p);
+  EXPECT_EQ(r.expert_gpu_tokens[0][0], 60);
+  EXPECT_EQ(r.dispatch[1][0], 60);
+  EXPECT_EQ(r.CrossGpuTokens(), 60);
+}
+
+TEST(RouterTest, ReplicasSplitEvenly) {
+  // Expert 0 with replicas on both GPUs: cap = ceil(I_e / n_e).
+  Placement p = MakePlacement(2, 2, 2);
+  ASSERT_TRUE(p.RemoveVExpert(0, 0).ok());   // e0: 1 vExpert @ g0
+  ASSERT_TRUE(p.RemoveVExpert(1, 1).ok());   // free a slot on g1
+  ASSERT_TRUE(p.AddVExpert(0, 1).ok());      // e0: replicas on g0 and g1
+  Assignment a(2, 2);
+  a.set(0, 0, 100);
+  a.set(0, 1, 100);
+  const RoutedAssignment r = FlexibleRouter::Route(a, p);
+  // Even partitioning: each replica gets exactly cap = 100 tokens, locally.
+  EXPECT_EQ(r.expert_gpu_tokens[0][0], 100);
+  EXPECT_EQ(r.expert_gpu_tokens[0][1], 100);
+  EXPECT_EQ(r.CrossGpuTokens(), 0);
+}
+
+TEST(RouterTest, LocalityFirstThenSpill) {
+  Placement p = MakePlacement(2, 2, 2);
+  ASSERT_TRUE(p.RemoveVExpert(0, 0).ok());
+  ASSERT_TRUE(p.RemoveVExpert(1, 1).ok());
+  ASSERT_TRUE(p.AddVExpert(0, 1).ok());
+  // All 200 tokens of expert 0 originate on GPU 0; cap = 100 per vExpert.
+  Assignment a(2, 2);
+  a.set(0, 0, 200);
+  const RoutedAssignment r = FlexibleRouter::Route(a, p);
+  // Locality first: 100 stay; spill: 100 go to the g1 replica.
+  EXPECT_EQ(r.expert_gpu_tokens[0][0], 100);
+  EXPECT_EQ(r.expert_gpu_tokens[0][1], 100);
+  EXPECT_EQ(r.dispatch[0][1], 100);
+}
+
+TEST(RouterTest, SpillProportionalToAvailability) {
+  // Expert 0: 1 vExpert on g0, 2 on g1, 1 on g2. Tokens all from g3.
+  Placement q = MakePlacement(4, 4, 4);
+  // Shrink e0@g0 down to 1 vExpert.
+  while (q.VExpertsOn(0, 0) > 1) ASSERT_TRUE(q.RemoveVExpert(0, 0).ok());
+  // Free slots on g1/g2 and add replicas: 2 on g1, 1 on g2.
+  ASSERT_TRUE(q.RemoveVExpert(1, 1).ok());
+  ASSERT_TRUE(q.RemoveVExpert(1, 1).ok());
+  ASSERT_TRUE(q.RemoveVExpert(2, 2).ok());
+  ASSERT_TRUE(q.AddVExpert(0, 1).ok());
+  ASSERT_TRUE(q.AddVExpert(0, 1).ok());
+  ASSERT_TRUE(q.AddVExpert(0, 2).ok());
+  ASSERT_EQ(q.VExperts(0), 4);
+
+  Assignment a(4, 4);
+  a.set(0, 3, 400);  // all tokens from non-host GPU 3; cap = 100
+  const RoutedAssignment r = FlexibleRouter::Route(a, q);
+  // Availability: g0 = 100, g1 = 200, g2 = 100 -> proportional split.
+  EXPECT_EQ(r.expert_gpu_tokens[0][0], 100);
+  EXPECT_EQ(r.expert_gpu_tokens[0][1], 200);
+  EXPECT_EQ(r.expert_gpu_tokens[0][2], 100);
+}
+
+TEST(RouterTest, PerReplicaQuotaNeverExceeded) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int experts = 8, gpus = 4;
+    Placement p = MakePlacement(experts, gpus, 4);
+    // Random placement churn.
+    for (int i = 0; i < 20; ++i) {
+      const int e = static_cast<int>(rng.UniformInt(experts));
+      const GpuId g = static_cast<GpuId>(rng.UniformInt(gpus));
+      if (rng.Uniform() < 0.5) {
+        (void)p.RemoveVExpert(e, g);
+      } else {
+        (void)p.AddVExpert(e, g);
+      }
+    }
+    ASSERT_TRUE(p.Validate().ok());
+    Assignment a(experts, gpus);
+    for (int e = 0; e < experts; ++e) {
+      for (int g = 0; g < gpus; ++g) {
+        a.set(e, g, static_cast<int64_t>(rng.UniformInt(300)));
+      }
+    }
+    const RoutedAssignment r = FlexibleRouter::Route(a, p);
+    for (int e = 0; e < experts; ++e) {
+      const int64_t total = a.ExpertTotal(e);
+      if (total == 0) continue;
+      const int64_t cap =
+          (total + p.VExperts(e) - 1) / p.VExperts(e);
+      for (int g = 0; g < gpus; ++g) {
+        EXPECT_LE(r.expert_gpu_tokens[static_cast<size_t>(e)]
+                                     [static_cast<size_t>(g)],
+                  cap * p.VExpertsOn(e, g))
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(RouterTest, PropertyTokenConservation) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int experts = 16, gpus = 8;
+    Placement p = MakePlacement(experts, gpus, 4);
+    for (int i = 0; i < 30; ++i) {
+      const int e = static_cast<int>(rng.UniformInt(experts));
+      const GpuId g = static_cast<GpuId>(rng.UniformInt(gpus));
+      if (rng.Uniform() < 0.5) {
+        (void)p.RemoveVExpert(e, g);
+      } else {
+        (void)p.AddVExpert(e, g);
+      }
+    }
+    Assignment a(experts, gpus);
+    for (int e = 0; e < experts; ++e) {
+      for (int g = 0; g < gpus; ++g) {
+        a.set(e, g, static_cast<int64_t>(rng.UniformInt(1000)));
+      }
+    }
+    const RoutedAssignment r = FlexibleRouter::Route(a, p);
+    // No token created or destroyed, globally and per expert.
+    EXPECT_EQ(r.Total(), a.Total()) << trial;
+    for (int e = 0; e < experts; ++e) {
+      int64_t routed = 0;
+      for (int g = 0; g < gpus; ++g) {
+        routed += r.expert_gpu_tokens[static_cast<size_t>(e)]
+                                     [static_cast<size_t>(g)];
+      }
+      EXPECT_EQ(routed, a.ExpertTotal(e)) << trial << " e" << e;
+    }
+    // Dispatch row sums equal per-GPU token origins.
+    for (int g = 0; g < gpus; ++g) {
+      int64_t sent = 0;
+      for (int d = 0; d < gpus; ++d) {
+        sent += r.dispatch[static_cast<size_t>(g)][static_cast<size_t>(d)];
+      }
+      EXPECT_EQ(sent, a.GpuTotal(g)) << trial << " g" << g;
+    }
+  }
+}
+
+TEST(RouterTest, ReplicationImprovesBalance) {
+  // The whole point of replicated expert parallelism: replicating the hot
+  // expert lowers the balance ratio.
+  Placement p = MakePlacement(4, 4, 2);
+  Assignment a(4, 4);
+  for (int g = 0; g < 4; ++g) a.set(0, g, 500);  // expert 0 very hot
+  for (int e = 1; e < 4; ++e) {
+    for (int g = 0; g < 4; ++g) a.set(e, g, 50);
+  }
+  const double before = BalanceRatioOf(a, p);
+
+  Placement replicated = p;
+  for (GpuId g = 1; g < 4; ++g) {
+    ASSERT_TRUE(replicated.RemoveVExpert(static_cast<int>(g), g).ok());
+    ASSERT_TRUE(replicated.AddVExpert(0, g).ok());
+  }
+  const double after = BalanceRatioOf(a, replicated);
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 1.0);
+}
+
+// --- Balance metrics -------------------------------------------------------
+
+TEST(BalanceTest, RatioOnKnownLoads) {
+  EXPECT_DOUBLE_EQ(BalanceRatio({10, 10, 10, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(BalanceRatio({40, 0, 0, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(BalanceRatio({30, 10}), 1.5);
+  EXPECT_DOUBLE_EQ(BalanceRatio({}), 1.0);
+  EXPECT_DOUBLE_EQ(BalanceRatio({0, 0}), 1.0);
+}
+
+TEST(BalanceTest, RatioAlwaysAtLeastOne) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> loads;
+    for (int i = 0; i < 16; ++i) loads.push_back(rng.Uniform(0, 100));
+    EXPECT_GE(BalanceRatio(loads), 1.0 - 1e-12);
+  }
+}
+
+TEST(BalanceTest, VarianceMetric) {
+  EXPECT_DOUBLE_EQ(BalanceVariance({5, 5, 5}), 0.0);
+  EXPECT_NEAR(BalanceVariance({1, 3}), 0.5, 1e-12);  // CV
+  EXPECT_DOUBLE_EQ(BalanceVariance({}), 0.0);
+}
+
+}  // namespace
+}  // namespace flexmoe

@@ -1,0 +1,147 @@
+// Tests for the static (predictive) placement planner.
+
+#include <gtest/gtest.h>
+
+#include "core/balance.h"
+#include "core/static_planner.h"
+#include "gate/trace_generator.h"
+
+namespace flexmoe {
+namespace {
+
+Topology MakeTopo(int gpus) {
+  return *Topology::Create(AzureA100Options(gpus));
+}
+
+TEST(ApportionTest, UniformLoadsUniformSlots) {
+  const auto counts = ApportionVExperts({1, 1, 1, 1}, 16);
+  EXPECT_EQ(counts, (std::vector<int>{4, 4, 4, 4}));
+}
+
+TEST(ApportionTest, ProportionalWithFloorOfOne) {
+  // Loads 90/5/5/0: expert 3 still gets its mandatory vExpert.
+  const auto counts = ApportionVExperts({90, 5, 5, 0}, 16);
+  EXPECT_EQ(counts[3], 1);
+  int total = 0;
+  for (int c : counts) {
+    EXPECT_GE(c, 1);
+    total += c;
+  }
+  EXPECT_EQ(total, 16);
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GE(counts[0], 10);  // ~90% of the 12 free slots
+}
+
+TEST(ApportionTest, ZeroLoadsFallBackToOneEach) {
+  const auto counts = ApportionVExperts({0, 0, 0}, 12);
+  EXPECT_EQ(counts, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ApportionTest, ExactTotal) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> loads;
+    for (int i = 0; i < 17; ++i) loads.push_back(rng.Uniform(0, 50));
+    const auto counts = ApportionVExperts(loads, 64);
+    int total = 0;
+    for (int c : counts) {
+      EXPECT_GE(c, 1);
+      total += c;
+    }
+    EXPECT_EQ(total, 64);
+  }
+}
+
+TEST(StaticPlannerTest, BalancesSkewedExpectation) {
+  const Topology topo = MakeTopo(8);
+  StaticPlannerOptions o;
+  o.placement.num_experts = 16;
+  o.placement.num_gpus = 8;
+  o.placement.slots_per_gpu = 4;
+
+  // One dominant expert.
+  std::vector<double> loads(16, 100.0);
+  loads[3] = 2000.0;
+  const Placement p = *PlanStaticPlacement(loads, topo, o);
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_GT(p.VExperts(3), 6);  // the hot expert got most of the budget
+
+  // Expected per-GPU weights are near-uniform: route a proportional
+  // assignment and check the balance ratio.
+  Assignment a(16, 8);
+  for (int e = 0; e < 16; ++e) {
+    for (int g = 0; g < 8; ++g) {
+      a.set(e, g, static_cast<int64_t>(loads[static_cast<size_t>(e)] / 8));
+    }
+  }
+  EXPECT_LT(BalanceRatioOf(a, p), 1.5);
+  // Far better than the static expert-parallel start.
+  const Placement ep = *Placement::ExpertParallel(o.placement);
+  EXPECT_LT(BalanceRatioOf(a, p), BalanceRatioOf(a, ep) * 0.5);
+}
+
+TEST(StaticPlannerTest, NodeAffinityShrinksGroupSpan) {
+  const Topology topo = MakeTopo(16);  // 2 nodes
+  StaticPlannerOptions affine;
+  affine.placement.num_experts = 16;
+  affine.placement.num_gpus = 16;
+  affine.placement.slots_per_gpu = 4;
+  StaticPlannerOptions spread = affine;
+  spread.node_affine = false;
+
+  std::vector<double> loads(16, 50.0);
+  loads[0] = 900.0;  // needs ~ a node's worth of replicas
+  const Placement pa = *PlanStaticPlacement(loads, topo, affine);
+  const Placement ps = *PlanStaticPlacement(loads, topo, spread);
+  EXPECT_LE(topo.NodesSpanned(pa.HostGpus(0)),
+            topo.NodesSpanned(ps.HostGpus(0)));
+}
+
+TEST(StaticPlannerTest, RejectsBadInputs) {
+  const Topology topo = MakeTopo(8);
+  StaticPlannerOptions o;
+  o.placement.num_experts = 16;
+  o.placement.num_gpus = 8;
+  EXPECT_FALSE(
+      PlanStaticPlacement(std::vector<double>(4, 1.0), topo, o).ok());
+  o.placement.num_gpus = 16;  // != topo
+  EXPECT_FALSE(
+      PlanStaticPlacement(std::vector<double>(16, 1.0), topo, o).ok());
+}
+
+TEST(StaticPlannerTest, PlanFromTraceWarmStart) {
+  const Topology topo = MakeTopo(8);
+  TraceGeneratorOptions t;
+  t.num_experts = 16;
+  t.num_moe_layers = 1;
+  t.num_gpus = 8;
+  t.tokens_per_gpu = 4096;
+  t.seed = 13;
+  auto gen = *TraceGenerator::Create(t);
+  RoutingTrace trace;
+  for (int s = 0; s < 30; ++s) {
+    ASSERT_TRUE(trace.Append(gen.Step()).ok());
+  }
+
+  StaticPlannerOptions o;
+  o.placement.num_experts = 16;
+  o.placement.num_gpus = 8;
+  const Placement planned = *PlanFromTrace(trace, 0, topo, o);
+
+  // Warm start must beat the canonical expert-parallel placement on the
+  // continuation of the same workload.
+  const Placement ep = *Placement::ExpertParallel(o.placement);
+  double planned_bal = 0.0, ep_bal = 0.0;
+  for (int s = 0; s < 10; ++s) {
+    const Assignment a = gen.Step()[0];
+    planned_bal += BalanceRatioOf(a, planned);
+    ep_bal += BalanceRatioOf(a, ep);
+  }
+  EXPECT_LT(planned_bal, ep_bal * 0.7);
+
+  EXPECT_FALSE(PlanFromTrace(RoutingTrace{}, 0, topo, o).ok());
+  EXPECT_FALSE(PlanFromTrace(trace, 9, topo, o).ok());
+}
+
+}  // namespace
+}  // namespace flexmoe
