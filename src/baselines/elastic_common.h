@@ -1,0 +1,49 @@
+// Shared fault-boundary handling for the static baselines (DeepSpeed-EP,
+// FasterMoE, SWIPE). All three follow the same discipline — checkpoint
+// restart + wholesale failover on membership change — so the boundary
+// firing and the fault fields of their StepMetrics live here, once.
+
+#ifndef FLEXMOE_BASELINES_ELASTIC_COMMON_H_
+#define FLEXMOE_BASELINES_ELASTIC_COMMON_H_
+
+#include "core/metrics.h"
+#include "core/step_executor.h"
+#include "elastic/elastic_controller.h"
+
+namespace flexmoe {
+
+/// \brief Fires the fault boundary for a static system: repairs
+/// `placement` (restart + failover) and blocks every stream for the
+/// recovery time. No-op without an installed plan.
+inline ElasticController::StepReport StaticFaultBoundary(
+    ElasticController* elastic, int64_t step, Placement* placement,
+    double expert_state_bytes, ClusterState* cluster,
+    StepExecutor* step_executor) {
+  ElasticController::StepReport report;
+  if (!elastic->active()) return report;
+  report = elastic->OnStepBoundary(step, {placement}, nullptr,
+                                   expert_state_bytes);
+  if (report.recovery_seconds > 0.0) {
+    cluster->BlockAll(step_executor->Frontier(), report.recovery_seconds);
+  }
+  return report;
+}
+
+/// \brief Fills the fault fields of a static system's StepMetrics.
+/// Degraded mode is a state, not an event: it is recomputed from the
+/// current placement every step, not only on boundaries where events
+/// fired.
+inline void FillFaultMetrics(const ElasticController& elastic,
+                             const ElasticController::StepReport& report,
+                             const Placement& placement,
+                             StepMetrics* metrics) {
+  metrics->recovery_seconds = report.recovery_seconds;
+  metrics->faults_applied = static_cast<int>(report.events.size());
+  metrics->degraded =
+      elastic.active() && !elastic.health().AllHealthy() &&
+      ExpertsWithoutLiveReplica(placement, elastic.health()) > 0;
+}
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_BASELINES_ELASTIC_COMMON_H_

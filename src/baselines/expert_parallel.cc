@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "baselines/elastic_common.h"
 #include "core/balance.h"
 
 namespace flexmoe {
@@ -30,6 +31,7 @@ Result<Placement> FixedExpertParallelPlacement(int num_experts,
 Status ExpertParallelOptions::Validate() const {
   FLEXMOE_RETURN_IF_ERROR(model.Validate());
   if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
+  FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
   return Status::OK();
 }
 
@@ -56,8 +58,20 @@ ExpertParallelSystem::ExpertParallelSystem(
       topo_(topo),
       profile_(profile),
       cluster_(topo),
+      elastic_(options.num_gpus, topo,
+               [&options] {
+                 ElasticControllerOptions o = options.elastic;
+                 o.elastic = false;  // static layout: restart + failover
+                 return o;
+               }()),
       placement_(std::move(placement)),
-      step_executor_(&cluster_, profile, options.model) {}
+      step_executor_(&cluster_, profile, options.model) {
+  step_executor_.set_cluster_health(&elastic_.health());
+}
+
+Status ExpertParallelSystem::InstallFaultPlan(const FaultPlan& plan) {
+  return elastic_.InstallPlan(plan);
+}
 
 StepMetrics ExpertParallelSystem::RunStep(
     const std::vector<Assignment>& layer_assignments) {
@@ -65,22 +79,35 @@ StepMetrics ExpertParallelSystem::RunStep(
                 options_.model.num_moe_layers);
   const int num_layers = static_cast<int>(layer_assignments.size());
 
+  // Fault boundary: a static system restarts from checkpoint on membership
+  // change; its dead devices' experts fail over to one peer each.
+  const ElasticController::StepReport fault_report =
+      StaticFaultBoundary(&elastic_, step_, &placement_,
+                          options_.model.expert_state_bytes(), &cluster_,
+                          &step_executor_);
+  int64_t fault_dropped = 0;
+  const bool adjust = elastic_.NeedsAssignmentAdjustment();
+
   int64_t total = 0, dropped = 0;
   double balance_sum = 0.0;
   std::vector<RoutedAssignment> routed;
   routed.reserve(static_cast<size_t>(num_layers));
   for (const Assignment& assignment : layer_assignments) {
     total += assignment.Total();
-    const Assignment* effective = &assignment;
+    const Assignment adjusted =
+        adjust ? elastic_.AdjustAssignment(assignment, &fault_dropped)
+               : Assignment();
+    const Assignment* effective = adjust ? &adjusted : &assignment;
     CapacityResult capped;
     if (options_.capacity_factor > 0.0) {
-      capped = ApplyCapacity(assignment, options_.capacity_factor);
+      capped = ApplyCapacity(*effective, options_.capacity_factor);
       dropped += capped.dropped;
       effective = &capped.kept;
     }
     routed.push_back(FlexibleRouter::Route(*effective, placement_));
     balance_sum += BalanceRatio(routed.back().PerGpuComputeLoads());
   }
+  dropped += fault_dropped;
 
   std::vector<LayerWork> work(static_cast<size_t>(num_layers));
   for (int l = 0; l < num_layers; ++l) {
@@ -94,10 +121,13 @@ StepMetrics ExpertParallelSystem::RunStep(
                       static_cast<double>(total)
                 : 1.0;
   StepMetrics metrics = MetricsFromTiming(
-      step_, timing.StepSeconds(), timing.a2a_seconds, timing.compute_seconds,
-      timing.sync_seconds, timing.non_moe_seconds + timing.dp_sync_seconds,
+      step_, timing.StepSeconds() + fault_report.recovery_seconds,
+      timing.a2a_seconds, timing.compute_seconds, timing.sync_seconds,
+      timing.non_moe_seconds + timing.dp_sync_seconds,
       timing.per_gpu_expert_compute, balance_sum / num_layers, token_eff,
-      total, dropped);
+      total, dropped,
+      elastic_.active() ? elastic_.health().num_alive() : 0);
+  FillFaultMetrics(elastic_, fault_report, placement_, &metrics);
   ++step_;
   stats_.Add(metrics);
   return metrics;

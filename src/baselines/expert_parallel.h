@@ -11,6 +11,7 @@
 
 #include "core/step_executor.h"
 #include "core/system.h"
+#include "elastic/elastic_controller.h"
 #include "gate/capacity.h"
 
 namespace flexmoe {
@@ -21,6 +22,9 @@ struct ExpertParallelOptions {
   int num_gpus = 64;
   /// Per-expert capacity factor; <= 0 disables capacity (no dropping).
   double capacity_factor = 1.0;
+  /// Fault handling (static: checkpoint restart + failover, no
+  /// rebalancing).
+  ElasticControllerOptions elastic;
 
   Status Validate() const;
 };
@@ -37,6 +41,10 @@ class ExpertParallelSystem : public MoESystem {
       const std::vector<Assignment>& layer_assignments) override;
   const TrainingStats& stats() const override { return stats_; }
   const ClusterState& cluster() const override { return cluster_; }
+  Status InstallFaultPlan(const FaultPlan& plan) override;
+  const ClusterHealth* cluster_health() const override {
+    return &elastic_.health();
+  }
 
   /// The fixed expert-parallel placement (identical for all layers).
   const Placement& placement() const { return placement_; }
@@ -50,6 +58,7 @@ class ExpertParallelSystem : public MoESystem {
   const Topology* topo_;
   const HardwareProfile* profile_;
   ClusterState cluster_;
+  ElasticController elastic_;
   Placement placement_;
   StepExecutor step_executor_;
   TrainingStats stats_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "baselines/elastic_common.h"
 #include "baselines/expert_parallel.h"
 #include "core/balance.h"
 
@@ -13,6 +14,7 @@ Status FasterMoEOptions::Validate() const {
   if (max_shadows_per_layer < 0) {
     return Status::InvalidArgument("max_shadows_per_layer < 0");
   }
+  FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
   return Status::OK();
 }
 
@@ -40,8 +42,20 @@ FasterMoESystem::FasterMoESystem(const FasterMoEOptions& options,
       topo_(topo),
       profile_(profile),
       cluster_(topo),
+      elastic_(options.num_gpus, topo,
+               [&options] {
+                 ElasticControllerOptions o = options.elastic;
+                 o.elastic = false;  // static layout: restart + failover
+                 return o;
+               }()),
       placement_(std::move(placement)),
-      step_executor_(&cluster_, profile, options.model) {}
+      step_executor_(&cluster_, profile, options.model) {
+  step_executor_.set_cluster_health(&elastic_.health());
+}
+
+Status FasterMoESystem::InstallFaultPlan(const FaultPlan& plan) {
+  return elastic_.InstallPlan(plan);
+}
 
 std::vector<int> FasterMoESystem::SelectShadows(
     const Assignment& assignment) const {
@@ -100,6 +114,15 @@ StepMetrics FasterMoESystem::RunStep(
   const int num_gpus = options_.num_gpus;
   const int num_experts = options_.model.num_experts;
 
+  // Fault boundary: static system — restart from checkpoint on membership
+  // change, experts of dead devices fail over wholesale.
+  const ElasticController::StepReport fault_report =
+      StaticFaultBoundary(&elastic_, step_, &placement_,
+                          options_.model.expert_state_bytes(), &cluster_,
+                          &step_executor_);
+  int64_t fault_dropped = 0;
+  const bool adjust = elastic_.NeedsAssignmentAdjustment();
+
   last_shadows_.assign(static_cast<size_t>(num_layers), {});
   std::vector<RoutedAssignment> routed(static_cast<size_t>(num_layers));
   std::vector<LayerWork> work(static_cast<size_t>(num_layers));
@@ -110,9 +133,12 @@ StepMetrics FasterMoESystem::RunStep(
   for (int g = 0; g < num_gpus; ++g) all[static_cast<size_t>(g)] = g;
 
   for (int l = 0; l < num_layers; ++l) {
-    const Assignment& assignment =
-        layer_assignments[static_cast<size_t>(l)];
-    total += assignment.Total();
+    const Assignment& original = layer_assignments[static_cast<size_t>(l)];
+    const Assignment adjusted =
+        adjust ? elastic_.AdjustAssignment(original, &fault_dropped)
+               : Assignment();
+    const Assignment& assignment = adjust ? adjusted : original;
+    total += original.Total();
     const std::vector<int> shadows = SelectShadows(assignment);
     last_shadows_[static_cast<size_t>(l)] = shadows;
 
@@ -165,11 +191,18 @@ StepMetrics FasterMoESystem::RunStep(
   }
 
   const StepTiming timing = step_executor_.ExecuteStep(work, nullptr);
+  const double token_eff =
+      total > 0 ? static_cast<double>(total - fault_dropped) /
+                      static_cast<double>(total)
+                : 1.0;
   StepMetrics metrics = MetricsFromTiming(
-      step_, timing.StepSeconds(), timing.a2a_seconds, timing.compute_seconds,
-      timing.sync_seconds, timing.non_moe_seconds + timing.dp_sync_seconds,
-      timing.per_gpu_expert_compute, balance_sum / num_layers,
-      /*token_efficiency=*/1.0, total, /*tokens_dropped=*/0);
+      step_, timing.StepSeconds() + fault_report.recovery_seconds,
+      timing.a2a_seconds, timing.compute_seconds, timing.sync_seconds,
+      timing.non_moe_seconds + timing.dp_sync_seconds,
+      timing.per_gpu_expert_compute, balance_sum / num_layers, token_eff,
+      total, fault_dropped,
+      elastic_.active() ? elastic_.health().num_alive() : 0);
+  FillFaultMetrics(elastic_, fault_report, placement_, &metrics);
   ++step_;
   stats_.Add(metrics);
   return metrics;

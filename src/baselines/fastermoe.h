@@ -16,6 +16,7 @@
 
 #include "core/step_executor.h"
 #include "core/system.h"
+#include "elastic/elastic_controller.h"
 
 namespace flexmoe {
 
@@ -26,6 +27,8 @@ struct FasterMoEOptions {
   /// Safety bound on shadowed experts per layer per step (the original
   /// limits shadows by available memory).
   int max_shadows_per_layer = 8;
+  /// Fault handling (static: checkpoint restart + failover).
+  ElasticControllerOptions elastic;
 
   Status Validate() const;
 };
@@ -42,6 +45,10 @@ class FasterMoESystem : public MoESystem {
       const std::vector<Assignment>& layer_assignments) override;
   const TrainingStats& stats() const override { return stats_; }
   const ClusterState& cluster() const override { return cluster_; }
+  Status InstallFaultPlan(const FaultPlan& plan) override;
+  const ClusterHealth* cluster_health() const override {
+    return &elastic_.health();
+  }
 
   /// Experts shadowed in the most recent step (per layer), for tests.
   const std::vector<std::vector<int>>& last_shadows() const {
@@ -61,6 +68,7 @@ class FasterMoESystem : public MoESystem {
   const Topology* topo_;
   const HardwareProfile* profile_;
   ClusterState cluster_;
+  ElasticController elastic_;
   Placement placement_;
   StepExecutor step_executor_;
   TrainingStats stats_;

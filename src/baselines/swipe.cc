@@ -1,5 +1,7 @@
 #include "baselines/swipe.h"
 
+#include "baselines/elastic_common.h"
+
 #include <algorithm>
 
 #include "baselines/expert_parallel.h"
@@ -10,6 +12,7 @@ namespace flexmoe {
 Status SwipeOptions::Validate() const {
   FLEXMOE_RETURN_IF_ERROR(model.Validate());
   if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
+  FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
   return Status::OK();
 }
 
@@ -113,8 +116,20 @@ SwipeSystem::SwipeSystem(const SwipeOptions& options, const Topology* topo,
       topo_(topo),
       profile_(profile),
       cluster_(topo),
+      elastic_(options.num_gpus, topo,
+               [&options] {
+                 ElasticControllerOptions o = options.elastic;
+                 o.elastic = false;  // static layout: restart + failover
+                 return o;
+               }()),
       placement_(std::move(placement)),
-      step_executor_(&cluster_, profile, options.model) {}
+      step_executor_(&cluster_, profile, options.model) {
+  step_executor_.set_cluster_health(&elastic_.health());
+}
+
+Status SwipeSystem::InstallFaultPlan(const FaultPlan& plan) {
+  return elastic_.InstallPlan(plan);
+}
 
 StepMetrics SwipeSystem::RunStep(
     const std::vector<Assignment>& layer_assignments) {
@@ -122,12 +137,25 @@ StepMetrics SwipeSystem::RunStep(
                 options_.model.num_moe_layers);
   const int num_layers = static_cast<int>(layer_assignments.size());
 
+  // Fault boundary: static system — restart from checkpoint on membership
+  // change, experts of dead devices fail over wholesale.
+  const ElasticController::StepReport fault_report =
+      StaticFaultBoundary(&elastic_, step_, &placement_,
+                          options_.model.expert_state_bytes(), &cluster_,
+                          &step_executor_);
+  int64_t fault_dropped = 0;
+
   int64_t total = 0, reassigned = 0;
   double balance_sum = 0.0;
   std::vector<RoutedAssignment> routed;
   routed.reserve(static_cast<size_t>(num_layers));
-  for (const Assignment& assignment : layer_assignments) {
-    total += assignment.Total();
+  const bool adjust = elastic_.NeedsAssignmentAdjustment();
+  for (const Assignment& original : layer_assignments) {
+    total += original.Total();
+    const Assignment adjusted =
+        adjust ? elastic_.AdjustAssignment(original, &fault_dropped)
+               : Assignment();
+    const Assignment& assignment = adjust ? adjusted : original;
     SwipeRebalance rb = RebalanceStrict(assignment);
     reassigned += rb.reassigned;
     routed.push_back(FlexibleRouter::Route(rb.balanced, placement_));
@@ -144,14 +172,17 @@ StepMetrics SwipeSystem::RunStep(
   // Re-assigned tokens ARE processed (expert efficiency is high) but by the
   // wrong experts (token efficiency suffers) — Figure 7(a)'s trade-off.
   const double token_eff =
-      total > 0 ? static_cast<double>(total - reassigned) /
+      total > 0 ? static_cast<double>(total - reassigned - fault_dropped) /
                       static_cast<double>(total)
                 : 1.0;
   StepMetrics metrics = MetricsFromTiming(
-      step_, timing.StepSeconds(), timing.a2a_seconds, timing.compute_seconds,
-      timing.sync_seconds, timing.non_moe_seconds + timing.dp_sync_seconds,
+      step_, timing.StepSeconds() + fault_report.recovery_seconds,
+      timing.a2a_seconds, timing.compute_seconds, timing.sync_seconds,
+      timing.non_moe_seconds + timing.dp_sync_seconds,
       timing.per_gpu_expert_compute, balance_sum / num_layers, token_eff,
-      total, /*tokens_dropped=*/0);
+      total, fault_dropped,
+      elastic_.active() ? elastic_.health().num_alive() : 0);
+  FillFaultMetrics(elastic_, fault_report, placement_, &metrics);
   ++step_;
   stats_.Add(metrics);
   return metrics;

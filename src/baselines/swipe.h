@@ -12,6 +12,7 @@
 
 #include "core/step_executor.h"
 #include "core/system.h"
+#include "elastic/elastic_controller.h"
 
 namespace flexmoe {
 
@@ -19,6 +20,8 @@ namespace flexmoe {
 struct SwipeOptions {
   ModelConfig model;
   int num_gpus = 64;
+  /// Fault handling (static: checkpoint restart + failover).
+  ElasticControllerOptions elastic;
 
   Status Validate() const;
 };
@@ -43,6 +46,10 @@ class SwipeSystem : public MoESystem {
       const std::vector<Assignment>& layer_assignments) override;
   const TrainingStats& stats() const override { return stats_; }
   const ClusterState& cluster() const override { return cluster_; }
+  Status InstallFaultPlan(const FaultPlan& plan) override;
+  const ClusterHealth* cluster_health() const override {
+    return &elastic_.health();
+  }
 
  private:
   SwipeSystem(const SwipeOptions& options, const Topology* topo,
@@ -52,6 +59,7 @@ class SwipeSystem : public MoESystem {
   const Topology* topo_;
   const HardwareProfile* profile_;
   ClusterState cluster_;
+  ElasticController elastic_;
   Placement placement_;
   StepExecutor step_executor_;
   TrainingStats stats_;

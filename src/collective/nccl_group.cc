@@ -45,6 +45,21 @@ double NcclGroupCache::Acquire(const std::vector<GpuId>& members) {
   return options_.creation_cost_sec;
 }
 
+size_t NcclGroupCache::EvictGroupsContaining(GpuId member) {
+  size_t evicted = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (std::binary_search(it->begin(), it->end(), member)) {
+      index_.erase(*it);
+      it = lru_.erase(it);
+      ++evicted;
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 bool NcclGroupCache::Contains(const std::vector<GpuId>& members) const {
   const GroupKey key = CanonicalGroupKey(members);
   if (key.size() < 2) return false;

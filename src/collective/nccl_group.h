@@ -57,6 +57,11 @@ class NcclGroupCache {
   double Acquire(const std::vector<GpuId>& members);
 
   bool Contains(const std::vector<GpuId>& members) const;
+
+  /// Destroys every cached group that includes `member` — communicators
+  /// with a departed rank are unusable and must be re-bootstrapped.
+  /// Returns the number of groups evicted (counted in stats().evictions).
+  size_t EvictGroupsContaining(GpuId member);
   size_t size() const { return lru_.size(); }
   const Options& options() const { return options_; }
   const Stats& stats() const { return stats_; }

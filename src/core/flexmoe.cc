@@ -16,6 +16,7 @@ Status FlexMoEOptions::Validate() const {
   if (max_pending_ops <= 0) {
     return Status::InvalidArgument("max_pending_ops must be > 0");
   }
+  FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
   return Status::OK();
 }
 
@@ -54,6 +55,12 @@ FlexMoESystem::FlexMoESystem(const FlexMoEOptions& options,
       topo_(topo),
       profile_(profile),
       cluster_(topo),
+      elastic_(options.num_gpus, topo,
+               [&options] {
+                 ElasticControllerOptions o = options.elastic;
+                 o.elastic = true;  // FlexMoE always drains, never restarts
+                 return o;
+               }()),
       cost_model_(profile, ShapeFromModel(options.model)),
       policy_maker_(&cost_model_, options.policy),
       scheduler_(&policy_maker_, options.scheduler),
@@ -68,6 +75,13 @@ FlexMoESystem::FlexMoESystem(const FlexMoEOptions& options,
   }
   next_plan_step_.assign(live_.size(), 0);
   plan_backoff_.assign(live_.size(), 1);
+  policy_maker_.SetClusterHealth(&elastic_.health());
+  scheduler_.SetClusterHealth(&elastic_.health());
+  step_executor_.set_cluster_health(&elastic_.health());
+}
+
+Status FlexMoESystem::InstallFaultPlan(const FaultPlan& plan) {
+  return elastic_.InstallPlan(plan);
 }
 
 const Placement& FlexMoESystem::live_placement(int layer) const {
@@ -88,14 +102,68 @@ StepMetrics FlexMoESystem::RunStep(
   StepMetrics metrics;
   metrics.step = step_;
 
+  // 0. Elastic boundary: fire due cluster events, drain placements off
+  //    departed devices, invalidate their NCCL groups. A membership change
+  //    obsoletes every queued plan — pending ops are dropped and the
+  //    targets resync to the repaired live placements.
+  ElasticController::StepReport fault_report;
+  if (elastic_.active()) {
+    std::vector<Placement*> live_ptrs;
+    live_ptrs.reserve(live_.size());
+    for (Placement& p : live_) live_ptrs.push_back(&p);
+    fault_report = elastic_.OnStepBoundary(
+        step_, live_ptrs, &group_cache_, options_.model.expert_state_bytes());
+    if (fault_report.membership_changed) {
+      for (size_t l = 0; l < live_.size(); ++l) {
+        executors_[l].ClearPending();
+        for (const FaultEvent& e : fault_report.events) {
+          if (e.type == FaultType::kFailStop || e.type == FaultType::kLeave) {
+            executors_[l].DropOpsInvolving(e.gpu);
+          }
+        }
+        target_[l] = live_[l];
+      }
+    }
+    if (fault_report.membership_changed || fault_report.perf_changed) {
+      next_plan_step_.assign(live_.size(), 0);
+      plan_backoff_.assign(live_.size(), 1);
+    }
+    metrics.faults_applied = static_cast<int>(fault_report.events.size());
+    metrics.recovery_seconds = fault_report.recovery_seconds;
+    // Degraded mode is a state, not an event: flag every step on which
+    // some expert has no replica on a live device.
+    if (!elastic_.health().AllHealthy()) {
+      for (const Placement& p : live_) {
+        if (ExpertsWithoutLiveReplica(p, elastic_.health()) > 0) {
+          metrics.degraded = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // The assignments the system actually trains on this step: sources on
+  // departed devices re-shard onto survivors; tokens resident on a device
+  // that just fail-stopped are lost.
+  std::vector<Assignment> adjusted;
+  const std::vector<Assignment>* effective = &layer_assignments;
+  if (elastic_.NeedsAssignmentAdjustment()) {
+    adjusted.reserve(layer_assignments.size());
+    for (const Assignment& a : layer_assignments) {
+      adjusted.push_back(elastic_.AdjustAssignment(a, &metrics.tokens_dropped));
+    }
+    effective = &adjusted;
+  }
+
   // 1. Step boundary: completed background adjustments take effect on the
   //    live placements; the next batches launch best-effort.
   double boundary = step_executor_.Frontier();
-  double blocking = 0.0;
+  double blocking = fault_report.recovery_seconds;
   for (int l = 0; l < num_layers; ++l) {
     const PlacementExecutor::TickResult tick =
         executors_[static_cast<size_t>(l)].OnStepBoundary(
-            boundary, &cluster_, &live_[static_cast<size_t>(l)]);
+            boundary, &cluster_, &live_[static_cast<size_t>(l)],
+            elastic_.active() ? &elastic_.health() : nullptr);
     metrics.ops_applied += tick.ops_applied;
     metrics.ops_launched += tick.ops_launched;
     blocking += tick.blocking_seconds;
@@ -111,9 +179,20 @@ StepMetrics FlexMoESystem::RunStep(
   //     the training critical path or the background copy streams; the
   //     step executor below then always hits the warm cache. The LRU cache
   //     statistics still expose creation churn.
+  const bool prune_dead_groups =
+      elastic_.active() && elastic_.health().AnyDead();
   for (const Placement& placement : live_) {
     for (int e = 0; e < placement.num_experts(); ++e) {
-      const std::vector<GpuId> group = placement.HostGpus(e);
+      std::vector<GpuId> group = placement.HostGpus(e);
+      if (prune_dead_groups) {
+        // Never bootstrap a communicator around a departed rank (only an
+        // orphan's tombstone replica can put one in a group).
+        group.erase(std::remove_if(group.begin(), group.end(),
+                                   [this](GpuId g) {
+                                     return !elastic_.health().alive(g);
+                                   }),
+                    group.end());
+      }
       if (group.size() >= 2) group_cache_.Acquire(group);
     }
   }
@@ -124,11 +203,12 @@ StepMetrics FlexMoESystem::RunStep(
   double balance_sum = 0.0;
   for (int l = 0; l < num_layers; ++l) {
     routed.push_back(FlexibleRouter::Route(
-        layer_assignments[static_cast<size_t>(l)],
+        (*effective)[static_cast<size_t>(l)],
         live_[static_cast<size_t>(l)]));
     balance_sum += BalanceRatio(routed.back().PerGpuComputeLoads());
     metrics.tokens_total += routed.back().Total();
   }
+  metrics.tokens_total += metrics.tokens_dropped;  // lost-in-flight tokens
   metrics.balance_ratio = balance_sum / num_layers;
 
   // 3. Execute the step on the event engine.
@@ -144,15 +224,24 @@ StepMetrics FlexMoESystem::RunStep(
   metrics.compute_seconds = timing.compute_seconds;
   metrics.sync_seconds = timing.sync_seconds;
   metrics.non_moe_seconds = timing.non_moe_seconds + timing.dp_sync_seconds;
-  metrics.token_efficiency = 1.0;  // FlexMoE never drops tokens
-  metrics.tokens_dropped = 0;
+  // FlexMoE never drops tokens by capacity; the only losses are tokens
+  // resident on a device at the instant it fail-stopped.
+  metrics.token_efficiency =
+      metrics.tokens_total > 0
+          ? static_cast<double>(metrics.tokens_total - metrics.tokens_dropped) /
+                static_cast<double>(metrics.tokens_total)
+          : 1.0;
 
   // Efficiency metrics from the engine's per-GPU expert-compute time.
   const auto& pc = timing.per_gpu_expert_compute;
   const double max_c = *std::max_element(pc.begin(), pc.end());
   double mean_c = 0.0;
   for (double v : pc) mean_c += v;
-  mean_c /= static_cast<double>(pc.size());
+  // Efficiency is relative to the devices that exist: departed GPUs are
+  // lost capacity, not inefficiency.
+  mean_c /= static_cast<double>(
+      elastic_.active() ? elastic_.health().num_alive()
+                        : static_cast<int>(pc.size()));
   metrics.expert_efficiency = max_c > 0.0 ? mean_c / max_c : 1.0;
   metrics.gpu_utilization =
       metrics.step_seconds > 0.0
@@ -173,9 +262,11 @@ StepMetrics FlexMoESystem::RunStep(
       continue;  // re-plan from the fresh state next step
     }
     if (step_ < next_plan_step_[static_cast<size_t>(l)]) continue;
+    const bool force_trigger =
+        fault_report.membership_changed || fault_report.perf_changed;
     const SchedulerDecision decision = scheduler_.OnStep(
-        step_, layer_assignments[static_cast<size_t>(l)],
-        &target_[static_cast<size_t>(l)]);
+        step_, (*effective)[static_cast<size_t>(l)],
+        &target_[static_cast<size_t>(l)], force_trigger);
     if (!decision.ops.empty()) {
       executor.Enqueue(decision.ops);
     }

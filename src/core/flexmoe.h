@@ -15,6 +15,7 @@
 #include "core/scheduler.h"
 #include "core/step_executor.h"
 #include "core/system.h"
+#include "elastic/elastic_controller.h"
 #include "placement/executor.h"
 
 namespace flexmoe {
@@ -32,6 +33,8 @@ struct FlexMoEOptions {
   /// Resync threshold: if a layer's pending-op queue exceeds this, stale
   /// plans are dropped and the target placement resyncs to the live one.
   int max_pending_ops = 64;
+  /// Fault handling (elastic drain; FlexMoE never restarts).
+  ElasticControllerOptions elastic;
 
   Status Validate() const;
 };
@@ -49,6 +52,10 @@ class FlexMoESystem : public MoESystem {
       const std::vector<Assignment>& layer_assignments) override;
   const TrainingStats& stats() const override { return stats_; }
   const ClusterState& cluster() const override { return cluster_; }
+  Status InstallFaultPlan(const FaultPlan& plan) override;
+  const ClusterHealth* cluster_health() const override {
+    return &elastic_.health();
+  }
 
   const Placement& live_placement(int layer) const;
   const Placement& target_placement(int layer) const;
@@ -67,6 +74,7 @@ class FlexMoESystem : public MoESystem {
   const Topology* topo_;
   const HardwareProfile* profile_;
   ClusterState cluster_;
+  ElasticController elastic_;
   CostModel cost_model_;
   PolicyMaker policy_maker_;
   Scheduler scheduler_;

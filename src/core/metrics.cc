@@ -10,7 +10,8 @@ StepMetrics MetricsFromTiming(int64_t step, double step_seconds,
                               double sync_seconds, double non_moe_seconds,
                               const std::vector<double>& per_gpu_expert_compute,
                               double balance_ratio, double token_efficiency,
-                              int64_t tokens_total, int64_t tokens_dropped) {
+                              int64_t tokens_total, int64_t tokens_dropped,
+                              int num_alive_gpus) {
   StepMetrics m;
   m.step = step;
   m.step_seconds = step_seconds;
@@ -28,9 +29,10 @@ StepMetrics MetricsFromTiming(int64_t step, double step_seconds,
     max_c = v > max_c ? v : max_c;
     mean_c += v;
   }
-  if (!per_gpu_expert_compute.empty()) {
-    mean_c /= static_cast<double>(per_gpu_expert_compute.size());
-  }
+  const int denom = num_alive_gpus > 0
+                        ? num_alive_gpus
+                        : static_cast<int>(per_gpu_expert_compute.size());
+  if (denom > 0) mean_c /= static_cast<double>(denom);
   m.expert_efficiency = max_c > 0.0 ? mean_c / max_c : 1.0;
   m.gpu_utilization =
       step_seconds > 0.0 ? (mean_c + non_moe_seconds) / step_seconds : 0.0;
@@ -84,6 +86,30 @@ double TrainingStats::TotalSeconds() const {
 int64_t TrainingStats::TotalOpsApplied() const {
   int64_t total = 0;
   for (const StepMetrics& m : steps_) total += m.ops_applied;
+  return total;
+}
+
+int64_t TrainingStats::TotalTokensDropped() const {
+  int64_t total = 0;
+  for (const StepMetrics& m : steps_) total += m.tokens_dropped;
+  return total;
+}
+
+double TrainingStats::TotalRecoverySeconds() const {
+  double total = 0.0;
+  for (const StepMetrics& m : steps_) total += m.recovery_seconds;
+  return total;
+}
+
+int64_t TrainingStats::TotalFaultsApplied() const {
+  int64_t total = 0;
+  for (const StepMetrics& m : steps_) total += m.faults_applied;
+  return total;
+}
+
+int64_t TrainingStats::DegradedSteps() const {
+  int64_t total = 0;
+  for (const StepMetrics& m : steps_) total += m.degraded ? 1 : 0;
   return total;
 }
 

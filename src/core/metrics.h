@@ -40,21 +40,36 @@ struct StepMetrics {
   double gpu_utilization = 0.0;
 
   int64_t tokens_total = 0;    ///< token-assignments this step
-  int64_t tokens_dropped = 0;  ///< dropped by capacity (baselines)
+  int64_t tokens_dropped = 0;  ///< dropped by capacity or lost to faults
   int ops_applied = 0;         ///< placement modifications taking effect
   int ops_launched = 0;
+
+  // --- Elastic-cluster metrics (zero on a static, healthy cluster) -------
+
+  /// Blocking fault-handling time on the critical path this step (restart
+  /// penalties, checkpoint reads, emergency drains).
+  double recovery_seconds = 0.0;
+  /// Cluster events (fail-stop / slowdown / recover / join / leave)
+  /// applied at this step's boundary.
+  int faults_applied = 0;
+  /// True when some expert had no replica on a live device this step.
+  bool degraded = false;
 };
 
 /// \brief Fills the timing/efficiency fields of a StepMetrics from an
 /// executed step (shared by FlexMoE and all baseline systems).
 /// `per_gpu_expert_compute` drives expert efficiency and GPU utilization;
 /// `non_moe_seconds` counts toward utilization as useful work.
+/// `num_alive_gpus` (0 = all) is the efficiency denominator, so a
+/// rebalanced degraded cluster can still read as 100% efficient —
+/// departed devices are lost capacity, not inefficiency.
 StepMetrics MetricsFromTiming(int64_t step, double step_seconds,
                               double a2a_seconds, double compute_seconds,
                               double sync_seconds, double non_moe_seconds,
                               const std::vector<double>& per_gpu_expert_compute,
                               double balance_ratio, double token_efficiency,
-                              int64_t tokens_total, int64_t tokens_dropped);
+                              int64_t tokens_total, int64_t tokens_dropped,
+                              int num_alive_gpus = 0);
 
 /// \brief Accumulates StepMetrics over a run.
 class TrainingStats {
@@ -72,6 +87,10 @@ class TrainingStats {
   double MeanGpuUtilization(int warmup = 0) const;
   double TotalSeconds() const;
   int64_t TotalOpsApplied() const;
+  int64_t TotalTokensDropped() const;
+  double TotalRecoverySeconds() const;
+  int64_t TotalFaultsApplied() const;
+  int64_t DegradedSteps() const;
 
   /// Tokens (not token-assignments) per second of wall-clock, given tokens
   /// per step.

@@ -29,6 +29,11 @@ PolicyMaker::PolicyMaker(const CostModel* cost_model,
   FLEXMOE_CHECK(options.Validate().ok());
 }
 
+bool PolicyMaker::Expandable(GpuId g) const {
+  return health_ == nullptr ||
+         health_->state(g) == DeviceState::kHealthy;
+}
+
 std::vector<double> PolicyMaker::VExpertCapacities(
     const Assignment& assignment, const Placement& placement) const {
   std::vector<double> caps(static_cast<size_t>(assignment.num_experts()));
@@ -114,6 +119,11 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
       }
       std::sort(shrink_candidates.begin(), shrink_candidates.end(),
                 [&](GpuId a, GpuId b) {
+                  // Replicas on degraded devices go first — shrinking them
+                  // is the cheap half of migrate-away.
+                  const bool da = !Expandable(a);
+                  const bool db = !Expandable(b);
+                  if (da != db) return da;
                   return gpu_loads[static_cast<size_t>(a)] <
                          gpu_loads[static_cast<size_t>(b)];
                 });
@@ -139,7 +149,9 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
         // hot expert's replicas first, then cheapest loads.
         std::vector<GpuId> candidates;
         for (GpuId g = 0; g < placement.num_gpus(); ++g) {
-          if (after_shrink.FreeSlots(g) > 0) candidates.push_back(g);
+          if (after_shrink.FreeSlots(g) > 0 && Expandable(g)) {
+            candidates.push_back(g);
+          }
         }
         std::sort(candidates.begin(), candidates.end(),
                   [&](GpuId a, GpuId b) {
@@ -175,13 +187,20 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
   if (best_score >= score0 * (1.0 - options_.min_improvement_frac)) return {};
 
   // Expand copy source: free when dst already hosts the expert; otherwise
-  // the closest existing replica (same node preferred).
+  // the closest existing replica (same node preferred). Dead devices can
+  // never be the source — their state is lost (an orphaned expert's only
+  // replica on a dead device means no expand can be planned at all).
   Placement after_shrink = placement;
   FLEXMOE_CHECK(after_shrink.RemoveVExpert(best_cold, best_shrink).ok());
   GpuId copy_src = -1;
   if (after_shrink.VExpertsOn(best_hot, best_dst) == 0) {
-    const std::vector<GpuId> hosts = after_shrink.HostGpus(best_hot);
-    FLEXMOE_CHECK(!hosts.empty());
+    std::vector<GpuId> hosts = after_shrink.HostGpus(best_hot);
+    if (health_ != nullptr) {
+      hosts.erase(std::remove_if(hosts.begin(), hosts.end(),
+                                 [this](GpuId h) { return !health_->alive(h); }),
+                  hosts.end());
+    }
+    if (hosts.empty()) return {};
     copy_src = hosts.front();
     const Topology& topo = cost_model_->profile().topology();
     for (GpuId h : hosts) {
@@ -203,6 +222,73 @@ double PolicyMaker::TotalSyncSeconds(const Placement& placement) const {
     total += cost_model_->SyncSeconds(placement, e);
   }
   return total;
+}
+
+std::vector<ModOp> PolicyMaker::PlanEvacuation(const Placement& placement,
+                                               int max_moves) const {
+  std::vector<ModOp> plan;
+  if (health_ == nullptr || max_moves <= 0) return plan;
+  Placement current = placement;
+  const Topology& topo = cost_model_->profile().topology();
+
+  for (GpuId g = 0; g < current.num_gpus(); ++g) {
+    if (health_->state(g) != DeviceState::kDegraded) continue;
+    for (const int e : current.ExpertsOn(g)) {
+      if (static_cast<int>(plan.size()) >= max_moves) return plan;
+      const int here = current.VExpertsOn(e, g);
+      if (current.VExperts(e) > here) {
+        // Capacity exists elsewhere: release the straggler's replicas.
+        for (int i = 0; i < here && current.VExperts(e) > 1; ++i) {
+          const ModOp op = MakeShrink(e, g);
+          if (!ApplyOp(op, &current).ok()) break;
+          plan.push_back(op);
+          if (static_cast<int>(plan.size()) >= max_moves) return plan;
+        }
+      } else {
+        // Sole host is the straggler: copy the expert to a healthy device
+        // (same node preferred); the straggler-side shrink follows on a
+        // later trigger, once the copy is live.
+        GpuId dst = -1;
+        auto usable = [&](GpuId cand) {
+          return cand != g && Expandable(cand) && current.FreeSlots(cand) > 0;
+        };
+        for (GpuId cand : topo.GpusOnNode(topo.NodeOf(g))) {
+          if (usable(cand)) {
+            dst = cand;
+            break;
+          }
+        }
+        for (GpuId cand = 0; dst < 0 && cand < current.num_gpus(); ++cand) {
+          if (usable(cand)) dst = cand;
+        }
+        if (dst < 0) {
+          // Fully packed cluster: free a slot by un-packing a healthy
+          // device's multi-vExpert resident (weight-shared copies, so the
+          // shrink costs nothing and loses no expert). The unpack only
+          // makes sense together with the Expand that uses the freed slot,
+          // so require room for the pair.
+          if (static_cast<int>(plan.size()) + 2 > max_moves) return plan;
+          for (GpuId cand = 0; dst < 0 && cand < current.num_gpus(); ++cand) {
+            if (cand == g || !Expandable(cand)) continue;
+            for (const int x : current.ExpertsOn(cand)) {
+              if (x != e && current.VExpertsOn(x, cand) >= 2) {
+                const ModOp unpack = MakeShrink(x, cand);
+                if (!ApplyOp(unpack, &current).ok()) continue;
+                plan.push_back(unpack);
+                dst = cand;
+                break;
+              }
+            }
+          }
+        }
+        if (dst < 0) continue;
+        const ModOp op = MakeExpand(e, g, dst);
+        if (!ApplyOp(op, &current).ok()) continue;
+        plan.push_back(op);
+      }
+    }
+  }
+  return plan;
 }
 
 std::vector<ModOp> PolicyMaker::PlanMigrations(const Placement& placement,
@@ -236,6 +322,7 @@ std::vector<ModOp> PolicyMaker::PlanMigrations(const Placement& placement,
         // Try to pull e's off-node replica onto the majority node by
         // swapping with a vExpert already there.
         for (GpuId target : topo.GpusOnNode(major)) {
+          if (!Expandable(target)) continue;
           // Swapping onto a GPU that already hosts e just packs — still
           // useful, because it dissolves `lonely` from the replica group.
           for (int partner : current.ExpertsOn(target)) {

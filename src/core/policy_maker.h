@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "elastic/cluster_health.h"
 #include "placement/primitives.h"
 
 namespace flexmoe {
@@ -50,6 +51,11 @@ class PolicyMaker {
  public:
   PolicyMaker(const CostModel* cost_model, const PolicyMakerOptions& options);
 
+  /// Installs the dynamic-membership view (nullable). With health set, the
+  /// planner never expands or migrates onto dead or degraded devices, and
+  /// prefers shrinking replicas that sit on degraded devices.
+  void SetClusterHealth(const ClusterHealth* health) { health_ = health; }
+
   /// One Expand/Shrink round (Algorithm 2). Returns ops in dependency order
   /// (Shrink first when it frees the slot the Expand consumes); empty if no
   /// beneficial modification exists.
@@ -62,6 +68,15 @@ class PolicyMaker {
   std::vector<ModOp> PlanMigrations(const Placement& placement,
                                     int max_moves) const;
 
+  /// Migrate-away planning: up to `max_moves` ops that move vExpert
+  /// capacity off degraded (straggler) devices — Shrinks when the expert
+  /// holds capacity elsewhere, an Expand onto a healthy device when the
+  /// straggler hosts the sole replica (the matching Shrink follows on a
+  /// later trigger, once the copy is live). Empty without health or when
+  /// nothing is degraded.
+  std::vector<ModOp> PlanEvacuation(const Placement& placement,
+                                    int max_moves) const;
+
   /// Total Eq. 9 sync seconds across all experts (migration objective).
   double TotalSyncSeconds(const Placement& placement) const;
 
@@ -70,8 +85,12 @@ class PolicyMaker {
   std::vector<double> VExpertCapacities(const Assignment& assignment,
                                         const Placement& placement) const;
 
+  /// True when `g` may receive new vExperts.
+  bool Expandable(GpuId g) const;
+
   const CostModel* cost_model_;
   PolicyMakerOptions options_;
+  const ClusterHealth* health_ = nullptr;
 };
 
 }  // namespace flexmoe

@@ -40,6 +40,9 @@ Status SchedulerOptions::Validate() const {
   if (max_migrations < 0) {
     return Status::InvalidArgument("max_migrations must be >= 0");
   }
+  if (max_evacuations < 0) {
+    return Status::InvalidArgument("max_evacuations must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -76,14 +79,46 @@ bool Scheduler::ShouldTrigger(int64_t step, double metric_value) const {
 
 SchedulerDecision Scheduler::OnStep(int64_t step,
                                     const Assignment& assignment,
-                                    Placement* target) {
+                                    Placement* target, bool force_trigger) {
   FLEXMOE_CHECK(target != nullptr);
   SchedulerDecision decision;
   decision.metric_before = MetricOf(assignment, *target);
   decision.metric_after = decision.metric_before;
-  if (!ShouldTrigger(step, decision.metric_before)) return decision;
+
+  // Capacity-change trigger: any health transition since the last
+  // invocation (device lost, straggler appeared or recovered, device
+  // joined) forces re-planning — the placement that balanced the old
+  // cluster does not balance the new one. The trigger is remembered for
+  // the whole step, because one Scheduler serves every MoE layer and each
+  // layer's OnStep call must see it.
+  bool capacity_changed = false;
+  if (health_ != nullptr) {
+    if (health_->version() != last_health_version_) {
+      last_health_version_ = health_->version();
+      capacity_trigger_step_ = step;
+    }
+    capacity_changed = step == capacity_trigger_step_;
+  }
+  if (!force_trigger && !capacity_changed &&
+      !ShouldTrigger(step, decision.metric_before)) {
+    return decision;
+  }
 
   decision.triggered = true;
+
+  // Migrate-away first: vExpert capacity parked on degraded devices
+  // throttles every expert partition that includes it, so evacuation
+  // precedes balance planning.
+  if (health_ != nullptr && health_->AnyDegraded() &&
+      options_.max_evacuations > 0) {
+    const std::vector<ModOp> evac =
+        policy_maker_->PlanEvacuation(*target, options_.max_evacuations);
+    for (const ModOp& op : evac) {
+      FLEXMOE_CHECK(ApplyOp(op, target).ok());
+      decision.ops.push_back(op);
+      ++decision.evacuations;
+    }
+  }
 
   // Algorithm 1 lines 3-8: iterate Expand/Shrink planning while the metric
   // stays above threshold and the Policy Maker keeps finding improvements.

@@ -43,6 +43,10 @@ struct SchedulerOptions {
   /// Background migrations planned per trigger (0 disables Migrate).
   int max_migrations = 4;
 
+  /// Migrate-away ops planned per trigger while some device is degraded
+  /// (0 disables evacuation).
+  int max_evacuations = 8;
+
   Status Validate() const;
 };
 
@@ -51,6 +55,7 @@ struct SchedulerDecision {
   bool triggered = false;
   int plan_rounds = 0;           ///< Expand/Shrink pairs accepted
   int migrations = 0;
+  int evacuations = 0;           ///< migrate-away ops off degraded devices
   double metric_before = 0.0;
   double metric_after = 0.0;
   /// Ops in dependency order, ready for the PlacementExecutor.
@@ -66,9 +71,18 @@ class Scheduler {
  public:
   Scheduler(const PolicyMaker* policy_maker, const SchedulerOptions& options);
 
+  /// Installs the dynamic-membership view (nullable). A version change in
+  /// the health registry — capacity lost to a failure or a straggler,
+  /// capacity regained on a join — forces a trigger irrespective of the
+  /// balance metric, and a trigger with degraded devices present plans
+  /// migrate-away ops before the balance loop.
+  void SetClusterHealth(const ClusterHealth* health) { health_ = health; }
+
   /// Runs the Algorithm 1 body for one step's workload. Mutates `target`.
+  /// `force_trigger` bypasses the metric threshold (used by the elastic
+  /// controller on the boundary where cluster events fired).
   SchedulerDecision OnStep(int64_t step, const Assignment& assignment,
-                           Placement* target);
+                           Placement* target, bool force_trigger = false);
 
   const SchedulerOptions& options() const { return options_; }
 
@@ -81,6 +95,11 @@ class Scheduler {
 
   const PolicyMaker* policy_maker_;
   SchedulerOptions options_;
+  const ClusterHealth* health_ = nullptr;
+  /// Last health version observed by OnStep, and the step on which the
+  /// change was seen — every layer's OnStep call for that step triggers.
+  int64_t last_health_version_ = 0;
+  int64_t capacity_trigger_step_ = -1;
 };
 
 }  // namespace flexmoe

@@ -24,6 +24,25 @@ double StepExecutor::Frontier() const {
   return t;
 }
 
+double StepExecutor::GroupBandwidthScale(
+    const std::vector<GpuId>& group) const {
+  if (health_ == nullptr) return 1.0;
+  double scale = 1.0;
+  for (const GpuId g : group) {
+    scale = std::max(scale, health_->bandwidth_multiplier(g));
+  }
+  return scale;
+}
+
+std::vector<GpuId> StepExecutor::AliveGpus() const {
+  std::vector<GpuId> out;
+  out.reserve(static_cast<size_t>(cluster_->num_gpus()));
+  for (GpuId g = 0; g < cluster_->num_gpus(); ++g) {
+    if (Alive(g)) out.push_back(g);
+  }
+  return out;
+}
+
 ByteMatrix StepExecutor::DispatchBytes(const RoutedAssignment& routed,
                                        bool transpose) const {
   ByteMatrix bytes = MakeByteMatrix(routed.num_gpus);
@@ -32,8 +51,14 @@ ByteMatrix StepExecutor::DispatchBytes(const RoutedAssignment& routed,
       const int64_t tokens =
           routed.dispatch[static_cast<size_t>(s)][static_cast<size_t>(d)];
       if (tokens <= 0) continue;
-      const double payload =
-          static_cast<double>(tokens) * model_.token_bytes();
+      // Dead endpoints move nothing; a straggler endpoint stretches its
+      // messages by the bandwidth multiplier (modeled as extra bytes).
+      if (!Alive(s) || !Alive(d)) continue;
+      double payload = static_cast<double>(tokens) * model_.token_bytes();
+      if (health_ != nullptr) {
+        payload *= std::max(health_->bandwidth_multiplier(s),
+                            health_->bandwidth_multiplier(d));
+      }
       if (transpose) {
         bytes[static_cast<size_t>(d)][static_cast<size_t>(s)] += payload;
       } else {
@@ -49,14 +74,18 @@ double StepExecutor::RunExpertCompute(
     const std::vector<double>& per_gpu_earliest, StepTiming* timing) {
   double finish = 0.0;
   for (GpuId g = 0; g < routed.num_gpus; ++g) {
+    // Tokens landing on a dead device (possible only in degraded mode,
+    // when no live replica exists) are simply not computed.
+    if (!Alive(g)) continue;
     double gpu_finish = per_gpu_earliest[static_cast<size_t>(g)];
+    const double effective_flops = flops_per_token * ComputeScale(g);
     for (int e = 0; e < routed.num_experts; ++e) {
       const int64_t tokens =
           routed.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)];
       if (tokens <= 0) continue;
       const double before = gpu_finish;
       gpu_finish = ExecCompute(cluster_, *profile_, g,
-                               static_cast<double>(tokens), flops_per_token,
+                               static_cast<double>(tokens), effective_flops,
                                gpu_finish);
       timing->per_gpu_expert_compute[static_cast<size_t>(g)] +=
           gpu_finish - before;
@@ -82,12 +111,11 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
     FLEXMOE_CHECK(work.routed != nullptr);
     // Shadow-parameter broadcasts (baseline FasterMoE) precede the layer.
     for (const ShadowBroadcast& bc : work.broadcasts) {
-      std::vector<GpuId> all(static_cast<size_t>(cluster_->num_gpus()));
-      for (int g = 0; g < cluster_->num_gpus(); ++g) {
-        all[static_cast<size_t>(g)] = g;
-      }
-      const CollectiveResult r = ExecBroadcast(cluster_, *profile_, bc.bytes,
-                                               bc.root, all, frontier);
+      const std::vector<GpuId> all = AliveGpus();
+      if (!Alive(bc.root) || all.size() < 2) continue;
+      const CollectiveResult r =
+          ExecBroadcast(cluster_, *profile_, bc.bytes * GroupBandwidthScale(all),
+                        bc.root, all, frontier);
       timing.sync_seconds += r.finish - frontier;
       frontier = r.finish;
     }
@@ -113,8 +141,10 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
     const double non_moe = NonMoEComputeSeconds(model_, *profile_);
     double phase_finish = frontier;
     for (GpuId g = 0; g < cluster_->num_gpus(); ++g) {
-      const double start = cluster_->compute(g).Reserve(frontier, non_moe);
-      phase_finish = std::max(phase_finish, start + non_moe);
+      if (!Alive(g)) continue;
+      const double scaled = non_moe * ComputeScale(g);
+      const double start = cluster_->compute(g).Reserve(frontier, scaled);
+      phase_finish = std::max(phase_finish, start + scaled);
     }
     timing.non_moe_seconds += phase_finish - frontier;
     frontier = phase_finish;
@@ -144,16 +174,27 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
     std::vector<SyncOp> ops;
     if (work.placement != nullptr) {
       for (int e = 0; e < work.placement->num_experts(); ++e) {
-        const std::vector<GpuId> group = work.placement->HostGpus(e);
+        std::vector<GpuId> group = work.placement->HostGpus(e);
+        if (health_ != nullptr) {
+          group.erase(std::remove_if(group.begin(), group.end(),
+                                     [this](GpuId g) { return !Alive(g); }),
+                      group.end());
+        }
         if (group.size() >= 2) {
-          ops.push_back({e, group, model_.expert_grad_bytes()});
+          ops.push_back({e, std::move(group), model_.expert_grad_bytes()});
         }
       }
     }
     int extra_id = work.routed->num_experts;
-    for (const auto& group : work.extra_sync_groups) {
+    for (std::vector<GpuId> group : work.extra_sync_groups) {
+      if (health_ != nullptr) {
+        group.erase(std::remove_if(group.begin(), group.end(),
+                                   [this](GpuId g) { return !Alive(g); }),
+                    group.end());
+      }
       if (group.size() >= 2) {
-        ops.push_back({extra_id++, group, model_.expert_grad_bytes()});
+        ops.push_back({extra_id++, std::move(group),
+                       model_.expert_grad_bytes()});
       }
     }
     for (const SyncOp& op : ops) {
@@ -161,9 +202,9 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
       if (group_cache != nullptr) {
         earliest += group_cache->Acquire(op.group);
       }
-      const CollectiveResult r = ExecRingAllReduce(cluster_, *profile_,
-                                                   op.bytes, op.group,
-                                                   earliest);
+      const CollectiveResult r = ExecRingAllReduce(
+          cluster_, *profile_, op.bytes * GroupBandwidthScale(op.group),
+          op.group, earliest);
       sync_finish = std::max(sync_finish, r.finish);
       timing.sync_busy_seconds += r.finish - earliest;
     }
@@ -183,15 +224,16 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
   // ---- Data-parallel AllReduce of non-MoE gradients ----------------------
   // (every system pays it; tracked separately from the Eq. 9 expert sync).
   {
-    std::vector<GpuId> all(static_cast<size_t>(cluster_->num_gpus()));
-    for (int g = 0; g < cluster_->num_gpus(); ++g) {
-      all[static_cast<size_t>(g)] = g;
+    const std::vector<GpuId> all = AliveGpus();
+    if (all.size() >= 2) {
+      const CollectiveResult dp = ExecRingAllReduce(
+          cluster_, *profile_,
+          model_.non_moe_params() * model_.grad_bytes *
+              GroupBandwidthScale(all),
+          all, frontier);
+      timing.dp_sync_seconds += dp.finish - frontier;
+      frontier = dp.finish;
     }
-    const CollectiveResult dp = ExecRingAllReduce(
-        cluster_, *profile_, model_.non_moe_params() * model_.grad_bytes, all,
-        frontier);
-    timing.dp_sync_seconds += dp.finish - frontier;
-    frontier = dp.finish;
   }
 
   timing.end = frontier;

@@ -20,6 +20,7 @@
 #include "collective/engine_ops.h"
 #include "collective/nccl_group.h"
 #include "core/router.h"
+#include "elastic/cluster_health.h"
 #include "moe/model_config.h"
 #include "placement/placement.h"
 
@@ -79,7 +80,22 @@ class StepExecutor {
   /// of the next step.
   double Frontier() const;
 
+  /// Installs the dynamic-membership view (nullable; default: a static,
+  /// healthy cluster). Dead devices take part in no phase of the step;
+  /// degraded devices run compute and move bytes at their multipliers.
+  void set_cluster_health(const ClusterHealth* health) { health_ = health; }
+  const ClusterHealth* cluster_health() const { return health_; }
+
  private:
+  bool Alive(GpuId g) const { return health_ == nullptr || health_->alive(g); }
+  double ComputeScale(GpuId g) const {
+    return health_ == nullptr ? 1.0 : health_->compute_multiplier(g);
+  }
+  /// Ring collectives run at the slowest member's pace: scale their bytes
+  /// by the worst bandwidth multiplier in the group.
+  double GroupBandwidthScale(const std::vector<GpuId>& group) const;
+  /// All currently alive GPUs, ascending.
+  std::vector<GpuId> AliveGpus() const;
   /// Builds the dispatch byte matrix (optionally transposed for combine).
   ByteMatrix DispatchBytes(const RoutedAssignment& routed,
                            bool transpose) const;
@@ -94,6 +110,7 @@ class StepExecutor {
   ClusterState* cluster_;
   const HardwareProfile* profile_;
   ModelConfig model_;
+  const ClusterHealth* health_ = nullptr;
 };
 
 }  // namespace flexmoe

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "elastic/cluster_health.h"
+#include "elastic/fault_plan.h"
 #include "moe/moe_layer.h"
 #include "sim/stream.h"
 
@@ -35,6 +37,18 @@ class MoESystem {
 
   /// The simulated cluster (stream utilization introspection).
   virtual const ClusterState& cluster() const = 0;
+
+  /// Arms the system with a schedule of cluster events (fail-stop,
+  /// straggler, join/leave) applied at step boundaries. Every system in
+  /// the comparison supports this so fault scenarios run apples-to-apples.
+  virtual Status InstallFaultPlan(const FaultPlan& plan) {
+    (void)plan;
+    return Status::Unimplemented("fault injection not supported");
+  }
+
+  /// The dynamic-membership view, or nullptr when fault injection was
+  /// never installed.
+  virtual const ClusterHealth* cluster_health() const { return nullptr; }
 };
 
 }  // namespace flexmoe

@@ -1,0 +1,172 @@
+#include "elastic/recovery.h"
+
+#include <algorithm>
+
+namespace flexmoe {
+
+Assignment RedistributeSources(const Assignment& assignment,
+                               const ClusterHealth& health) {
+  FLEXMOE_CHECK(assignment.num_gpus() == health.num_gpus());
+  const std::vector<GpuId> alive = health.AliveGpus();
+  FLEXMOE_CHECK(!alive.empty());
+  if (static_cast<int>(alive.size()) == health.num_gpus()) return assignment;
+
+  Assignment out(assignment.num_experts(), assignment.num_gpus());
+  size_t cursor = 0;  // rotates over alive GPUs for an even spread
+  for (int e = 0; e < assignment.num_experts(); ++e) {
+    for (int g = 0; g < assignment.num_gpus(); ++g) {
+      const int64_t tokens = assignment.at(e, g);
+      if (tokens <= 0) continue;
+      if (health.alive(g)) {
+        out.add(e, g, tokens);
+      } else {
+        out.add(e, alive[cursor % alive.size()], tokens);
+        ++cursor;
+      }
+    }
+  }
+  return out;
+}
+
+int ExpertsWithoutLiveReplica(const Placement& placement,
+                              const ClusterHealth& health) {
+  FLEXMOE_CHECK(placement.num_gpus() == health.num_gpus());
+  int orphaned = 0;
+  for (int e = 0; e < placement.num_experts(); ++e) {
+    bool live = false;
+    for (const auto& [gpu, count] : placement.Replicas(e)) {
+      (void)count;
+      if (health.alive(gpu)) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) ++orphaned;
+  }
+  return orphaned;
+}
+
+Result<DrainReport> DrainPlacement(const ClusterHealth& health,
+                                   double expert_state_bytes,
+                                   Placement* placement) {
+  FLEXMOE_CHECK(placement != nullptr);
+  FLEXMOE_CHECK(placement->num_gpus() == health.num_gpus());
+  DrainReport report;
+
+  // Pass 1: restore experts whose every replica sits on a dead device —
+  // they must land somewhere alive before the dead replicas are released
+  // (RemoveVExpert refuses to zero out an expert).
+  for (int e = 0; e < placement->num_experts(); ++e) {
+    bool live = false;
+    for (const auto& [gpu, count] : placement->Replicas(e)) {
+      (void)count;
+      if (health.alive(gpu)) {
+        live = true;
+        break;
+      }
+    }
+    if (live) continue;
+    GpuId best = -1;
+    int best_free = 0;
+    for (const GpuId g : health.AliveGpus()) {
+      if (placement->FreeSlots(g) > best_free) {
+        best = g;
+        best_free = placement->FreeSlots(g);
+      }
+    }
+    if (best < 0) {
+      // Survivors are fully packed (the canonical initial placement binds
+      // every slot): cannibalize one replica of the most-replicated expert
+      // that keeps >= 2 live replicas. Losing one replica of a replicated
+      // expert is strictly better than losing an expert.
+      GpuId victim_gpu = -1;
+      int victim_expert = -1, victim_live = 0;
+      for (const GpuId g : health.AliveGpus()) {
+        for (const int x : placement->ExpertsOn(g)) {
+          int live_replicas = 0;
+          for (const auto& [host, count] : placement->Replicas(x)) {
+            if (health.alive(host)) live_replicas += count;
+          }
+          if (live_replicas >= 2 && live_replicas > victim_live) {
+            victim_live = live_replicas;
+            victim_expert = x;
+            victim_gpu = g;
+          }
+        }
+      }
+      if (victim_expert < 0) {
+        // Truly no room: the expert keeps a tombstone replica on the dead
+        // device and runs orphaned until capacity returns. Keep draining
+        // everything else.
+        ++report.orphaned_experts;
+        continue;
+      }
+      FLEXMOE_RETURN_IF_ERROR(
+          placement->RemoveVExpert(victim_expert, victim_gpu));
+      ++report.vexperts_released;
+      best = victim_gpu;
+    }
+    FLEXMOE_RETURN_IF_ERROR(placement->AddVExpert(e, best));
+    ++report.experts_restored;
+    report.restore_bytes += expert_state_bytes;
+  }
+
+  // Pass 2: release every vExpert on a dead device — except an orphan's
+  // tombstone (RemoveVExpert refuses to zero an expert out, and the
+  // tombstone marks the states to restore when capacity returns).
+  for (int g = 0; g < placement->num_gpus(); ++g) {
+    if (health.alive(g)) continue;
+    for (const int e : placement->ExpertsOn(g)) {
+      while (placement->VExpertsOn(e, g) > 0 && placement->VExperts(e) > 1) {
+        FLEXMOE_RETURN_IF_ERROR(placement->RemoveVExpert(e, g));
+        ++report.vexperts_released;
+      }
+    }
+  }
+  FLEXMOE_RETURN_IF_ERROR(placement->Validate());
+  return report;
+}
+
+GpuId FailoverTarget(GpuId gpu, const ClusterHealth& health,
+                     const Topology& topo) {
+  FLEXMOE_CHECK(gpu >= 0 && gpu < health.num_gpus());
+  const std::vector<GpuId> peers = topo.GpusOnNode(topo.NodeOf(gpu));
+  const auto self = std::find(peers.begin(), peers.end(), gpu);
+  FLEXMOE_CHECK(self != peers.end());
+  const size_t start = static_cast<size_t>(self - peers.begin());
+  for (size_t i = 1; i <= peers.size(); ++i) {
+    const GpuId candidate = peers[(start + i) % peers.size()];
+    if (health.alive(candidate)) return candidate;
+  }
+  for (int i = 1; i <= health.num_gpus(); ++i) {
+    const GpuId candidate = (gpu + i) % health.num_gpus();
+    if (health.alive(candidate)) return candidate;
+  }
+  FLEXMOE_CHECK_MSG(false, "no alive GPU for failover");
+  return -1;
+}
+
+Result<Placement> FailoverPlacement(const Placement& placement,
+                                    const ClusterHealth& health,
+                                    const Topology& topo) {
+  FLEXMOE_CHECK(placement.num_gpus() == health.num_gpus());
+  std::vector<std::map<GpuId, int>> replicas(
+      static_cast<size_t>(placement.num_experts()));
+  std::vector<int> needed(static_cast<size_t>(placement.num_gpus()), 0);
+  for (int e = 0; e < placement.num_experts(); ++e) {
+    for (const auto& [gpu, count] : placement.Replicas(e)) {
+      const GpuId host =
+          health.alive(gpu) ? gpu : FailoverTarget(gpu, health, topo);
+      replicas[static_cast<size_t>(e)][host] += count;
+      needed[static_cast<size_t>(host)] += count;
+    }
+  }
+  PlacementOptions popt;
+  popt.num_experts = placement.num_experts();
+  popt.num_gpus = placement.num_gpus();
+  popt.slots_per_gpu = std::max(placement.slots_per_gpu(),
+                                *std::max_element(needed.begin(), needed.end()));
+  return Placement::FromReplicaMap(popt, replicas);
+}
+
+}  // namespace flexmoe

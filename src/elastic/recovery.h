@@ -1,0 +1,76 @@
+// Placement- and workload-repair primitives used after membership changes.
+//
+//  * RedistributeSources — the surviving data-parallel ranks absorb the
+//    batch shard of departed devices, so the global token stream continues
+//    uninterrupted.
+//  * DrainPlacement — elastic repair (FlexMoE): vExperts on dead devices
+//    are released; experts whose replicas were all lost are re-materialized
+//    from the checkpoint store onto the emptiest survivors. Cheap when the
+//    placement already replicates hot experts — the FlexMoE advantage.
+//  * FailoverPlacement — static repair (baselines): each dead device's
+//    experts move wholesale to a same-node failover peer, concentrating its
+//    entire load there. No rebalancing — exactly what a fixed expert-
+//    parallel layout restarted from a checkpoint does.
+//  * ExpertsWithoutLiveReplica — the degraded-mode invariant probe: a step
+//    that runs while some expert has no replica on a live device must be
+//    reported as degraded.
+
+#ifndef FLEXMOE_ELASTIC_RECOVERY_H_
+#define FLEXMOE_ELASTIC_RECOVERY_H_
+
+#include <cstdint>
+
+#include "elastic/cluster_health.h"
+#include "moe/moe_layer.h"
+#include "placement/placement.h"
+
+namespace flexmoe {
+
+/// \brief Moves token sources on non-alive GPUs onto alive GPUs
+/// (round-robin per expert, deterministic). Token counts are conserved.
+Assignment RedistributeSources(const Assignment& assignment,
+                               const ClusterHealth& health);
+
+/// \brief Number of experts with zero vExperts on live devices.
+int ExpertsWithoutLiveReplica(const Placement& placement,
+                              const ClusterHealth& health);
+
+/// \brief Outcome of an elastic drain.
+struct DrainReport {
+  int vexperts_released = 0;   ///< replicas dropped from dead devices
+  int experts_restored = 0;    ///< sole-replica experts re-materialized
+  double restore_bytes = 0.0;  ///< bytes read back from the checkpoint store
+  /// Experts the survivors could not host: they keep one tombstone replica
+  /// on a dead device and their tokens are skipped — degraded mode.
+  int orphaned_experts = 0;
+};
+
+/// \brief Removes every vExpert on non-alive devices from `placement`;
+/// experts that lose all replicas are restored onto the alive GPUs with the
+/// most free slots (checkpoint read of `expert_state_bytes` each). Best
+/// effort: experts the surviving slots cannot host are reported in
+/// `orphaned_experts` (each keeps one tombstone replica on a dead device)
+/// while everything else is still drained — the caller must run in
+/// degraded mode until capacity returns.
+Result<DrainReport> DrainPlacement(const ClusterHealth& health,
+                                   double expert_state_bytes,
+                                   Placement* placement);
+
+/// \brief The deterministic failover peer of `gpu`: the next alive GPU on
+/// the same node (cyclic scan), else the next alive GPU by id. Requires at
+/// least one alive GPU.
+GpuId FailoverTarget(GpuId gpu, const ClusterHealth& health,
+                     const Topology& topo);
+
+/// \brief Rebuilds `placement` with every dead device's vExperts reassigned
+/// wholesale to its FailoverTarget. Slot capacity grows as needed (the
+/// failover peer now hosts two devices' worth of experts). With every
+/// device alive this returns a copy of `placement` — which is how a static
+/// system recovers once a replacement joins.
+Result<Placement> FailoverPlacement(const Placement& placement,
+                                    const ClusterHealth& health,
+                                    const Topology& topo);
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_ELASTIC_RECOVERY_H_

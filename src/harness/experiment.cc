@@ -27,7 +27,17 @@ Status ExperimentOptions::Validate() const {
   if (warmup_steps < 0 || warmup_steps >= measure_steps) {
     return Status::InvalidArgument("warmup_steps out of range");
   }
+  FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
   return Status::OK();
+}
+
+FaultPlanOptions ResolveFaultOptions(const ExperimentOptions& options) {
+  FaultPlanOptions f = options.faults;
+  if (f.num_gpus <= 0) f.num_gpus = options.num_gpus;
+  if (f.seed == 0) f.seed = options.seed;
+  if (f.fault_step < 0) f.fault_step = options.measure_steps / 3;
+  if (f.horizon_steps <= 0) f.horizon_steps = options.measure_steps;
+  return f;
 }
 
 Result<TraceGenerator> BuildTraceGenerator(const ExperimentOptions& options) {
@@ -58,6 +68,7 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
     o.scheduler = options.scheduler;
     o.policy = options.policy;
     o.executor = options.executor;
+    o.elastic = options.elastic;
     FLEXMOE_ASSIGN_OR_RETURN(auto sys,
                              FlexMoESystem::Create(o, topo, profile));
     return std::unique_ptr<MoESystem>(std::move(sys));
@@ -67,6 +78,7 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
     o.model = options.model;
     o.num_gpus = options.num_gpus;
     o.capacity_factor = options.capacity_factor;
+    o.elastic = options.elastic;
     FLEXMOE_ASSIGN_OR_RETURN(auto sys,
                              ExpertParallelSystem::Create(o, topo, profile));
     return std::unique_ptr<MoESystem>(std::move(sys));
@@ -75,6 +87,7 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
     FasterMoEOptions o;
     o.model = options.model;
     o.num_gpus = options.num_gpus;
+    o.elastic = options.elastic;
     FLEXMOE_ASSIGN_OR_RETURN(auto sys,
                              FasterMoESystem::Create(o, topo, profile));
     return std::unique_ptr<MoESystem>(std::move(sys));
@@ -83,6 +96,7 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
     SwipeOptions o;
     o.model = options.model;
     o.num_gpus = options.num_gpus;
+    o.elastic = options.elastic;
     FLEXMOE_ASSIGN_OR_RETURN(auto sys,
                              SwipeSystem::Create(o, topo, profile));
     return std::unique_ptr<MoESystem>(std::move(sys));
@@ -109,6 +123,12 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
   FLEXMOE_ASSIGN_OR_RETURN(std::unique_ptr<MoESystem> system,
                            BuildSystem(options, &topo, &profile));
 
+  if (options.faults.scenario != "none") {
+    const FaultPlanOptions resolved = ResolveFaultOptions(options);
+    FLEXMOE_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::Generate(resolved));
+    FLEXMOE_RETURN_IF_ERROR(system->InstallFaultPlan(plan));
+  }
+
   for (int s = 0; s < options.measure_steps; ++s) {
     system->RunStep(gen.Step());
   }
@@ -130,6 +150,10 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
   report.mean_expert_efficiency = report.stats.MeanExpertEfficiency(warmup);
   report.mean_gpu_utilization = report.stats.MeanGpuUtilization(warmup);
   report.mean_balance_ratio = report.stats.MeanBalanceRatio(warmup);
+  report.faults_applied = report.stats.TotalFaultsApplied();
+  report.tokens_dropped_total = report.stats.TotalTokensDropped();
+  report.recovery_seconds_total = report.stats.TotalRecoverySeconds();
+  report.degraded_steps = report.stats.DegradedSteps();
 
   // Time-to-quality: effective tokens needed to hit the DeepSpeed-quality
   // target, at this system's measured effective-token rate and step time.

@@ -14,6 +14,7 @@
 
 #include "core/flexmoe.h"
 #include "core/system.h"
+#include "elastic/fault_plan.h"
 #include "gate/trace_generator.h"
 #include "moe/model_config.h"
 #include "quality/targets.h"
@@ -50,6 +51,16 @@ struct ExperimentOptions {
   TraceGeneratorOptions trace;
   bool use_trace_overrides = false;
 
+  /// Fault scenario (elastic-cluster subsystem). `faults.scenario` of
+  /// "none" runs a static, healthy cluster; any other scenario builds a
+  /// FaultPlan and installs it on the system under test. faults.num_gpus
+  /// <= 0 and faults.seed == 0 inherit the experiment's values;
+  /// faults.fault_step < 0 selects measure_steps / 3.
+  FaultPlanOptions faults;
+  /// Recovery discipline knobs forwarded to the system's
+  /// ElasticController.
+  ElasticControllerOptions elastic;
+
   Status Validate() const;
 };
 
@@ -76,7 +87,17 @@ struct ExperimentReport {
   double hours_to_target = 0.0;
   /// Metric value at the full training budget (paper Table 2 readout).
   double metric_at_budget = 0.0;
+
+  // --- Fault-scenario outcomes (zero without an installed plan) ----------
+  int64_t faults_applied = 0;
+  int64_t tokens_dropped_total = 0;
+  double recovery_seconds_total = 0.0;
+  int64_t degraded_steps = 0;
 };
+
+/// \brief Resolves the experiment's fault options (inherited num_gpus /
+/// seed / fault_step defaults filled in) without building the plan.
+FaultPlanOptions ResolveFaultOptions(const ExperimentOptions& options);
 
 /// \brief Builds the trace generator an experiment would use (exposed so
 /// benches can pre-inspect the workload).

@@ -36,13 +36,33 @@ void PlacementExecutor::Enqueue(const std::vector<ModOp>& ops) {
 
 void PlacementExecutor::ClearPending() { queue_.Clear(); }
 
-bool PlacementExecutor::ApplyToLive(const ModOp& op, Placement* live) {
+int PlacementExecutor::DropOpsInvolving(GpuId gpu) {
+  const size_t before = in_flight_.size();
+  in_flight_.erase(
+      std::remove_if(in_flight_.begin(), in_flight_.end(),
+                     [gpu](const InFlight& f) {
+                       return f.op.src == gpu || f.op.dst == gpu;
+                     }),
+      in_flight_.end());
+  return static_cast<int>(before - in_flight_.size());
+}
+
+bool PlacementExecutor::ApplyToLive(const ModOp& op, Placement* live,
+                                    const ClusterHealth* health) {
   ModOp fixed = op;
   if (op.type == ModOpType::kExpand && op.src >= 0 &&
       live->VExpertsOn(op.expert, op.src) == 0) {
     // The copy source shrank away while the transfer was queued; any other
-    // replica holds identical states. Prefer a host co-located with dst.
-    const std::vector<GpuId> hosts = live->HostGpus(op.expert);
+    // *live* replica holds identical states (a dead device's copy is
+    // lost). Prefer a host co-located with dst.
+    std::vector<GpuId> hosts = live->HostGpus(op.expert);
+    if (health != nullptr) {
+      hosts.erase(std::remove_if(hosts.begin(), hosts.end(),
+                                 [health](GpuId h) {
+                                   return !health->alive(h);
+                                 }),
+                  hosts.end());
+    }
     if (hosts.empty()) return false;
     fixed.src = hosts.front();
     for (GpuId h : hosts) {
@@ -62,7 +82,8 @@ bool PlacementExecutor::ApplyToLive(const ModOp& op, Placement* live) {
 }
 
 PlacementExecutor::TickResult PlacementExecutor::OnStepBoundary(
-    double now, ClusterState* cluster, Placement* live) {
+    double now, ClusterState* cluster, Placement* live,
+    const ClusterHealth* health) {
   TickResult result;
 
   // 1. Completed background transfers take effect, in finish-time order.
@@ -78,7 +99,7 @@ PlacementExecutor::TickResult PlacementExecutor::OnStepBoundary(
       still_pending.push_back(flight);
       continue;
     }
-    if (ApplyToLive(flight.op, live)) {
+    if (ApplyToLive(flight.op, live, health)) {
       ++result.ops_applied;
     } else if (flight.retries_left > 0) {
       --flight.retries_left;
@@ -101,12 +122,12 @@ PlacementExecutor::TickResult PlacementExecutor::OnStepBoundary(
       }
       result.blocking_seconds += batch_seconds;
       for (const ModOp& op : batch.free_ops) {
-        if (ApplyToLive(op, live)) ++result.ops_applied;
+        if (ApplyToLive(op, live, health)) ++result.ops_applied;
         else ++result.ops_dropped;
       }
       for (const TransferGroup& tg : batch.transfers) {
         for (const ModOp& op : tg.ops) {
-          if (ApplyToLive(op, live)) ++result.ops_applied;
+          if (ApplyToLive(op, live, health)) ++result.ops_applied;
           else ++result.ops_dropped;
         }
       }
@@ -124,7 +145,7 @@ PlacementExecutor::TickResult PlacementExecutor::OnStepBoundary(
     OpBatch batch = queue_.PopBatch();
     // Free ops (shrinks, packing expands) take effect right away.
     for (const ModOp& op : batch.free_ops) {
-      if (ApplyToLive(op, live)) ++result.ops_applied;
+      if (ApplyToLive(op, live, health)) ++result.ops_applied;
       else ++result.ops_dropped;
     }
     for (const TransferGroup& tg : batch.transfers) {

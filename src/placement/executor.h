@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "collective/engine_ops.h"
+#include "elastic/cluster_health.h"
 #include "placement/op_queue.h"
 #include "placement/placement.h"
 
@@ -50,6 +51,11 @@ class PlacementExecutor {
   /// re-plans from scratch after a workload shift.
   void ClearPending();
 
+  /// Drops in-flight transfers with `gpu` as an endpoint — they died with
+  /// the device. Call together with ClearPending when a device departs.
+  /// Returns the number of transfers dropped.
+  int DropOpsInvolving(GpuId gpu);
+
   struct TickResult {
     int ops_applied = 0;      ///< ops that took effect on `live` this tick
     int ops_launched = 0;     ///< transfers started this tick
@@ -59,9 +65,12 @@ class PlacementExecutor {
 
   /// Step-boundary hook: applies completed transfers to `live`, then (best
   /// effort) launches the next batch if the involved background streams are
-  /// idle. In blocking mode everything executes and applies now.
+  /// idle. In blocking mode everything executes and applies now. With
+  /// `health` set, stale-source fixups never pick a dead device (its state
+  /// is lost) — such ops are dropped instead.
   TickResult OnStepBoundary(double now, ClusterState* cluster,
-                            Placement* live);
+                            Placement* live,
+                            const ClusterHealth* health = nullptr);
 
   size_t pending_ops() const { return queue_.size(); }
   size_t in_flight_ops() const { return in_flight_.size(); }
@@ -75,7 +84,8 @@ class PlacementExecutor {
 
   /// Applies an op to the live placement, fixing up stale expand sources;
   /// returns false if the op is no longer applicable.
-  bool ApplyToLive(const ModOp& op, Placement* live);
+  bool ApplyToLive(const ModOp& op, Placement* live,
+                   const ClusterHealth* health);
 
   ExecutorOptions options_;
   const HardwareProfile* profile_;

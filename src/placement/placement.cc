@@ -67,6 +67,28 @@ Result<Placement> Placement::ExpertParallel(const PlacementOptions& options) {
   return p;
 }
 
+Result<Placement> Placement::FromReplicaMap(
+    const PlacementOptions& options,
+    const std::vector<std::map<GpuId, int>>& replicas) {
+  FLEXMOE_RETURN_IF_ERROR(options.Validate());
+  if (static_cast<int>(replicas.size()) != options.num_experts) {
+    return Status::InvalidArgument("replica map size != num_experts");
+  }
+  Placement p(options, options.EffectiveSlotsPerGpu());
+  for (int e = 0; e < options.num_experts; ++e) {
+    for (const auto& [gpu, count] : replicas[static_cast<size_t>(e)]) {
+      if (count <= 0) {
+        return Status::InvalidArgument("non-positive replica count");
+      }
+      for (int i = 0; i < count; ++i) {
+        FLEXMOE_RETURN_IF_ERROR(p.AddVExpert(e, gpu));
+      }
+    }
+  }
+  FLEXMOE_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
 int Placement::VExperts(int expert) const {
   const auto& m = Replicas(expert);
   int total = 0;

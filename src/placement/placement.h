@@ -39,6 +39,14 @@ class Placement {
   /// live on its home GPU (fully packed).
   static Result<Placement> ExpertParallel(const PlacementOptions& options);
 
+  /// Builds a placement from an explicit replica map (`replicas[e]`: gpu ->
+  /// vExpert count, one entry per expert). `options.slots_per_gpu` must
+  /// accommodate the densest GPU; every expert needs >= 1 vExpert. Used by
+  /// the elastic subsystem to rebuild placements after membership changes.
+  static Result<Placement> FromReplicaMap(
+      const PlacementOptions& options,
+      const std::vector<std::map<GpuId, int>>& replicas);
+
   int num_experts() const { return options_.num_experts; }
   int num_gpus() const { return options_.num_gpus; }
   int slots_per_gpu() const { return slots_per_gpu_; }

@@ -9,6 +9,7 @@
 #include "baselines/fastermoe.h"
 #include "baselines/swipe.h"
 #include "core/flexmoe.h"
+#include "elastic/recovery.h"
 
 namespace flexmoe {
 namespace {
@@ -138,9 +139,145 @@ TEST_P(AllSystemsTest, RejectsWrongLayerCount) {
   EXPECT_DEATH(sys->RunStep(wrong), "");
 }
 
+// ---- FaultScheduler end-to-end: every system must absorb a mid-run GPU
+// failure without crashing, losing tokens silently, or violating placement
+// invariants (each expert keeps a live replica or the step reports
+// degraded mode).
+
+TEST_P(AllSystemsTest, SurvivesMidRunGpuFailure) {
+  Env env = Env::Make();
+  const ModelConfig m = TinyModel();
+  auto sys = MakeSystem(&env, m);
+
+  FaultPlanOptions fo;
+  fo.scenario = "failstop";
+  fo.num_gpus = 8;
+  fo.fault_step = 5;
+  fo.gpu = 2;
+  ASSERT_TRUE(sys->InstallFaultPlan(*FaultPlan::Generate(fo)).ok());
+
+  int64_t faults_seen = 0;
+  for (int s = 0; s < 15; ++s) {
+    const std::vector<Assignment> step = MakeStep(m, 8, 300);
+    int64_t fed = 0;
+    for (const Assignment& a : step) fed += a.Total();
+    const StepMetrics metrics = sys->RunStep(step);
+    faults_seen += metrics.faults_applied;
+    ASSERT_GT(metrics.step_seconds, 0.0) << "step " << s;
+
+    // Token accounting: every fed token is either processed or reported
+    // dropped — nothing vanishes silently.
+    ASSERT_EQ(metrics.tokens_total, fed) << "step " << s;
+    if (s == 5) {
+      // The failure step loses exactly the tokens resident on the dead
+      // device (1/8 of each layer's batch), and must say so.
+      EXPECT_EQ(metrics.tokens_dropped, fed / 8);
+    }
+    // Placement invariant: every expert keeps >= 1 live replica, or the
+    // step is flagged degraded.
+    const ClusterHealth* health = sys->cluster_health();
+    ASSERT_NE(health, nullptr);
+    if (s >= 5) {
+      ASSERT_FALSE(health->alive(2));
+    }
+  }
+  EXPECT_EQ(faults_seen, 1);
+}
+
+TEST_P(AllSystemsTest, SurvivesStragglerAndRecovery) {
+  Env env = Env::Make();
+  const ModelConfig m = TinyModel();
+  auto sys = MakeSystem(&env, m);
+
+  FaultPlanOptions fo;
+  fo.scenario = "straggler";
+  fo.num_gpus = 8;
+  fo.fault_step = 3;
+  fo.recover_step = 9;
+  fo.gpu = 1;
+  fo.compute_multiplier = 3.0;
+  ASSERT_TRUE(sys->InstallFaultPlan(*FaultPlan::Generate(fo)).ok());
+
+  std::vector<double> times;
+  for (int s = 0; s < 14; ++s) {
+    const StepMetrics metrics = sys->RunStep(MakeStep(m, 8, 300));
+    ASSERT_GT(metrics.step_seconds, 0.0);
+    ASSERT_EQ(metrics.tokens_dropped, 0);  // stragglers lose no tokens
+    times.push_back(metrics.step_seconds);
+  }
+  // The straggler window must actually hurt: its peak step time exceeds
+  // the healthy first steps.
+  double before = times[1], during = 0.0;
+  for (int s = 3; s < 9; ++s) during = std::max(during, times[s]);
+  EXPECT_GT(during, before * 1.2);
+}
+
+TEST_P(AllSystemsTest, SurvivesChurn) {
+  Env env = Env::Make();
+  const ModelConfig m = TinyModel();
+  auto sys = MakeSystem(&env, m);
+
+  FaultPlanOptions fo;
+  fo.scenario = "churn";
+  fo.num_gpus = 8;
+  fo.fault_step = 4;
+  fo.recover_step = 10;
+  fo.gpu = 7;
+  ASSERT_TRUE(sys->InstallFaultPlan(*FaultPlan::Generate(fo)).ok());
+
+  for (int s = 0; s < 16; ++s) {
+    const StepMetrics metrics = sys->RunStep(MakeStep(m, 8, 300));
+    ASSERT_GT(metrics.step_seconds, 0.0);
+    // A graceful leave drains first: no tokens are ever lost.
+    ASSERT_EQ(metrics.tokens_dropped, 0) << "step " << s;
+  }
+  const ClusterHealth* health = sys->cluster_health();
+  ASSERT_NE(health, nullptr);
+  EXPECT_TRUE(health->AllHealthy());  // the device rejoined
+}
+
 INSTANTIATE_TEST_SUITE_P(Systems, AllSystemsTest,
                          testing::Values("flexmoe", "deepspeed", "fastermoe",
                                          "swipe"));
+
+TEST(FlexMoEFailureTest, DrainsDeadDeviceAndKeepsInvariants) {
+  Env env = Env::Make();
+  const ModelConfig m = TinyModel();
+  FlexMoEOptions o;
+  o.model = m;
+  o.num_gpus = 8;
+  auto sys = *FlexMoESystem::Create(o, env.topo.get(), &env.profile);
+
+  FaultPlanOptions fo;
+  fo.scenario = "failstop";
+  fo.num_gpus = 8;
+  fo.fault_step = 6;
+  fo.gpu = 0;
+  ASSERT_TRUE(sys->InstallFaultPlan(*FaultPlan::Generate(fo)).ok());
+
+  for (int s = 0; s < 20; ++s) {
+    const StepMetrics metrics = sys->RunStep(MakeStep(m, 8, 400));
+    for (int l = 0; l < m.num_moe_layers; ++l) {
+      ASSERT_TRUE(sys->live_placement(l).Validate().ok()) << "step " << s;
+      ASSERT_TRUE(sys->target_placement(l).Validate().ok()) << "step " << s;
+      if (s >= 6) {
+        // Elastic drain: nothing may live on the dead device, and every
+        // expert keeps a live replica (else the step must say degraded).
+        ASSERT_EQ(sys->live_placement(l).UsedSlots(0), 0) << "step " << s;
+        if (!metrics.degraded) {
+          ASSERT_EQ(
+              ExpertsWithoutLiveReplica(sys->live_placement(l),
+                                        *sys->cluster_health()),
+              0)
+              << "step " << s;
+        }
+      }
+    }
+  }
+  // FlexMoE recovers without a full restart: the only recovery charge is
+  // re-materializing sole-replica experts.
+  EXPECT_LT(sys->stats().TotalRecoverySeconds(), 10.0);
+}
 
 TEST(FlexMoEFailureTest, PlacementsSurviveAdversarialFlipFlop) {
   Env env = Env::Make();
