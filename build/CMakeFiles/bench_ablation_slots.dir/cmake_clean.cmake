@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slots.dir/bench/bench_ablation_slots.cc.o"
+  "CMakeFiles/bench_ablation_slots.dir/bench/bench_ablation_slots.cc.o.d"
+  "bench_ablation_slots"
+  "bench_ablation_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

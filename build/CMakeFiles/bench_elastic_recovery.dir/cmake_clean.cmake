@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elastic_recovery.dir/bench/bench_elastic_recovery.cc.o"
+  "CMakeFiles/bench_elastic_recovery.dir/bench/bench_elastic_recovery.cc.o.d"
+  "bench_elastic_recovery"
+  "bench_elastic_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elastic_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

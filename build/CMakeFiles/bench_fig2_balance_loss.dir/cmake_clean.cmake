@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_balance_loss.dir/bench/bench_fig2_balance_loss.cc.o"
+  "CMakeFiles/bench_fig2_balance_loss.dir/bench/bench_fig2_balance_loss.cc.o.d"
+  "bench_fig2_balance_loss"
+  "bench_fig2_balance_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_balance_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_expert_loads.dir/bench/bench_fig3_expert_loads.cc.o"
+  "CMakeFiles/bench_fig3_expert_loads.dir/bench/bench_fig3_expert_loads.cc.o.d"
+  "bench_fig3_expert_loads"
+  "bench_fig3_expert_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_expert_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

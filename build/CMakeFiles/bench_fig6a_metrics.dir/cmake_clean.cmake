@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_metrics.dir/bench/bench_fig6a_metrics.cc.o"
+  "CMakeFiles/bench_fig6a_metrics.dir/bench/bench_fig6a_metrics.cc.o.d"
+  "bench_fig6a_metrics"
+  "bench_fig6a_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_policies.dir/bench/bench_fig6b_policies.cc.o"
+  "CMakeFiles/bench_fig6b_policies.dir/bench/bench_fig6b_policies.cc.o.d"
+  "bench_fig6b_policies"
+  "bench_fig6b_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

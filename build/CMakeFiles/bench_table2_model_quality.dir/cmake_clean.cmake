@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_model_quality.dir/bench/bench_table2_model_quality.cc.o"
+  "CMakeFiles/bench_table2_model_quality.dir/bench/bench_table2_model_quality.cc.o.d"
+  "bench_table2_model_quality"
+  "bench_table2_model_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_model_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_systems.dir/examples/compare_systems.cpp.o"
+  "CMakeFiles/compare_systems.dir/examples/compare_systems.cpp.o.d"
+  "compare_systems"
+  "compare_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

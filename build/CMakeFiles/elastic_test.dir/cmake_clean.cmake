@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_test.dir/tests/elastic_test.cc.o"
+  "CMakeFiles/elastic_test.dir/tests/elastic_test.cc.o.d"
+  "elastic_test"
+  "elastic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/expert_parallel.cc" "CMakeFiles/flexmoe.dir/src/baselines/expert_parallel.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/baselines/expert_parallel.cc.o.d"
+  "/root/repo/src/baselines/fastermoe.cc" "CMakeFiles/flexmoe.dir/src/baselines/fastermoe.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/baselines/fastermoe.cc.o.d"
+  "/root/repo/src/baselines/swipe.cc" "CMakeFiles/flexmoe.dir/src/baselines/swipe.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/baselines/swipe.cc.o.d"
+  "/root/repo/src/collective/comm_cost.cc" "CMakeFiles/flexmoe.dir/src/collective/comm_cost.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/collective/comm_cost.cc.o.d"
+  "/root/repo/src/collective/engine_ops.cc" "CMakeFiles/flexmoe.dir/src/collective/engine_ops.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/collective/engine_ops.cc.o.d"
+  "/root/repo/src/collective/nccl_group.cc" "CMakeFiles/flexmoe.dir/src/collective/nccl_group.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/collective/nccl_group.cc.o.d"
+  "/root/repo/src/collective/ordered_sync.cc" "CMakeFiles/flexmoe.dir/src/collective/ordered_sync.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/collective/ordered_sync.cc.o.d"
+  "/root/repo/src/collective/profiler.cc" "CMakeFiles/flexmoe.dir/src/collective/profiler.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/collective/profiler.cc.o.d"
+  "/root/repo/src/core/balance.cc" "CMakeFiles/flexmoe.dir/src/core/balance.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/core/balance.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "CMakeFiles/flexmoe.dir/src/core/cost_model.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/core/cost_model.cc.o.d"
+  "/root/repo/src/core/flexmoe.cc" "CMakeFiles/flexmoe.dir/src/core/flexmoe.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/core/flexmoe.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "CMakeFiles/flexmoe.dir/src/core/metrics.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/core/metrics.cc.o.d"
+  "/root/repo/src/core/policy_maker.cc" "CMakeFiles/flexmoe.dir/src/core/policy_maker.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/core/policy_maker.cc.o.d"
+  "/root/repo/src/core/router.cc" "CMakeFiles/flexmoe.dir/src/core/router.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/core/router.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "CMakeFiles/flexmoe.dir/src/core/scheduler.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/core/scheduler.cc.o.d"
+  "/root/repo/src/core/static_planner.cc" "CMakeFiles/flexmoe.dir/src/core/static_planner.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/core/static_planner.cc.o.d"
+  "/root/repo/src/core/step_executor.cc" "CMakeFiles/flexmoe.dir/src/core/step_executor.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/core/step_executor.cc.o.d"
+  "/root/repo/src/elastic/cluster_health.cc" "CMakeFiles/flexmoe.dir/src/elastic/cluster_health.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/elastic/cluster_health.cc.o.d"
+  "/root/repo/src/elastic/elastic_controller.cc" "CMakeFiles/flexmoe.dir/src/elastic/elastic_controller.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/elastic/elastic_controller.cc.o.d"
+  "/root/repo/src/elastic/fault_plan.cc" "CMakeFiles/flexmoe.dir/src/elastic/fault_plan.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/elastic/fault_plan.cc.o.d"
+  "/root/repo/src/elastic/fault_scheduler.cc" "CMakeFiles/flexmoe.dir/src/elastic/fault_scheduler.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/elastic/fault_scheduler.cc.o.d"
+  "/root/repo/src/elastic/recovery.cc" "CMakeFiles/flexmoe.dir/src/elastic/recovery.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/elastic/recovery.cc.o.d"
+  "/root/repo/src/gate/capacity.cc" "CMakeFiles/flexmoe.dir/src/gate/capacity.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/gate/capacity.cc.o.d"
+  "/root/repo/src/gate/gate.cc" "CMakeFiles/flexmoe.dir/src/gate/gate.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/gate/gate.cc.o.d"
+  "/root/repo/src/gate/routing_trace.cc" "CMakeFiles/flexmoe.dir/src/gate/routing_trace.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/gate/routing_trace.cc.o.d"
+  "/root/repo/src/gate/trace_generator.cc" "CMakeFiles/flexmoe.dir/src/gate/trace_generator.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/gate/trace_generator.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "CMakeFiles/flexmoe.dir/src/harness/experiment.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/reporters.cc" "CMakeFiles/flexmoe.dir/src/harness/reporters.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/harness/reporters.cc.o.d"
+  "/root/repo/src/moe/model_config.cc" "CMakeFiles/flexmoe.dir/src/moe/model_config.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/moe/model_config.cc.o.d"
+  "/root/repo/src/moe/moe_layer.cc" "CMakeFiles/flexmoe.dir/src/moe/moe_layer.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/moe/moe_layer.cc.o.d"
+  "/root/repo/src/moe/transformer.cc" "CMakeFiles/flexmoe.dir/src/moe/transformer.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/moe/transformer.cc.o.d"
+  "/root/repo/src/placement/executor.cc" "CMakeFiles/flexmoe.dir/src/placement/executor.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/placement/executor.cc.o.d"
+  "/root/repo/src/placement/op_queue.cc" "CMakeFiles/flexmoe.dir/src/placement/op_queue.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/placement/op_queue.cc.o.d"
+  "/root/repo/src/placement/placement.cc" "CMakeFiles/flexmoe.dir/src/placement/placement.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/placement/placement.cc.o.d"
+  "/root/repo/src/placement/primitives.cc" "CMakeFiles/flexmoe.dir/src/placement/primitives.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/placement/primitives.cc.o.d"
+  "/root/repo/src/quality/convergence.cc" "CMakeFiles/flexmoe.dir/src/quality/convergence.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/quality/convergence.cc.o.d"
+  "/root/repo/src/quality/targets.cc" "CMakeFiles/flexmoe.dir/src/quality/targets.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/quality/targets.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "CMakeFiles/flexmoe.dir/src/sim/engine.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/sim/engine.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/flexmoe.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/stream.cc" "CMakeFiles/flexmoe.dir/src/sim/stream.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/sim/stream.cc.o.d"
+  "/root/repo/src/topology/profile.cc" "CMakeFiles/flexmoe.dir/src/topology/profile.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/topology/profile.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "CMakeFiles/flexmoe.dir/src/topology/topology.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/topology/topology.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/flexmoe.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/flexmoe.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/flexmoe.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/flexmoe.dir/src/util/status.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "CMakeFiles/flexmoe.dir/src/util/string_util.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/util/string_util.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/flexmoe.dir/src/util/table.cc.o" "gcc" "CMakeFiles/flexmoe.dir/src/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

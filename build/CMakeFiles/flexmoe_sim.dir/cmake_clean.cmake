@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmoe_sim.dir/examples/flexmoe_sim.cpp.o"
+  "CMakeFiles/flexmoe_sim.dir/examples/flexmoe_sim.cpp.o.d"
+  "flexmoe_sim"
+  "flexmoe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmoe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexmoe_system_test.dir/tests/flexmoe_system_test.cc.o"
+  "CMakeFiles/flexmoe_system_test.dir/tests/flexmoe_system_test.cc.o.d"
+  "flexmoe_system_test"
+  "flexmoe_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexmoe_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

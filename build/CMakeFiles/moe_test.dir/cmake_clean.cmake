@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_test.dir/tests/moe_test.cc.o"
+  "CMakeFiles/moe_test.dir/tests/moe_test.cc.o.d"
+  "moe_test"
+  "moe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_planner_test.dir/tests/static_planner_test.cc.o"
+  "CMakeFiles/static_planner_test.dir/tests/static_planner_test.cc.o.d"
+  "static_planner_test"
+  "static_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_executor_test.dir/tests/step_executor_test.cc.o"
+  "CMakeFiles/step_executor_test.dir/tests/step_executor_test.cc.o.d"
+  "step_executor_test"
+  "step_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
