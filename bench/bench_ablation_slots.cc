@@ -6,24 +6,26 @@
 // expert's share can be matched by an integer number of vExperts.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
-#include "harness/experiment.h"
+#include "harness/grid_runner.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
 namespace flexmoe {
 namespace {
 
-int Run(bool quick) {
+int Run(bool quick, int threads, bool legacy_gate) {
   bench::PrintHeader(
       "Ablation — vExpert slots per GPU (scheduling granularity)",
       "GPT-MoE-S on 16 GPUs, slots swept over {1, 2, 4, 8, 16}");
 
-  Table table({"slots/GPU", "step time (ms)", "balance", "ops applied",
-               "hours to target"});
+  std::vector<GridCell> cells;
   for (int slots : {1, 2, 4, 8, 16}) {
-    ExperimentOptions o;
+    GridCell cell;
+    cell.label = StrFormat("slots=%d", slots);
+    ExperimentOptions& o = cell.options;
     o.system = "flexmoe";
     o.model = GptMoES();
     o.model.num_experts = 16;
@@ -34,8 +36,18 @@ int Run(bool quick) {
     o.measure_steps = quick ? 40 : 80;
     o.warmup_steps = quick ? 10 : 25;
     o.seed = 53;
-    const ExperimentReport r = *RunExperiment(o);
-    table.AddRow({StrFormat("%d", slots),
+    o.legacy_gate = legacy_gate;
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<GridCellResult> results =
+      RunExperimentGrid(cells, threads);
+
+  Table table({"slots/GPU", "step time (ms)", "balance", "ops applied",
+               "hours to target"});
+  for (const GridCellResult& cell : results) {
+    FLEXMOE_CHECK_MSG(cell.status.ok(), cell.status.ToString());
+    const ExperimentReport& r = cell.report;
+    table.AddRow({cell.label.substr(std::string("slots=").size()),
                   StrFormat("%.1f", r.mean_step_seconds * 1e3),
                   StrFormat("%.2f", r.mean_balance_ratio),
                   StrFormat("%lld",
@@ -54,5 +66,7 @@ int Run(bool quick) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv));
+  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
+                      flexmoe::bench::GridThreads(argc, argv),
+                      flexmoe::bench::LegacyGate(argc, argv));
 }

@@ -4,24 +4,27 @@
 // a loose one tolerates imbalance.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
-#include "harness/experiment.h"
+#include "harness/grid_runner.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
 namespace flexmoe {
 namespace {
 
-int Run(bool quick) {
+int Run(bool quick, int threads, bool legacy_gate) {
   bench::PrintHeader(
       "Ablation — scheduler trigger threshold (balance ratio)",
       "GPT-MoE-S on 16 GPUs, threshold swept over {1.05 .. 2.0}");
 
-  Table table({"threshold", "step time (ms)", "balance", "ops applied",
-               "hours to target"});
-  for (double threshold : {1.05, 1.15, 1.3, 1.5, 2.0}) {
-    ExperimentOptions o;
+  const double thresholds[] = {1.05, 1.15, 1.3, 1.5, 2.0};
+  std::vector<GridCell> cells;
+  for (double threshold : thresholds) {
+    GridCell cell;
+    cell.label = StrFormat("threshold=%.2f", threshold);
+    ExperimentOptions& o = cell.options;
     o.system = "flexmoe";
     o.model = GptMoES();
     o.model.num_experts = 16;
@@ -32,8 +35,18 @@ int Run(bool quick) {
     o.measure_steps = quick ? 40 : 80;
     o.warmup_steps = quick ? 10 : 25;
     o.seed = 59;
-    const ExperimentReport r = *RunExperiment(o);
-    table.AddRow({StrFormat("%.2f", threshold),
+    o.legacy_gate = legacy_gate;
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<GridCellResult> results =
+      RunExperimentGrid(cells, threads);
+
+  Table table({"threshold", "step time (ms)", "balance", "ops applied",
+               "hours to target"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    FLEXMOE_CHECK_MSG(results[i].status.ok(), results[i].status.ToString());
+    const ExperimentReport& r = results[i].report;
+    table.AddRow({StrFormat("%.2f", thresholds[i]),
                   StrFormat("%.1f", r.mean_step_seconds * 1e3),
                   StrFormat("%.2f", r.mean_balance_ratio),
                   StrFormat("%lld",
@@ -52,5 +65,7 @@ int Run(bool quick) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv));
+  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
+                      flexmoe::bench::GridThreads(argc, argv),
+                      flexmoe::bench::LegacyGate(argc, argv));
 }

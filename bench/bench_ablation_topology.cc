@@ -5,12 +5,14 @@
 // placement's compute balancing buys less.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "collective/profiler.h"
 #include "core/flexmoe.h"
 #include "baselines/expert_parallel.h"
 #include "gate/trace_generator.h"
+#include "harness/grid_runner.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -22,7 +24,7 @@ struct RunResult {
   double ds_ms = 0.0;
 };
 
-RunResult RunAt(double inter_node_gbps, bool quick) {
+RunResult RunAt(double inter_node_gbps, bool quick, bool legacy_gate) {
   TopologyOptions topt = AzureA100Options(16);
   topt.inter_node_bytes_per_sec = inter_node_gbps * 1e9 / 8.0;
   const Topology topo = *Topology::Create(topt);
@@ -41,6 +43,7 @@ RunResult RunAt(double inter_node_gbps, bool quick) {
   t.num_gpus = 16;
   t.tokens_per_gpu = model.tokens_per_gpu;
   t.balance_coef = 0.001;
+  t.legacy_gate = legacy_gate;
   t.seed = 61;
 
   const int steps = quick ? 40 : 80;
@@ -68,16 +71,25 @@ RunResult RunAt(double inter_node_gbps, bool quick) {
   return result;
 }
 
-int Run(bool quick) {
+int Run(bool quick, int threads, bool legacy_gate) {
   bench::PrintHeader(
       "Ablation — inter-node bandwidth sensitivity",
       "FlexMoE vs uncapped expert parallelism on 16 GPUs (2 nodes)");
 
+  // Each bandwidth point builds its own topology/profile/systems, so the
+  // sweep parallelizes cell-per-thread like the RunExperiment grids.
+  const std::vector<double> sweep = {25.0, 50.0, 100.0, 200.0, 400.0};
+  std::vector<RunResult> results(sweep.size());
+  ParallelFor(static_cast<int>(sweep.size()), threads, [&](int i) {
+    results[static_cast<size_t>(i)] =
+        RunAt(sweep[static_cast<size_t>(i)], quick, legacy_gate);
+  });
+
   Table table({"inter-node link", "EP step (ms)", "FlexMoE step (ms)",
                "FlexMoE speedup"});
-  for (double gbps : {25.0, 50.0, 100.0, 200.0, 400.0}) {
-    const RunResult r = RunAt(gbps, quick);
-    table.AddRow({StrFormat("%.0f Gbps", gbps),
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const RunResult& r = results[i];
+    table.AddRow({StrFormat("%.0f Gbps", sweep[i]),
                   StrFormat("%.1f", r.ds_ms), StrFormat("%.1f", r.flex_ms),
                   StrFormat("%.2fx", r.ds_ms / r.flex_ms)});
   }
@@ -93,5 +105,7 @@ int Run(bool quick) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv));
+  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
+                      flexmoe::bench::GridThreads(argc, argv),
+                      flexmoe::bench::LegacyGate(argc, argv));
 }

@@ -1,22 +1,52 @@
 // Shared helpers for the per-figure bench binaries.
+//
+// Common flags:
+//   --quick          smoke-test scale (fewer steps; noisier numbers)
+//   --threads N      grid-runner worker count (default: hardware)
+//   --legacy-gate    route sampling through the pre-optimization gate
 
 #ifndef FLEXMOE_BENCH_BENCH_COMMON_H_
 #define FLEXMOE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 namespace flexmoe {
 namespace bench {
 
+/// True if `flag` (e.g. "--quick") was passed.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Value of "`flag` <value>" or `fallback` when absent.
+inline const char* FlagValue(int argc, char** argv, const char* flag,
+                             const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
 /// True if "--quick" was passed: benches then shrink step counts to smoke-
 /// test scale (used by CI-style runs; numbers become noisier).
 inline bool QuickMode(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) return true;
-  }
-  return false;
+  return HasFlag(argc, argv, "--quick");
+}
+
+/// Worker count for grid benches: "--threads N", default 0 (hardware).
+inline int GridThreads(int argc, char** argv) {
+  return std::atoi(FlagValue(argc, argv, "--threads", "0"));
+}
+
+/// True if "--legacy-gate" was passed: run the pre-optimization sampler.
+inline bool LegacyGate(int argc, char** argv) {
+  return HasFlag(argc, argv, "--legacy-gate");
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper) {

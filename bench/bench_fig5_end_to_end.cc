@@ -7,9 +7,10 @@
 //       over FasterMoE.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
-#include "harness/experiment.h"
+#include "harness/grid_runner.h"
 #include "harness/reporters.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -34,32 +35,43 @@ constexpr PaperSpeedups kPanelL[] = {
     {"Swin-MoE-L", 1.64, 1.24},
 };
 
-void RunPanel(const char* title, const PaperSpeedups* rows, int n,
-              int num_gpus, bool quick) {
+constexpr const char* kSystems[3] = {"deepspeed", "fastermoe", "flexmoe"};
+
+void AddPanelCells(const PaperSpeedups* rows, int n, int num_gpus, bool quick,
+                   bool legacy_gate, std::vector<GridCell>* cells) {
+  for (int i = 0; i < n; ++i) {
+    for (int s = 0; s < 3; ++s) {
+      GridCell cell;
+      cell.label = StrFormat("%s/%s", rows[i].model, kSystems[s]);
+      cell.options.system = kSystems[s];
+      cell.options.model = *ModelByName(rows[i].model);
+      cell.options.num_gpus = num_gpus;
+      cell.options.balance_coef = 0.001;
+      cell.options.capacity_factor = 1.0;
+      cell.options.measure_steps = quick ? 40 : 100;
+      cell.options.warmup_steps = quick ? 5 : 25;
+      cell.options.seed = 31;
+      cell.options.legacy_gate = legacy_gate;
+      cells->push_back(std::move(cell));
+    }
+  }
+}
+
+void PrintPanel(const char* title, const PaperSpeedups* rows, int n,
+                int num_gpus, const GridCellResult* results) {
   std::printf("--- %s (%d GPUs) ---\n", title, num_gpus);
   Table table({"model", "DeepSpeed (h)", "FasterMoE (h)", "FlexMoE (h)",
                "vs DS ours", "vs DS paper", "vs FasterMoE ours",
                "vs FasterMoE paper"});
   for (int i = 0; i < n; ++i) {
-    const ModelConfig model = *ModelByName(rows[i].model);
-    ExperimentReport reports[3];
-    const char* systems[3] = {"deepspeed", "fastermoe", "flexmoe"};
+    const GridCellResult* row = results + 3 * i;
     for (int s = 0; s < 3; ++s) {
-      ExperimentOptions o;
-      o.system = systems[s];
-      o.model = model;
-      o.num_gpus = num_gpus;
-      o.balance_coef = 0.001;
-      o.capacity_factor = 1.0;
-      o.measure_steps = quick ? 40 : 100;
-      o.warmup_steps = quick ? 5 : 25;
-      o.seed = 31;
-      reports[s] = *RunExperiment(o);
+      FLEXMOE_CHECK_MSG(row[s].status.ok(), row[s].status.ToString());
     }
-    const double ds = reports[0].hours_to_target;
-    const double fm = reports[1].hours_to_target;
-    const double flex = reports[2].hours_to_target;
-    table.AddRow({model.name, StrFormat("%.1f", ds), StrFormat("%.1f", fm),
+    const double ds = row[0].report.hours_to_target;
+    const double fm = row[1].report.hours_to_target;
+    const double flex = row[2].report.hours_to_target;
+    table.AddRow({rows[i].model, StrFormat("%.1f", ds), StrFormat("%.1f", fm),
                   StrFormat("%.1f", flex), FormatSpeedup(ds / flex),
                   FormatSpeedup(rows[i].vs_deepspeed),
                   FormatSpeedup(fm / flex),
@@ -68,11 +80,20 @@ void RunPanel(const char* title, const PaperSpeedups* rows, int n,
   std::printf("%s\n", table.ToAscii().c_str());
 }
 
-int Run(bool quick) {
+int Run(bool quick, int threads, bool legacy_gate) {
   bench::PrintHeader("Figure 5 — time to target quality",
                      "DeepSpeed / FasterMoE / FlexMoE on six models");
-  RunPanel("Figure 5(a): X-MoE-S", kPanelS, 3, 32, quick);
-  RunPanel("Figure 5(b): X-MoE-L", kPanelL, 3, 64, quick);
+
+  // All 18 (panel x model x system) cells are independent; run them on the
+  // grid runner and slice the results back into the two panels.
+  std::vector<GridCell> cells;
+  AddPanelCells(kPanelS, 3, 32, quick, legacy_gate, &cells);
+  AddPanelCells(kPanelL, 3, 64, quick, legacy_gate, &cells);
+  const std::vector<GridCellResult> results =
+      RunExperimentGrid(cells, threads);
+
+  PrintPanel("Figure 5(a): X-MoE-S", kPanelS, 3, 32, results.data());
+  PrintPanel("Figure 5(b): X-MoE-L", kPanelL, 3, 64, results.data() + 9);
   std::printf(
       "shape check: FlexMoE fastest on every model; the FasterMoE gap\n"
       "widens on 64 GPUs where its global shadow synchronization hurts.\n");
@@ -83,5 +104,7 @@ int Run(bool quick) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv));
+  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
+                      flexmoe::bench::GridThreads(argc, argv),
+                      flexmoe::bench::LegacyGate(argc, argv));
 }

@@ -9,9 +9,10 @@
 // the paper's FlexMoE-vs-DeepSpeed-8 ratios exceed the GPU ratio.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
-#include "harness/experiment.h"
+#include "harness/grid_runner.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -29,28 +30,41 @@ ModelConfig SingleMoELayer() {
 
 constexpr double kPaperFlex[] = {6.7, 10.7, 19.8, 35.6};
 
-int Run(bool quick) {
+int Run(bool quick, int threads, bool legacy_gate) {
   bench::PrintHeader("Figure 7(b) — scalability on 8/16/32/64 GPUs",
                      "single MoE layer, 64 experts, speedup vs DeepSpeed-8");
 
   const int gpu_counts[] = {8, 16, 32, 64};
   const char* systems[] = {"deepspeed", "fastermoe", "flexmoe"};
-  double throughput[3][4] = {};
 
+  // 12 independent (gpu-count x system) cells on the grid runner.
+  std::vector<GridCell> cells;
   for (int gi = 0; gi < 4; ++gi) {
     for (int si = 0; si < 3; ++si) {
-      ExperimentOptions o;
-      o.system = systems[si];
-      o.model = SingleMoELayer();
-      o.num_gpus = gpu_counts[gi];
-      o.balance_coef = 0.001;
-      o.capacity_factor = 1.0;  // DeepSpeed's training configuration
-      o.measure_steps = quick ? 40 : 100;
-      o.warmup_steps = quick ? 5 : 25;
-      o.seed = 47;
-      const ExperimentReport report = *RunExperiment(o);
-      throughput[si][gi] = report.throughput_tokens_per_sec *
-                           report.mean_effective_token_rate;
+      GridCell cell;
+      cell.label = StrFormat("%dgpu/%s", gpu_counts[gi], systems[si]);
+      cell.options.system = systems[si];
+      cell.options.model = SingleMoELayer();
+      cell.options.num_gpus = gpu_counts[gi];
+      cell.options.balance_coef = 0.001;
+      cell.options.capacity_factor = 1.0;  // DeepSpeed's training config
+      cell.options.measure_steps = quick ? 40 : 100;
+      cell.options.warmup_steps = quick ? 5 : 25;
+      cell.options.seed = 47;
+      cell.options.legacy_gate = legacy_gate;
+      cells.push_back(std::move(cell));
+    }
+  }
+  const std::vector<GridCellResult> results =
+      RunExperimentGrid(cells, threads);
+
+  double throughput[3][4] = {};
+  for (int gi = 0; gi < 4; ++gi) {
+    for (int si = 0; si < 3; ++si) {
+      const GridCellResult& r = results[static_cast<size_t>(gi * 3 + si)];
+      FLEXMOE_CHECK_MSG(r.status.ok(), r.status.ToString());
+      throughput[si][gi] = r.report.throughput_tokens_per_sec *
+                           r.report.mean_effective_token_rate;
     }
   }
 
@@ -76,5 +90,7 @@ int Run(bool quick) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv));
+  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
+                      flexmoe::bench::GridThreads(argc, argv),
+                      flexmoe::bench::LegacyGate(argc, argv));
 }

@@ -1,21 +1,107 @@
-// Microbenchmarks (google-benchmark) for the scheduling-critical paths:
-// these run on every training step (router, balance metric) or on every
-// trigger (cost model, policy maker), so their throughput bounds how often
-// FlexMoE can afford to re-plan.
+// Microbenchmarks for the scheduling-critical paths: these run on every
+// training step (gate, trace generation, router, balance metric) or on
+// every trigger (cost model, policy maker), so their throughput bounds how
+// often FlexMoE can afford to re-plan — and bounds the wall-clock of every
+// figure bench.
+//
+// Unlike the figure benches this binary is self-timed (std::chrono) and
+// emits a machine-readable BENCH_micro.json so the perf trajectory is
+// tracked from PR to PR:
+//
+//   bench_micro_core [--quick] [--threads N] [--out PATH]
+//                    [--extra name=value]...
+//
+// --extra records externally measured numbers (e.g. the figure benches'
+// wall-clock vs the previous PR's binary) into the same JSON.
+//
+// Headline metrics: gate tokens/sec (exact + multinomial, optimized AND
+// legacy sampler, so the JSON carries the speedup the flat-buffer rewrite
+// bought), trace steps/sec, and end-to-end experiment cells/sec through
+// RunExperimentGrid.
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/bench_common.h"
 #include "core/balance.h"
 #include "core/cost_model.h"
 #include "core/policy_maker.h"
 #include "core/router.h"
 #include "gate/trace_generator.h"
+#include "harness/grid_runner.h"
 #include "placement/op_queue.h"
+#include "util/string_util.h"
 
 namespace flexmoe {
 namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct MetricRow {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// Runs `body` (one "iteration" processes `units_per_iter` work units)
+/// until `min_seconds` elapsed, returns units/sec.
+template <typename Fn>
+double Throughput(double min_seconds, double units_per_iter, Fn&& body) {
+  // One warmup iteration, then timed iterations until the budget is spent.
+  body();
+  int iters = 0;
+  const double t0 = NowSeconds();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++iters;
+    elapsed = NowSeconds() - t0;
+  } while (elapsed < min_seconds);
+  return units_per_iter * static_cast<double>(iters) / elapsed;
+}
+
+TraceGeneratorOptions GateTraceOptions(bool exact, bool legacy,
+                                       int64_t tokens_per_gpu) {
+  TraceGeneratorOptions t;
+  t.num_experts = 64;
+  t.num_moe_layers = 1;
+  t.num_gpus = 8;
+  t.tokens_per_gpu = tokens_per_gpu;
+  t.exact_sampling = exact;
+  t.legacy_gate = legacy;
+  t.seed = 7;
+  return t;
+}
+
+/// Tokens/sec of the gate sampler (trace generator with one layer; the
+/// gate dominates its cost at these sizes).
+double GateTokensPerSec(bool exact, bool legacy, bool quick) {
+  const int64_t tokens_per_gpu = exact ? (quick ? 1024 : 4096) : 8192;
+  TraceGenerator gen =
+      *TraceGenerator::Create(GateTraceOptions(exact, legacy, tokens_per_gpu));
+  const double tokens_per_step =
+      static_cast<double>(tokens_per_gpu) * gen.options().num_gpus;
+  const double budget = quick ? 0.3 : 1.0;
+  return Throughput(budget, tokens_per_step, [&] { gen.Step(); });
+}
+
+double TraceStepsPerSec(bool quick) {
+  TraceGeneratorOptions t;
+  t.num_experts = 64;
+  t.num_moe_layers = 12;
+  t.num_gpus = 64;
+  t.tokens_per_gpu = 8192;
+  t.seed = 7;
+  TraceGenerator gen = *TraceGenerator::Create(t);
+  return Throughput(quick ? 0.3 : 1.0, 1.0, [&] { gen.Step(); });
+}
 
 struct Env {
   std::unique_ptr<Topology> topo;
@@ -24,13 +110,6 @@ struct Env {
   CostModel cost;
   Placement placement;
   Assignment assignment;
-
-  static Env* Get(int num_gpus, int num_experts) {
-    static std::map<std::pair<int, int>, std::unique_ptr<Env>> cache;
-    auto& slot = cache[{num_gpus, num_experts}];
-    if (!slot) slot.reset(new Env(num_gpus, num_experts));
-    return slot.get();
-  }
 
   Env(int num_gpus, int num_experts)
       : topo(std::make_unique<Topology>(
@@ -56,79 +135,156 @@ struct Env {
   }
 };
 
-void BM_Router(benchmark::State& state) {
-  Env* env = Env::Get(static_cast<int>(state.range(0)),
-                      static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        FlexibleRouter::Route(env->assignment, env->placement));
-  }
-}
-BENCHMARK(BM_Router)->Args({8, 32})->Args({32, 32})->Args({64, 64});
-
-void BM_BalanceRatio(benchmark::State& state) {
-  Env* env = Env::Get(64, 64);
-  const RoutedAssignment routed =
-      FlexibleRouter::Route(env->assignment, env->placement);
-  const std::vector<double> loads = routed.PerGpuComputeLoads();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(BalanceRatio(loads));
-  }
-}
-BENCHMARK(BM_BalanceRatio);
-
-void BM_CostModelEstimate(benchmark::State& state) {
-  Env* env = Env::Get(static_cast<int>(state.range(0)),
-                      static_cast<int>(state.range(1)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        env->cost.EstimateLayerSeconds(env->assignment, env->placement));
-  }
-}
-BENCHMARK(BM_CostModelEstimate)->Args({8, 32})->Args({32, 32})->Args({64, 64});
-
-void BM_PolicyMakerPlan(benchmark::State& state) {
-  Env* env = Env::Get(static_cast<int>(state.range(0)),
-                      static_cast<int>(state.range(1)));
-  PolicyMaker pm(&env->cost, PolicyMakerOptions{});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        pm.MakeSchedulingPlan(env->assignment, env->placement));
-  }
-}
-BENCHMARK(BM_PolicyMakerPlan)->Args({8, 32})->Args({32, 32})->Args({64, 64});
-
-void BM_TraceGeneratorStep(benchmark::State& state) {
-  TraceGeneratorOptions t;
-  t.num_experts = 64;
-  t.num_moe_layers = 12;
-  t.num_gpus = 64;
-  t.tokens_per_gpu = 8192;
-  t.seed = 7;
-  TraceGenerator gen = *TraceGenerator::Create(t);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(gen.Step());
-  }
-}
-BENCHMARK(BM_TraceGeneratorStep);
-
-void BM_OpQueueMergePass(benchmark::State& state) {
-  for (auto _ : state) {
-    state.PauseTiming();
-    ModificationQueue q(64e6);
-    for (int i = 0; i < 32; ++i) {
-      q.Enqueue(MakeShrink(i, i % 8));
-      q.Enqueue(MakeExpand(i, i % 8, (i + 1) % 8));
-    }
-    state.ResumeTiming();
-    while (!q.empty()) {
-      benchmark::DoNotOptimize(q.PopBatch());
+double GridCellsPerSec(bool quick, int threads) {
+  // A miniature fig5-style grid: small models, every cell independent.
+  std::vector<GridCell> cells;
+  const char* systems[] = {"deepspeed", "fastermoe", "flexmoe"};
+  const int repeats = quick ? 1 : 2;
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (const char* system : systems) {
+      GridCell cell;
+      cell.label = StrFormat("%s/rep%d", system, rep);
+      ExperimentOptions& o = cell.options;
+      o.system = system;
+      o.model = GptMoES();
+      o.model.num_experts = 16;
+      o.model.num_moe_layers = 2;
+      o.model.tokens_per_gpu = 2048;
+      o.num_gpus = 8;
+      o.measure_steps = 20;
+      o.warmup_steps = 5;
+      o.seed = 71 + static_cast<uint64_t>(rep);
+      cells.push_back(std::move(cell));
     }
   }
+  const double t0 = NowSeconds();
+  const std::vector<GridCellResult> results =
+      RunExperimentGrid(cells, threads);
+  const double elapsed = NowSeconds() - t0;
+  for (const GridCellResult& r : results) {
+    FLEXMOE_CHECK_MSG(r.status.ok(), r.status.ToString());
+  }
+  return static_cast<double>(cells.size()) / elapsed;
 }
-BENCHMARK(BM_OpQueueMergePass);
+
+void WriteJson(const std::string& path, const std::vector<MetricRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_micro_core\",\n  \"metrics\": {\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    \"%s\": {\"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                 rows[i].name.c_str(), rows[i].value, rows[i].unit.c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Run(bool quick, int threads, const std::string& out_path,
+        const std::vector<MetricRow>& extras) {
+  bench::PrintHeader("Microbenchmarks — scheduling-critical paths",
+                     "gate / trace / router / cost model / policy maker");
+  std::vector<MetricRow> rows;
+  auto add = [&rows](const std::string& name, double value,
+                     const std::string& unit) {
+    rows.push_back({name, value, unit});
+    std::printf("%-40s %14.4g %s\n", name.c_str(), value, unit.c_str());
+  };
+
+  // --- Gate sampling (optimized vs legacy) -------------------------------
+  const double exact_fast = GateTokensPerSec(true, false, quick);
+  const double exact_legacy = GateTokensPerSec(true, true, quick);
+  add("gate_exact_tokens_per_sec", exact_fast, "tokens/s");
+  add("gate_exact_legacy_tokens_per_sec", exact_legacy, "tokens/s");
+  add("gate_exact_speedup_vs_legacy", exact_fast / exact_legacy, "x");
+  const double multi_fast = GateTokensPerSec(false, false, quick);
+  const double multi_legacy = GateTokensPerSec(false, true, quick);
+  add("gate_multinomial_tokens_per_sec", multi_fast, "tokens/s");
+  add("gate_multinomial_legacy_tokens_per_sec", multi_legacy, "tokens/s");
+  add("gate_multinomial_speedup_vs_legacy", multi_fast / multi_legacy, "x");
+
+  // --- Trace generation --------------------------------------------------
+  add("trace_steps_per_sec", TraceStepsPerSec(quick), "steps/s");
+
+  // --- Router / balance / cost model / policy maker ----------------------
+  {
+    Env env(64, 64);
+    const double budget = quick ? 0.2 : 0.5;
+    add("router_routes_per_sec",
+        Throughput(budget, 1.0,
+                   [&] {
+                     FlexibleRouter::Route(env.assignment, env.placement);
+                   }),
+        "routes/s");
+    const RoutedAssignment routed =
+        FlexibleRouter::Route(env.assignment, env.placement);
+    const std::vector<double> loads = routed.PerGpuComputeLoads();
+    add("balance_ratio_evals_per_sec",
+        Throughput(budget, 1.0, [&] { BalanceRatio(loads); }), "evals/s");
+    add("cost_model_estimates_per_sec",
+        Throughput(budget, 1.0,
+                   [&] {
+                     env.cost.EstimateLayerSeconds(env.assignment,
+                                                   env.placement);
+                   }),
+        "estimates/s");
+    PolicyMaker pm(&env.cost, PolicyMakerOptions{});
+    add("policy_maker_plans_per_sec",
+        Throughput(budget, 1.0,
+                   [&] {
+                     pm.MakeSchedulingPlan(env.assignment, env.placement);
+                   }),
+        "plans/s");
+  }
+
+  // --- Placement op queue ------------------------------------------------
+  add("op_queue_merge_passes_per_sec",
+      Throughput(quick ? 0.2 : 0.5, 1.0,
+                 [] {
+                   ModificationQueue q(64e6);
+                   for (int i = 0; i < 32; ++i) {
+                     q.Enqueue(MakeShrink(i, i % 8));
+                     q.Enqueue(MakeExpand(i, i % 8, (i + 1) % 8));
+                   }
+                   while (!q.empty()) q.PopBatch();
+                 }),
+      "passes/s");
+
+  // --- End-to-end grid ---------------------------------------------------
+  add("end_to_end_cells_per_sec", GridCellsPerSec(quick, threads), "cells/s");
+  add("grid_threads", static_cast<double>(ResolveGridThreads(threads)), "");
+
+  for (const MetricRow& extra : extras) {
+    add(extra.name, extra.value, extra.unit);
+  }
+
+  WriteJson(out_path, rows);
+  return 0;
+}
 
 }  // namespace
 }  // namespace flexmoe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<flexmoe::MetricRow> extras;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--extra") != 0) continue;
+    const std::string spec = argv[i + 1];
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "ignoring malformed --extra '%s'\n", spec.c_str());
+      continue;
+    }
+    extras.push_back({spec.substr(0, eq), std::atof(spec.c_str() + eq + 1),
+                      "recorded"});
+  }
+  return flexmoe::Run(
+      flexmoe::bench::QuickMode(argc, argv),
+      flexmoe::bench::GridThreads(argc, argv),
+      flexmoe::bench::FlagValue(argc, argv, "--out", "BENCH_micro.json"),
+      extras);
+}

@@ -145,34 +145,30 @@ StepMetrics FasterMoESystem::RunStep(
     RoutedAssignment& r = routed[static_cast<size_t>(l)];
     r.num_experts = num_experts;
     r.num_gpus = num_gpus;
-    r.expert_gpu_tokens.assign(
-        static_cast<size_t>(num_experts),
-        std::vector<int64_t>(static_cast<size_t>(num_gpus), 0));
-    r.dispatch.assign(static_cast<size_t>(num_gpus),
-                      std::vector<int64_t>(static_cast<size_t>(num_gpus), 0));
+    r.expert_gpu_tokens.assign(num_experts, num_gpus, 0);
+    r.dispatch.assign(num_gpus, num_gpus, 0);
 
     std::vector<bool> is_shadowed(static_cast<size_t>(num_experts), false);
     for (int e : shadows) is_shadowed[static_cast<size_t>(e)] = true;
 
     for (int e = 0; e < num_experts; ++e) {
+      const int64_t* counts = assignment.row(e);
+      int64_t* expert_row = r.expert_gpu_tokens.row(e);
       if (is_shadowed[static_cast<size_t>(e)]) {
         // Local processing at every source GPU.
         for (int g = 0; g < num_gpus; ++g) {
-          const int64_t tokens = assignment.at(e, g);
+          const int64_t tokens = counts[g];
           if (tokens <= 0) continue;
-          r.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)] +=
-              tokens;
-          r.dispatch[static_cast<size_t>(g)][static_cast<size_t>(g)] += tokens;
+          expert_row[g] += tokens;
+          r.dispatch(g, g) += tokens;
         }
       } else {
         const GpuId home = placement_.HostGpus(e).front();
         for (int g = 0; g < num_gpus; ++g) {
-          const int64_t tokens = assignment.at(e, g);
+          const int64_t tokens = counts[g];
           if (tokens <= 0) continue;
-          r.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(home)] +=
-              tokens;
-          r.dispatch[static_cast<size_t>(g)][static_cast<size_t>(home)] +=
-              tokens;
+          expert_row[home] += tokens;
+          r.dispatch(g, home) += tokens;
         }
       }
     }

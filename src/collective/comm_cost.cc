@@ -8,15 +8,13 @@ namespace flexmoe {
 
 ByteMatrix MakeByteMatrix(int num_gpus) {
   FLEXMOE_CHECK(num_gpus > 0);
-  return ByteMatrix(static_cast<size_t>(num_gpus),
-                    std::vector<double>(static_cast<size_t>(num_gpus), 0.0));
+  return ByteMatrix(num_gpus, num_gpus, 0.0);
 }
 
 double TotalBytes(const ByteMatrix& bytes) {
   double total = 0.0;
-  for (const auto& row : bytes) {
-    for (double b : row) total += b;
-  }
+  const double* flat = bytes.data();
+  for (size_t i = 0; i < bytes.element_count(); ++i) total += flat[i];
   return total;
 }
 
@@ -26,8 +24,8 @@ double A2AReceiverSeconds(const ByteMatrix& bytes, GpuId dst,
   // chunked flows keep the port busy back-to-back, so per-message latency
   // does not accumulate (it is charged once per phase by the caller).
   double t = 0.0;
-  for (size_t src = 0; src < bytes.size(); ++src) {
-    const double b = bytes[src][static_cast<size_t>(dst)];
+  for (int src = 0; src < bytes.rows(); ++src) {
+    const double b = bytes(src, dst);
     if (b <= 0.0) continue;
     t += b / profile.BandwidthBytesPerSec(static_cast<GpuId>(src), dst);
   }
@@ -37,8 +35,8 @@ double A2AReceiverSeconds(const ByteMatrix& bytes, GpuId dst,
 double A2ASenderSeconds(const ByteMatrix& bytes, GpuId src,
                         const HardwareProfile& profile) {
   double t = 0.0;
-  const auto& row = bytes[static_cast<size_t>(src)];
-  for (size_t dst = 0; dst < row.size(); ++dst) {
+  const double* row = bytes.row(src);
+  for (int dst = 0; dst < bytes.cols(); ++dst) {
     if (row[dst] <= 0.0) continue;
     t += row[dst] / profile.BandwidthBytesPerSec(src, static_cast<GpuId>(dst));
   }
@@ -47,14 +45,14 @@ double A2ASenderSeconds(const ByteMatrix& bytes, GpuId src,
 
 double A2ASecondsAnalytic(const ByteMatrix& bytes,
                           const HardwareProfile& profile) {
-  const int n = static_cast<int>(bytes.size());
+  const int n = bytes.rows();
   double worst = 0.0;
   double max_lat = 0.0;
   for (GpuId g = 0; g < n; ++g) {
     worst = std::max(worst, A2AReceiverSeconds(bytes, g, profile));
     worst = std::max(worst, A2ASenderSeconds(bytes, g, profile));
     for (GpuId peer = 0; peer < n; ++peer) {
-      if (bytes[static_cast<size_t>(g)][static_cast<size_t>(peer)] > 0.0) {
+      if (bytes(g, peer) > 0.0) {
         max_lat = std::max(max_lat, profile.LatencySeconds(g, peer));
       }
     }

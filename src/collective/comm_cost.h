@@ -9,12 +9,14 @@
 #include <vector>
 
 #include "topology/profile.h"
+#include "util/matrix.h"
 
 namespace flexmoe {
 
 /// Dense src x dst byte matrix describing one All-to-All exchange:
-/// bytes[src][dst] is the payload GPU `src` sends to GPU `dst`.
-using ByteMatrix = std::vector<std::vector<double>>;
+/// bytes[src][dst] is the payload GPU `src` sends to GPU `dst`. Flat
+/// row-major storage — one allocation per matrix, contiguous rows.
+using ByteMatrix = Matrix<double>;
 
 /// \brief Allocates a zeroed G x G byte matrix.
 ByteMatrix MakeByteMatrix(int num_gpus);

@@ -30,7 +30,7 @@ CollectiveResult ExecAllToAll(ClusterState* cluster,
                               const HardwareProfile& profile,
                               const ByteMatrix& bytes, double earliest) {
   const int n = cluster->num_gpus();
-  FLEXMOE_CHECK(static_cast<int>(bytes.size()) == n);
+  FLEXMOE_CHECK(bytes.rows() == n && bytes.cols() == n);
   CollectiveResult result;
   result.start = earliest;
   result.per_gpu_finish.assign(static_cast<size_t>(n), earliest);
@@ -45,7 +45,7 @@ CollectiveResult ExecAllToAll(ClusterState* cluster,
   for (int r = 0; r < n; ++r) {
     for (GpuId src = 0; src < n; ++src) {
       const GpuId dst = (src + r) % n;
-      const double b = bytes[static_cast<size_t>(src)][static_cast<size_t>(dst)];
+      const double b = bytes(src, dst);
       if (b <= 0.0) continue;
       const double duration = b / profile.BandwidthBytesPerSec(src, dst);
       const double lat = profile.LatencySeconds(src, dst);

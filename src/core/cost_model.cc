@@ -44,8 +44,7 @@ double CostModel::A2ASeconds(const RoutedAssignment& routed, GpuId dst) const {
   double seconds = 0.0;
   double max_lat = 0.0;
   for (GpuId src = 0; src < routed.num_gpus; ++src) {
-    const int64_t tokens =
-        routed.dispatch[static_cast<size_t>(src)][static_cast<size_t>(dst)];
+    const int64_t tokens = routed.dispatch(src, dst);
     if (tokens <= 0) continue;
     const double bytes = static_cast<double>(tokens) * shape_.token_bytes;
     seconds += bytes / profile_->BandwidthBytesPerSec(src, dst);
@@ -81,8 +80,7 @@ LayerCostEstimate CostModel::EstimateLayer(const RoutedAssignment& routed,
     double compute = 0.0;
     double sync = 0.0;
     for (int e = 0; e < routed.num_experts; ++e) {
-      const int64_t tokens =
-          routed.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)];
+      const int64_t tokens = routed.expert_gpu_tokens(e, g);
       if (tokens > 0) compute += ComputeSeconds(tokens);
       if (placement.VExpertsOn(e, g) > 0) {
         sync += sync_of_expert[static_cast<size_t>(e)];

@@ -104,12 +104,26 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
   }
   if (cold_candidates.empty()) return {};
 
+  // Candidate placements differ from `placement` only in experts `hot`
+  // and `cold`, and every expert routes independently (Alg. 3 state is
+  // per-expert). Instead of a full O(E x G^2) re-route per candidate,
+  // subtract the two changed experts' contributions once per (hot, cold)
+  // pair and re-add them under the candidate placement — integer-exact,
+  // so scores (and therefore plans) are bit-identical to the full route.
+  RoutedAssignment scratch_routed;
+
   for (int hi = 0; hi < hot_count; ++hi) {
     const int hot = order[static_cast<size_t>(hi)];
     if (assignment.ExpertTotal(hot) == 0) break;
 
     for (int cold : cold_candidates) {
       if (cold == hot) continue;
+
+      RoutedAssignment minus = routed;
+      FlexibleRouter::AccumulateExpert(assignment, placement, cold, -1,
+                                       &minus);
+      FlexibleRouter::AccumulateExpert(assignment, placement, hot, -1,
+                                       &minus);
 
       // Shrink-host candidates: hosts of the cold expert, least-loaded
       // first (the freed slot usually becomes the hot expert's new home).
@@ -145,6 +159,12 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
         Placement after_shrink = placement;
         if (!after_shrink.RemoveVExpert(cold, shrink_gpu).ok()) continue;
 
+        // The cold expert's routing under the shrunk placement is shared
+        // by every expand destination; add it back once.
+        RoutedAssignment shrunk_routed = minus;
+        FlexibleRouter::AccumulateExpert(assignment, after_shrink, cold, +1,
+                                         &shrunk_routed);
+
         // Expand destinations: GPUs with a free slot; node-local to the
         // hot expert's replicas first, then cheapest loads.
         std::vector<GpuId> candidates;
@@ -168,10 +188,14 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
               static_cast<size_t>(options_.max_expand_candidates));
         }
         for (GpuId dst : candidates) {
-          Placement trial = after_shrink;
-          if (!trial.AddVExpert(hot, dst).ok()) continue;
+          // Mutate-undo instead of copying the placement per candidate.
+          if (!after_shrink.AddVExpert(hot, dst).ok()) continue;
+          scratch_routed = shrunk_routed;
+          FlexibleRouter::AccumulateExpert(assignment, after_shrink, hot, +1,
+                                           &scratch_routed);
           const double score = PlanScore(
-              cost_model_->EstimateLayer(assignment, trial));
+              cost_model_->EstimateLayer(scratch_routed, after_shrink));
+          FLEXMOE_CHECK(after_shrink.RemoveVExpert(hot, dst).ok());
           if (score < best_score) {
             best_score = score;
             best_hot = hot;

@@ -10,10 +10,8 @@ namespace flexmoe {
 std::vector<int64_t> RoutedAssignment::PerGpuComputeTokens() const {
   std::vector<int64_t> loads(static_cast<size_t>(num_gpus), 0);
   for (int e = 0; e < num_experts; ++e) {
-    for (int g = 0; g < num_gpus; ++g) {
-      loads[static_cast<size_t>(g)] +=
-          expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)];
-    }
+    const int64_t* row = expert_gpu_tokens.row(e);
+    for (int g = 0; g < num_gpus; ++g) loads[static_cast<size_t>(g)] += row[g];
   }
   return loads;
 }
@@ -29,8 +27,9 @@ std::vector<double> RoutedAssignment::PerGpuComputeLoads() const {
 
 int64_t RoutedAssignment::Total() const {
   int64_t total = 0;
-  for (const auto& row : expert_gpu_tokens) {
-    for (int64_t v : row) total += v;
+  const int64_t* flat = expert_gpu_tokens.data();
+  for (size_t i = 0; i < expert_gpu_tokens.element_count(); ++i) {
+    total += flat[i];
   }
   return total;
 }
@@ -38,12 +37,141 @@ int64_t RoutedAssignment::Total() const {
 int64_t RoutedAssignment::CrossGpuTokens() const {
   int64_t total = 0;
   for (int s = 0; s < num_gpus; ++s) {
+    const int64_t* row = dispatch.row(s);
     for (int d = 0; d < num_gpus; ++d) {
-      if (s != d) total += dispatch[static_cast<size_t>(s)][static_cast<size_t>(d)];
+      if (s != d) total += row[d];
     }
   }
   return total;
 }
+
+namespace {
+
+/// Reusable per-call scratch for the per-expert routing core. thread_local
+/// so concurrent grid cells never share it (see DESIGN.md "Performance
+/// architecture" for the scratch ownership rules).
+struct RouteScratch {
+  std::vector<int64_t> quota;
+  std::vector<int64_t> avail;
+  std::vector<int64_t> spill;
+  std::vector<int64_t> take;
+  std::vector<std::pair<double, GpuId>> remainders;
+
+  void Resize(int num_gpus) {
+    quota.resize(static_cast<size_t>(num_gpus));
+    avail.resize(static_cast<size_t>(num_gpus));
+    spill.resize(static_cast<size_t>(num_gpus));
+    take.resize(static_cast<size_t>(num_gpus));
+    remainders.reserve(static_cast<size_t>(num_gpus));
+  }
+};
+
+RouteScratch& Scratch() {
+  static thread_local RouteScratch scratch;
+  return scratch;
+}
+
+/// Routes one expert (Alg. 3 applied to expert `e` alone) and accumulates
+/// its contribution into `out` with the given sign. The token placement
+/// (`take` values) is a pure function of the expert's assignment row and
+/// placement row, so +1 followed by -1 cancels exactly.
+void RouteExpert(const Assignment& assignment, const Placement& placement,
+                 int e, int sign, RoutedAssignment* out) {
+  const int num_gpus = assignment.num_gpus();
+  const int64_t total = assignment.ExpertTotal(e);
+  if (total == 0) return;
+  const int n_e = placement.VExperts(e);
+  FLEXMOE_CHECK_MSG(n_e >= 1, "expert with zero vExperts");
+  // cap_e = ceil(I_e / n_e): even partitioning across vExperts.
+  const int64_t cap = (total + n_e - 1) / n_e;
+
+  RouteScratch& s = Scratch();
+  s.Resize(num_gpus);
+
+  // Locality-first claim (Alg. 3 line 5).
+  int64_t* expert_row = out->expert_gpu_tokens.row(e);
+  const int64_t* assigned = assignment.row(e);
+  const int* replicas = placement.CountsRow(e);
+  int64_t spill_total = 0;
+  for (GpuId g = 0; g < num_gpus; ++g) {
+    s.quota[static_cast<size_t>(g)] =
+        cap * static_cast<int64_t>(replicas[g]);
+    const int64_t local =
+        std::min(s.quota[static_cast<size_t>(g)], assigned[g]);
+    expert_row[g] += sign * local;
+    out->dispatch(g, g) += sign * local;
+    s.avail[static_cast<size_t>(g)] = s.quota[static_cast<size_t>(g)] - local;
+    s.spill[static_cast<size_t>(g)] = assigned[g] - local;
+    spill_total += assigned[g] - local;
+  }
+  if (spill_total == 0) return;
+
+  // Proportional spill (Alg. 3 lines 8-10) with largest-remainder
+  // rounding, then a greedy pass for residual integer slack. The total
+  // available capacity is maintained incrementally (every spilled token
+  // lands somewhere, so it shrinks by exactly `sp` per source).
+  int64_t total_avail = 0;
+  for (GpuId g = 0; g < num_gpus; ++g) {
+    total_avail += s.avail[static_cast<size_t>(g)];
+  }
+  for (GpuId src = 0; src < num_gpus; ++src) {
+    const int64_t sp = s.spill[static_cast<size_t>(src)];
+    if (sp <= 0) continue;
+    FLEXMOE_CHECK_MSG(total_avail >= sp, "router capacity accounting broken");
+
+    // Proportional allocation.
+    s.remainders.clear();
+    int64_t allocated = 0;
+    std::fill(s.take.begin(), s.take.end(), 0);
+    for (GpuId dst = 0; dst < num_gpus; ++dst) {
+      const int64_t a = s.avail[static_cast<size_t>(dst)];
+      if (a <= 0) continue;
+      const double exact = static_cast<double>(sp) *
+                           static_cast<double>(a) /
+                           static_cast<double>(total_avail);
+      const int64_t base =
+          std::min(a, static_cast<int64_t>(std::floor(exact)));
+      s.take[static_cast<size_t>(dst)] = base;
+      allocated += base;
+      s.remainders.push_back({exact - std::floor(exact), dst});
+    }
+    std::sort(s.remainders.begin(), s.remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    int64_t leftover = sp - allocated;
+    for (const auto& [frac, dst] : s.remainders) {
+      if (leftover <= 0) break;
+      if (s.take[static_cast<size_t>(dst)] <
+          s.avail[static_cast<size_t>(dst)]) {
+        ++s.take[static_cast<size_t>(dst)];
+        --leftover;
+      }
+    }
+    // Greedy residue (rounding can leave slack when many dsts saturate).
+    for (GpuId dst = 0; dst < num_gpus && leftover > 0; ++dst) {
+      const int64_t room =
+          s.avail[static_cast<size_t>(dst)] - s.take[static_cast<size_t>(dst)];
+      const int64_t extra = std::min(room, leftover);
+      s.take[static_cast<size_t>(dst)] += extra;
+      leftover -= extra;
+    }
+    FLEXMOE_CHECK_MSG(leftover == 0, "router failed to place spill");
+
+    int64_t* dispatch_row = out->dispatch.row(src);
+    for (GpuId dst = 0; dst < num_gpus; ++dst) {
+      const int64_t t = s.take[static_cast<size_t>(dst)];
+      if (t <= 0) continue;
+      expert_row[dst] += sign * t;
+      dispatch_row[dst] += sign * t;
+      s.avail[static_cast<size_t>(dst)] -= t;
+    }
+    total_avail -= sp;
+  }
+}
+
+}  // namespace
 
 RoutedAssignment FlexibleRouter::Route(const Assignment& assignment,
                                        const Placement& placement) {
@@ -55,98 +183,24 @@ RoutedAssignment FlexibleRouter::Route(const Assignment& assignment,
   RoutedAssignment out;
   out.num_experts = num_experts;
   out.num_gpus = num_gpus;
-  out.expert_gpu_tokens.assign(
-      static_cast<size_t>(num_experts),
-      std::vector<int64_t>(static_cast<size_t>(num_gpus), 0));
-  out.dispatch.assign(static_cast<size_t>(num_gpus),
-                      std::vector<int64_t>(static_cast<size_t>(num_gpus), 0));
-
-  std::vector<int64_t> quota(static_cast<size_t>(num_gpus));
-  std::vector<int64_t> avail(static_cast<size_t>(num_gpus));
-  std::vector<int64_t> spill(static_cast<size_t>(num_gpus));
+  out.expert_gpu_tokens.assign(num_experts, num_gpus, 0);
+  out.dispatch.assign(num_gpus, num_gpus, 0);
 
   for (int e = 0; e < num_experts; ++e) {
-    const int64_t total = assignment.ExpertTotal(e);
-    if (total == 0) continue;
-    const int n_e = placement.VExperts(e);
-    FLEXMOE_CHECK_MSG(n_e >= 1, "expert with zero vExperts");
-    // cap_e = ceil(I_e / n_e): even partitioning across vExperts.
-    const int64_t cap = (total + n_e - 1) / n_e;
-
-    // Locality-first claim (Alg. 3 line 5).
-    for (GpuId g = 0; g < num_gpus; ++g) {
-      quota[static_cast<size_t>(g)] =
-          cap * static_cast<int64_t>(placement.VExpertsOn(e, g));
-      const int64_t local =
-          std::min(quota[static_cast<size_t>(g)], assignment.at(e, g));
-      out.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)] +=
-          local;
-      out.dispatch[static_cast<size_t>(g)][static_cast<size_t>(g)] += local;
-      avail[static_cast<size_t>(g)] = quota[static_cast<size_t>(g)] - local;
-      spill[static_cast<size_t>(g)] = assignment.at(e, g) - local;
-    }
-
-    // Proportional spill (Alg. 3 lines 8-10) with largest-remainder
-    // rounding, then a greedy pass for residual integer slack.
-    for (GpuId src = 0; src < num_gpus; ++src) {
-      int64_t s = spill[static_cast<size_t>(src)];
-      if (s <= 0) continue;
-      int64_t total_avail = 0;
-      for (GpuId g = 0; g < num_gpus; ++g) {
-        total_avail += avail[static_cast<size_t>(g)];
-      }
-      FLEXMOE_CHECK_MSG(total_avail >= s, "router capacity accounting broken");
-
-      // Proportional allocation.
-      std::vector<std::pair<double, GpuId>> remainders;
-      int64_t allocated = 0;
-      std::vector<int64_t> take(static_cast<size_t>(num_gpus), 0);
-      for (GpuId dst = 0; dst < num_gpus; ++dst) {
-        const int64_t a = avail[static_cast<size_t>(dst)];
-        if (a <= 0) continue;
-        const double exact = static_cast<double>(s) *
-                             static_cast<double>(a) /
-                             static_cast<double>(total_avail);
-        const int64_t base =
-            std::min(a, static_cast<int64_t>(std::floor(exact)));
-        take[static_cast<size_t>(dst)] = base;
-        allocated += base;
-        remainders.push_back({exact - std::floor(exact), dst});
-      }
-      std::sort(remainders.begin(), remainders.end(),
-                [](const auto& a, const auto& b) {
-                  if (a.first != b.first) return a.first > b.first;
-                  return a.second < b.second;
-                });
-      int64_t leftover = s - allocated;
-      for (const auto& [frac, dst] : remainders) {
-        if (leftover <= 0) break;
-        if (take[static_cast<size_t>(dst)] < avail[static_cast<size_t>(dst)]) {
-          ++take[static_cast<size_t>(dst)];
-          --leftover;
-        }
-      }
-      // Greedy residue (rounding can leave slack when many dsts saturate).
-      for (GpuId dst = 0; dst < num_gpus && leftover > 0; ++dst) {
-        const int64_t room =
-            avail[static_cast<size_t>(dst)] - take[static_cast<size_t>(dst)];
-        const int64_t extra = std::min(room, leftover);
-        take[static_cast<size_t>(dst)] += extra;
-        leftover -= extra;
-      }
-      FLEXMOE_CHECK_MSG(leftover == 0, "router failed to place spill");
-
-      for (GpuId dst = 0; dst < num_gpus; ++dst) {
-        const int64_t t = take[static_cast<size_t>(dst)];
-        if (t <= 0) continue;
-        out.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(dst)] +=
-            t;
-        out.dispatch[static_cast<size_t>(src)][static_cast<size_t>(dst)] += t;
-        avail[static_cast<size_t>(dst)] -= t;
-      }
-    }
+    RouteExpert(assignment, placement, e, +1, &out);
   }
   return out;
+}
+
+void FlexibleRouter::AccumulateExpert(const Assignment& assignment,
+                                      const Placement& placement, int expert,
+                                      int sign, RoutedAssignment* out) {
+  FLEXMOE_CHECK(out != nullptr);
+  FLEXMOE_CHECK(assignment.num_experts() == placement.num_experts());
+  FLEXMOE_CHECK(assignment.num_gpus() == placement.num_gpus());
+  FLEXMOE_CHECK(expert >= 0 && expert < assignment.num_experts());
+  FLEXMOE_CHECK(sign == 1 || sign == -1);
+  RouteExpert(assignment, placement, expert, sign, out);
 }
 
 }  // namespace flexmoe

@@ -19,6 +19,7 @@
 
 #include "moe/moe_layer.h"
 #include "placement/placement.h"
+#include "util/matrix.h"
 
 namespace flexmoe {
 
@@ -28,11 +29,11 @@ struct RoutedAssignment {
   int num_gpus = 0;
 
   /// expert_gpu_tokens[e][g]: tokens of expert e computed on GPU g.
-  std::vector<std::vector<int64_t>> expert_gpu_tokens;
+  Matrix<int64_t> expert_gpu_tokens;
 
   /// dispatch[src][dst]: tokens moved from source GPU src to compute GPU
   /// dst (src == dst entries are device-local).
-  std::vector<std::vector<int64_t>> dispatch;
+  Matrix<int64_t> dispatch;
 
   /// Tokens of expert computation landing on each GPU.
   std::vector<int64_t> PerGpuComputeTokens() const;
@@ -51,6 +52,19 @@ class FlexibleRouter {
   /// Routes `assignment` under `placement`. Requires matching shapes.
   static RoutedAssignment Route(const Assignment& assignment,
                                 const Placement& placement);
+
+  /// Adds (`sign` = +1) or removes (`sign` = -1) expert `e`'s routing
+  /// contribution to/from `out`. Each expert routes independently of the
+  /// others (its quota/avail/spill state is per-expert), so
+  ///   Route(A, P')  ==  Route(A, P)
+  ///                     - contributions of changed experts under P
+  ///                     + contributions of changed experts under P'
+  /// holds EXACTLY (integer arithmetic). The Policy Maker uses this to
+  /// evaluate candidate placements that touch two experts without paying a
+  /// full O(E x G^2) re-route per candidate.
+  static void AccumulateExpert(const Assignment& assignment,
+                               const Placement& placement, int expert,
+                               int sign, RoutedAssignment* out);
 };
 
 }  // namespace flexmoe

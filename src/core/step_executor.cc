@@ -43,26 +43,31 @@ std::vector<GpuId> StepExecutor::AliveGpus() const {
   return out;
 }
 
-ByteMatrix StepExecutor::DispatchBytes(const RoutedAssignment& routed,
-                                       bool transpose) const {
-  ByteMatrix bytes = MakeByteMatrix(routed.num_gpus);
+const ByteMatrix& StepExecutor::DispatchBytes(const RoutedAssignment& routed,
+                                              bool transpose) const {
+  // Reusable scratch: one G x G matrix per executor, refilled per call
+  // (callers consume the matrix before the next DispatchBytes call).
+  dispatch_bytes_scratch_.assign(routed.num_gpus, routed.num_gpus, 0.0);
+  ByteMatrix& bytes = dispatch_bytes_scratch_;
+  const double token_bytes = model_.token_bytes();
   for (int s = 0; s < routed.num_gpus; ++s) {
+    if (!Alive(s)) continue;
+    const int64_t* row = routed.dispatch.row(s);
     for (int d = 0; d < routed.num_gpus; ++d) {
-      const int64_t tokens =
-          routed.dispatch[static_cast<size_t>(s)][static_cast<size_t>(d)];
+      const int64_t tokens = row[d];
       if (tokens <= 0) continue;
       // Dead endpoints move nothing; a straggler endpoint stretches its
       // messages by the bandwidth multiplier (modeled as extra bytes).
-      if (!Alive(s) || !Alive(d)) continue;
-      double payload = static_cast<double>(tokens) * model_.token_bytes();
+      if (!Alive(d)) continue;
+      double payload = static_cast<double>(tokens) * token_bytes;
       if (health_ != nullptr) {
         payload *= std::max(health_->bandwidth_multiplier(s),
                             health_->bandwidth_multiplier(d));
       }
       if (transpose) {
-        bytes[static_cast<size_t>(d)][static_cast<size_t>(s)] += payload;
+        bytes(d, s) += payload;
       } else {
-        bytes[static_cast<size_t>(s)][static_cast<size_t>(d)] += payload;
+        bytes(s, d) += payload;
       }
     }
   }
@@ -80,8 +85,7 @@ double StepExecutor::RunExpertCompute(
     double gpu_finish = per_gpu_earliest[static_cast<size_t>(g)];
     const double effective_flops = flops_per_token * ComputeScale(g);
     for (int e = 0; e < routed.num_experts; ++e) {
-      const int64_t tokens =
-          routed.expert_gpu_tokens[static_cast<size_t>(e)][static_cast<size_t>(g)];
+      const int64_t tokens = routed.expert_gpu_tokens(e, g);
       if (tokens <= 0) continue;
       const double before = gpu_finish;
       gpu_finish = ExecCompute(cluster_, *profile_, g,
@@ -106,12 +110,17 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
   const double fwd_flops = model_.expert_fwd_flops_per_token();
   const double bwd_flops = model_.expert_fwdbwd_flops_per_token() - fwd_flops;
 
+  // Membership is fixed for the duration of a step (the elastic controller
+  // mutates health only at step boundaries), so the alive list is computed
+  // once and shared by every shadow broadcast and the DP AllReduce below.
+  const std::vector<GpuId> alive = AliveGpus();
+
   // ---- Forward pass over MoE layers ------------------------------------
   for (const LayerWork& work : layers) {
     FLEXMOE_CHECK(work.routed != nullptr);
     // Shadow-parameter broadcasts (baseline FasterMoE) precede the layer.
     for (const ShadowBroadcast& bc : work.broadcasts) {
-      const std::vector<GpuId> all = AliveGpus();
+      const std::vector<GpuId>& all = alive;
       if (!Alive(bc.root) || all.size() < 2) continue;
       const CollectiveResult r =
           ExecBroadcast(cluster_, *profile_, bc.bytes * GroupBandwidthScale(all),
@@ -224,7 +233,7 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
   // ---- Data-parallel AllReduce of non-MoE gradients ----------------------
   // (every system pays it; tracked separately from the Eq. 9 expert sync).
   {
-    const std::vector<GpuId> all = AliveGpus();
+    const std::vector<GpuId>& all = alive;
     if (all.size() >= 2) {
       const CollectiveResult dp = ExecRingAllReduce(
           cluster_, *profile_,

@@ -96,9 +96,11 @@ class StepExecutor {
   double GroupBandwidthScale(const std::vector<GpuId>& group) const;
   /// All currently alive GPUs, ascending.
   std::vector<GpuId> AliveGpus() const;
-  /// Builds the dispatch byte matrix (optionally transposed for combine).
-  ByteMatrix DispatchBytes(const RoutedAssignment& routed,
-                           bool transpose) const;
+  /// Builds the dispatch byte matrix (optionally transposed for combine)
+  /// into a reusable scratch buffer. The returned reference is valid until
+  /// the next DispatchBytes call on this executor.
+  const ByteMatrix& DispatchBytes(const RoutedAssignment& routed,
+                                  bool transpose) const;
 
   /// Runs expert compute for one layer with the given FLOPs/token; returns
   /// the phase finish time.
@@ -111,6 +113,9 @@ class StepExecutor {
   const HardwareProfile* profile_;
   ModelConfig model_;
   const ClusterHealth* health_ = nullptr;
+  /// Per-call scratch owned by the executor (see DESIGN.md "Performance
+  /// architecture"); mutable because DispatchBytes is logically const.
+  mutable ByteMatrix dispatch_bytes_scratch_;
 };
 
 }  // namespace flexmoe

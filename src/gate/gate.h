@@ -7,6 +7,16 @@
 // The MoE system never inspects token values — only routing counts — so a
 // count-accurate gate exercises exactly the code paths the paper's system
 // optimizes.
+//
+// Sampling is allocation-free per call: the gate owns scratch buffers that
+// are reused across Sample() invocations. A TopKGate instance is therefore
+// NOT safe for concurrent Sample() calls — give each thread (each grid
+// cell) its own gate, as the experiment harness does. The pre-optimization
+// sampler is preserved behind TopKGateOptions::legacy_sampling (the
+// `--legacy-gate` bench flag). The optimized multinomial path is
+// byte-identical to it (same RNG consumption); the optimized exact path
+// (alias-table Plackett-Luce sequential sampling) is distribution-exact
+// but consumes a different RNG stream — gate_sampler_test.cc pins both.
 
 #ifndef FLEXMOE_GATE_GATE_H_
 #define FLEXMOE_GATE_GATE_H_
@@ -14,6 +24,7 @@
 #include <vector>
 
 #include "moe/moe_layer.h"
+#include "util/matrix.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -21,6 +32,10 @@ namespace flexmoe {
 
 /// \brief Numerically stable softmax.
 std::vector<double> Softmax(const std::vector<double>& logits);
+
+/// \brief Allocation-free softmax into a caller-provided buffer (`out` may
+/// alias `logits`). `n` > 0 elements.
+void SoftmaxInto(const double* logits, int n, double* out);
 
 /// \brief Gate configuration.
 struct TopKGateOptions {
@@ -30,6 +45,9 @@ struct TopKGateOptions {
   int64_t tokens_per_gpu = 8192;
   /// Exact per-token Gumbel sampling instead of multinomial counts.
   bool exact_sampling = false;
+  /// Route through the pre-optimization sampler (byte-identical reference
+  /// implementation; used by `--legacy-gate` and the regression tests).
+  bool legacy_sampling = false;
 
   Status Validate() const;
 };
@@ -39,23 +57,42 @@ class TopKGate {
  public:
   static Result<TopKGate> Create(const TopKGateOptions& options);
 
-  /// \param gpu_logits one logit vector (size num_experts) per GPU.
+  /// \param gpu_logits one row of logits (size num_experts) per GPU.
   /// Produces an Assignment whose total equals tokens_per_gpu x num_gpus x
   /// top_k (every token yields exactly top_k expert assignments).
+  Assignment Sample(const Matrix<double>& gpu_logits, Rng* rng) const;
+
+  /// Nested-vector convenience overload (tests, examples).
   Assignment Sample(const std::vector<std::vector<double>>& gpu_logits,
                     Rng* rng) const;
 
   const TopKGateOptions& options() const { return options_; }
 
  private:
-  explicit TopKGate(const TopKGateOptions& options) : options_(options) {}
+  explicit TopKGate(const TopKGateOptions& options);
 
-  void SampleMultinomial(const std::vector<double>& probs, int gpu,
-                         Rng* rng, Assignment* out) const;
-  void SampleExact(const std::vector<double>& logits, int gpu, Rng* rng,
+  void SampleMultinomial(const double* probs, int gpu, Rng* rng,
+                         Assignment* out) const;
+  void SampleMultinomialLegacy(const std::vector<double>& probs, int gpu,
+                               Rng* rng, Assignment* out) const;
+  void SampleExact(const double* logits, int gpu, Rng* rng,
                    Assignment* out) const;
+  void SampleExactLegacy(const std::vector<double>& logits, int gpu, Rng* rng,
+                         Assignment* out) const;
 
   TopKGateOptions options_;
+
+  // Per-call scratch (see header comment: one gate per thread). Sized once
+  // at construction to num_experts; mutable because Sample() is logically
+  // const.
+  mutable std::vector<double> probs_scratch_;
+  mutable std::vector<double> round_scratch_;
+  mutable std::vector<int64_t> counts_scratch_;
+  // Alias-table scratch for the exact sampler (Vose construction).
+  mutable std::vector<double> alias_prob_scratch_;
+  mutable std::vector<int> alias_idx_scratch_;
+  mutable std::vector<int> alias_work_scratch_;
+  mutable std::vector<int> alias_work2_scratch_;
 };
 
 }  // namespace flexmoe

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <tuple>
 
 namespace flexmoe {
 
@@ -32,8 +35,43 @@ Status TraceGeneratorOptions::Validate() const {
   return Status::OK();
 }
 
+namespace {
+
+/// The Monte-Carlo calibration below is deterministic in its arguments and
+/// identical across every experiment cell of a bench grid, so its result is
+/// memoized process-wide. The mutex makes concurrent grid cells safe; the
+/// value they observe is identical regardless of which thread fills it.
+std::mutex g_calibration_mutex;
+std::map<std::tuple<int, int, double, uint64_t>, double>&
+CalibrationCache() {
+  static std::map<std::tuple<int, int, double, uint64_t>, double> cache;
+  return cache;
+}
+
+double CalibrateLogitSigmaUncached(int num_experts, int top_count,
+                                   double target_share, uint64_t seed);
+
+}  // namespace
+
 double CalibrateLogitSigma(int num_experts, int top_count,
                            double target_share, uint64_t seed) {
+  const auto key = std::make_tuple(num_experts, top_count, target_share, seed);
+  {
+    std::lock_guard<std::mutex> lock(g_calibration_mutex);
+    const auto it = CalibrationCache().find(key);
+    if (it != CalibrationCache().end()) return it->second;
+  }
+  const double sigma =
+      CalibrateLogitSigmaUncached(num_experts, top_count, target_share, seed);
+  std::lock_guard<std::mutex> lock(g_calibration_mutex);
+  CalibrationCache().emplace(key, sigma);
+  return sigma;
+}
+
+namespace {
+
+double CalibrateLogitSigmaUncached(int num_experts, int top_count,
+                                   double target_share, uint64_t seed) {
   FLEXMOE_CHECK(num_experts > 0);
   FLEXMOE_CHECK(top_count > 0 && top_count <= num_experts);
   FLEXMOE_CHECK(target_share > 0.0 && target_share <= 1.0);
@@ -71,6 +109,8 @@ double CalibrateLogitSigma(int num_experts, int top_count,
   return 0.5 * (lo + hi);
 }
 
+}  // namespace
+
 Result<TraceGenerator> TraceGenerator::Create(
     const TraceGeneratorOptions& options) {
   FLEXMOE_RETURN_IF_ERROR(options.Validate());
@@ -90,6 +130,7 @@ Result<TraceGenerator> TraceGenerator::Create(
   gate_opts.top_k = options.top_k;
   gate_opts.tokens_per_gpu = options.tokens_per_gpu;
   gate_opts.exact_sampling = options.exact_sampling;
+  gate_opts.legacy_sampling = options.legacy_gate;
   FLEXMOE_ASSIGN_OR_RETURN(TopKGate gate, TopKGate::Create(gate_opts));
   return TraceGenerator(options, sigma0, std::move(gate));
 }
@@ -102,15 +143,17 @@ TraceGenerator::TraceGenerator(const TraceGeneratorOptions& options,
       rng_(options.seed) {
   logits_.resize(static_cast<size_t>(options_.num_moe_layers));
   jitter_.resize(static_cast<size_t>(options_.num_moe_layers));
+  gpu_logits_scratch_.assign(options_.num_gpus, options_.num_experts, 0.0);
   for (int l = 0; l < options_.num_moe_layers; ++l) {
     auto& z = logits_[static_cast<size_t>(l)];
     z.resize(static_cast<size_t>(options_.num_experts));
     for (double& v : z) v = rng_.Normal(0.0, sigma0_);
     auto& layer_jitter = jitter_[static_cast<size_t>(l)];
-    layer_jitter.resize(static_cast<size_t>(options_.num_gpus));
-    for (auto& j : layer_jitter) {
-      j.resize(static_cast<size_t>(options_.num_experts));
-      for (double& v : j) v = rng_.Normal(0.0, options_.gpu_jitter_sigma);
+    layer_jitter.assign(options_.num_gpus, options_.num_experts, 0.0);
+    // Row-major [gpu][expert] fill preserves the seed's RNG draw order.
+    double* flat = layer_jitter.data();
+    for (size_t i = 0; i < layer_jitter.element_count(); ++i) {
+      flat[i] = rng_.Normal(0.0, options_.gpu_jitter_sigma);
     }
   }
 }
@@ -145,27 +188,27 @@ void TraceGenerator::EvolveLayer(int layer) {
   const double target = TargetSigma(step_);
   for (double& v : z) v = (v - mean) * (target / sd);
 
-  // Per-GPU jitter follows its own faster OU process.
+  // Per-GPU jitter follows its own faster OU process (flat row-major walk
+  // matches the seed's [gpu][expert] RNG draw order).
   auto& layer_jitter = jitter_[static_cast<size_t>(layer)];
   const double jtheta = options_.gpu_jitter_theta;
   const double jnoise = options_.gpu_jitter_sigma * std::sqrt(2.0 * jtheta);
-  for (auto& j : layer_jitter) {
-    for (double& v : j) v += -jtheta * v + rng_.Normal(0.0, jnoise);
+  double* flat = layer_jitter.data();
+  for (size_t i = 0; i < layer_jitter.element_count(); ++i) {
+    flat[i] += -jtheta * flat[i] + rng_.Normal(0.0, jnoise);
   }
 }
 
-std::vector<std::vector<double>> TraceGenerator::JitteredGpuLogits(int layer) {
+const Matrix<double>& TraceGenerator::JitteredGpuLogits(int layer) {
   const auto& z = logits_[static_cast<size_t>(layer)];
   const auto& layer_jitter = jitter_[static_cast<size_t>(layer)];
-  std::vector<std::vector<double>> per_gpu(
-      static_cast<size_t>(options_.num_gpus));
+  const int num_experts = options_.num_experts;
   for (int g = 0; g < options_.num_gpus; ++g) {
-    auto& out = per_gpu[static_cast<size_t>(g)];
-    out.resize(z.size());
-    const auto& j = layer_jitter[static_cast<size_t>(g)];
-    for (size_t e = 0; e < z.size(); ++e) out[e] = z[e] + j[e];
+    double* out = gpu_logits_scratch_.row(g);
+    const double* j = layer_jitter.row(g);
+    for (int e = 0; e < num_experts; ++e) out[e] = z[static_cast<size_t>(e)] + j[e];
   }
-  return per_gpu;
+  return gpu_logits_scratch_;
 }
 
 std::vector<Assignment> TraceGenerator::Step() {

@@ -63,6 +63,8 @@ struct TraceGeneratorOptions {
   double balance_tau_steps = 400.0;
 
   bool exact_sampling = false;
+  /// Route the gate through the pre-optimization sampler (`--legacy-gate`).
+  bool legacy_gate = false;
   uint64_t seed = 42;
 
   Status Validate() const;
@@ -99,7 +101,9 @@ class TraceGenerator {
                  TopKGate gate);
 
   void EvolveLayer(int layer);
-  std::vector<std::vector<double>> JitteredGpuLogits(int layer);
+  /// Fills `gpu_logits_scratch_` with the per-GPU jittered logits of
+  /// `layer` and returns it — valid until the next call.
+  const Matrix<double>& JitteredGpuLogits(int layer);
 
   TraceGeneratorOptions options_;
   double sigma0_;
@@ -108,8 +112,10 @@ class TraceGenerator {
   int64_t step_ = 0;
   /// [layer][expert] latent logits.
   std::vector<std::vector<double>> logits_;
-  /// [layer][gpu][expert] slow-moving jitter processes.
-  std::vector<std::vector<std::vector<double>>> jitter_;
+  /// Per-layer [gpu][expert] slow-moving jitter processes (flat rows).
+  std::vector<Matrix<double>> jitter_;
+  /// Reusable [gpu][expert] buffer handed to the gate each layer-step.
+  Matrix<double> gpu_logits_scratch_;
 };
 
 }  // namespace flexmoe

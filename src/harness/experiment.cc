@@ -52,6 +52,7 @@ Result<TraceGenerator> BuildTraceGenerator(const ExperimentOptions& options) {
     t.top_k = options.model.top_k;
     t.balance_coef = options.balance_coef;
     t.seed = options.seed;
+    t.legacy_gate = options.legacy_gate;
   }
   return TraceGenerator::Create(t);
 }

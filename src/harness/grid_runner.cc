@@ -1,0 +1,51 @@
+#include "harness/grid_runner.h"
+
+#include <atomic>
+#include <thread>
+
+namespace flexmoe {
+
+int ResolveGridThreads(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(int n, int num_threads, const std::function<void(int)>& fn) {
+  FLEXMOE_CHECK(n >= 0);
+  if (n == 0) return;
+  const int workers = std::min(ResolveGridThreads(num_threads), n);
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers - 1));
+  for (int t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& t : pool) t.join();
+}
+
+std::vector<GridCellResult> RunExperimentGrid(
+    const std::vector<GridCell>& cells, int num_threads) {
+  std::vector<GridCellResult> results(cells.size());
+  ParallelFor(static_cast<int>(cells.size()), num_threads, [&](int i) {
+    const GridCell& cell = cells[static_cast<size_t>(i)];
+    GridCellResult& out = results[static_cast<size_t>(i)];
+    out.label = cell.label;
+    Result<ExperimentReport> r = RunExperiment(cell.options);
+    out.status = r.status();
+    if (r.ok()) out.report = *std::move(r);
+  });
+  return results;
+}
+
+}  // namespace flexmoe

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "util/matrix.h"
 #include "util/status.h"
 
 namespace flexmoe {
@@ -26,6 +27,11 @@ class Assignment {
   void set(int expert, int gpu, int64_t tokens);
   void add(int expert, int gpu, int64_t tokens);
 
+  /// Contiguous per-GPU counts of `expert` (size num_gpus). Unchecked hot-
+  /// path accessor for inner loops; prefer at() elsewhere.
+  const int64_t* row(int expert) const { return counts_.row(expert); }
+  int64_t* mutable_row(int expert) { return counts_.row(expert); }
+
   /// Total tokens routed to `expert` across all source GPUs (I_e).
   int64_t ExpertTotal(int expert) const;
 
@@ -43,7 +49,7 @@ class Assignment {
  private:
   int num_experts_ = 0;
   int num_gpus_ = 0;
-  std::vector<int64_t> counts_;  ///< row-major [expert][gpu]
+  Matrix<int64_t> counts_;  ///< row-major [expert][gpu]
 };
 
 }  // namespace flexmoe

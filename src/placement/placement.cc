@@ -29,6 +29,8 @@ Placement::Placement(const PlacementOptions& options, int slots_per_gpu)
     : options_(options),
       slots_per_gpu_(slots_per_gpu),
       replicas_(static_cast<size_t>(options.num_experts)),
+      counts_(options.num_experts, options.num_gpus, 0),
+      vexperts_(static_cast<size_t>(options.num_experts), 0),
       used_slots_(static_cast<size_t>(options.num_gpus), 0) {}
 
 Result<Placement> Placement::ExpertParallel(const PlacementOptions& options) {
@@ -90,16 +92,8 @@ Result<Placement> Placement::FromReplicaMap(
 }
 
 int Placement::VExperts(int expert) const {
-  const auto& m = Replicas(expert);
-  int total = 0;
-  for (const auto& [gpu, count] : m) total += count;
-  return total;
-}
-
-int Placement::VExpertsOn(int expert, GpuId gpu) const {
-  const auto& m = Replicas(expert);
-  const auto it = m.find(gpu);
-  return it == m.end() ? 0 : it->second;
+  FLEXMOE_CHECK(expert >= 0 && expert < num_experts());
+  return vexperts_[static_cast<size_t>(expert)];
 }
 
 std::vector<GpuId> Placement::HostGpus(int expert) const {
@@ -150,6 +144,8 @@ Status Placement::AddVExpert(int expert, GpuId gpu) {
         StrFormat("no free vExpert slot on GPU %d", gpu));
   }
   ++replicas_[static_cast<size_t>(expert)][gpu];
+  ++counts_(expert, gpu);
+  ++vexperts_[static_cast<size_t>(expert)];
   ++used_slots_[static_cast<size_t>(gpu)];
   return Status::OK();
 }
@@ -172,6 +168,8 @@ Status Placement::RemoveVExpert(int expert, GpuId gpu) {
         StrFormat("cannot shrink expert %d below one vExpert", expert));
   }
   if (--it->second == 0) m.erase(it);
+  --counts_(expert, gpu);
+  --vexperts_[static_cast<size_t>(expert)];
   --used_slots_[static_cast<size_t>(gpu)];
   return Status::OK();
 }
@@ -186,12 +184,18 @@ Status Placement::Validate() const {
         return Status::Internal("replica on out-of-range GPU");
       }
       if (count <= 0) return Status::Internal("non-positive replica count");
+      if (counts_(e, gpu) != count) {
+        return Status::Internal("flat count cache out of sync");
+      }
       recount[static_cast<size_t>(gpu)] += count;
       n_e += count;
     }
     if (n_e < 1) {
       return Status::Internal(
           StrFormat("expert %d has no vExpert", e));
+    }
+    if (vexperts_[static_cast<size_t>(e)] != n_e) {
+      return Status::Internal("vExpert total cache out of sync");
     }
     total += n_e;
   }

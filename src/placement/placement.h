@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "topology/topology.h"
+#include "util/matrix.h"
 #include "util/status.h"
 
 namespace flexmoe {
@@ -52,11 +53,20 @@ class Placement {
   int slots_per_gpu() const { return slots_per_gpu_; }
   int total_slots() const { return num_gpus() * slots_per_gpu_; }
 
-  /// Total vExperts allocated to `expert` (n_e >= 1 always).
+  /// Total vExperts allocated to `expert` (n_e >= 1 always). O(1): served
+  /// from the flat count cache kept in sync by the mutators.
   int VExperts(int expert) const;
 
-  /// vExperts of `expert` on `gpu` (n_{e,g}).
-  int VExpertsOn(int expert, GpuId gpu) const;
+  /// vExperts of `expert` on `gpu` (n_{e,g}). O(1) flat-array read — this
+  /// sits in the router's innermost loop.
+  int VExpertsOn(int expert, GpuId gpu) const {
+    FLEXMOE_CHECK(expert >= 0 && expert < num_experts());
+    FLEXMOE_CHECK(gpu >= 0 && gpu < num_gpus());
+    return counts_(expert, gpu);
+  }
+
+  /// Contiguous per-GPU vExpert counts of `expert` (size num_gpus).
+  const int* CountsRow(int expert) const { return counts_.row(expert); }
 
   /// GPUs hosting at least one vExpert of `expert`, ascending.
   std::vector<GpuId> HostGpus(int expert) const;
@@ -97,8 +107,12 @@ class Placement {
 
   PlacementOptions options_;
   int slots_per_gpu_ = 0;
-  /// replicas_[e]: gpu -> vExpert count.
+  /// replicas_[e]: gpu -> vExpert count (sparse source of truth).
   std::vector<std::map<GpuId, int>> replicas_;
+  /// Flat [expert][gpu] mirror of replicas_ for O(1) hot-path reads.
+  Matrix<int> counts_;
+  /// vexperts_[e]: total vExperts of expert e (mirror of row sums).
+  std::vector<int> vexperts_;
   /// used_slots_[g]: bound slots on GPU g.
   std::vector<int> used_slots_;
 };

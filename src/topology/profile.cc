@@ -27,6 +27,21 @@ HardwareProfile::HardwareProfile(const Topology* topo, const GpuSpec& spec)
   link_efficiency_[LinkClass::kLoopback] = 1.0;
   link_efficiency_[LinkClass::kIntraNode] = 1.0;
   link_efficiency_[LinkClass::kInterNode] = 1.0;
+  RebuildLinkCaches();
+}
+
+void HardwareProfile::RebuildLinkCaches() {
+  const int n = topo_->num_gpus();
+  bandwidth_cache_.assign(n, n, 0.0);
+  latency_cache_.assign(n, n, 0.0);
+  for (GpuId src = 0; src < n; ++src) {
+    for (GpuId dst = 0; dst < n; ++dst) {
+      const LinkClass link = topo_->LinkBetween(src, dst);
+      bandwidth_cache_(src, dst) =
+          topo_->BandwidthBytesPerSec(src, dst) * link_efficiency_.at(link);
+      latency_cache_(src, dst) = topo_->LatencySeconds(src, dst);
+    }
+  }
 }
 
 double HardwareProfile::ComputeSeconds(double tokens,
@@ -37,15 +52,6 @@ double HardwareProfile::ComputeSeconds(double tokens,
 
 double HardwareProfile::TokensPerSecond(double flops_per_token) const {
   return 1.0 / (flops_per_token * sec_per_flop_);
-}
-
-double HardwareProfile::BandwidthBytesPerSec(GpuId src, GpuId dst) const {
-  const LinkClass link = topo_->LinkBetween(src, dst);
-  return topo_->BandwidthBytesPerSec(src, dst) * link_efficiency_.at(link);
-}
-
-double HardwareProfile::LatencySeconds(GpuId src, GpuId dst) const {
-  return topo_->LatencySeconds(src, dst);
 }
 
 double HardwareProfile::P2pSeconds(double bytes, GpuId src, GpuId dst) const {
@@ -100,6 +106,7 @@ void HardwareProfile::SetComputeCalibration(double overhead_sec,
 void HardwareProfile::SetLinkEfficiency(LinkClass link, double efficiency) {
   FLEXMOE_CHECK(efficiency > 0 && efficiency <= 1.5);
   link_efficiency_[link] = efficiency;
+  RebuildLinkCaches();
 }
 
 void HardwareProfile::SetAllReduceCalibration(const GroupSignature& sig,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "topology/topology.h"
+#include "util/matrix.h"
 #include "util/status.h"
 
 namespace flexmoe {
@@ -83,9 +84,15 @@ class HardwareProfile {
   double P2pSeconds(double bytes, GpuId src, GpuId dst) const;
 
   /// Effective path bandwidth in bytes/s (after calibration scaling).
-  double BandwidthBytesPerSec(GpuId src, GpuId dst) const;
+  /// O(1) flat-cache read — this is the innermost call of every A2A
+  /// estimate and collective execution.
+  double BandwidthBytesPerSec(GpuId src, GpuId dst) const {
+    return bandwidth_cache_(src, dst);
+  }
 
-  double LatencySeconds(GpuId src, GpuId dst) const;
+  double LatencySeconds(GpuId src, GpuId dst) const {
+    return latency_cache_(src, dst);
+  }
 
   // --- AllReduce (paper's BPS) ------------------------------------------
 
@@ -118,12 +125,19 @@ class HardwareProfile {
   double RingAllReduceSeconds(double bytes,
                               const std::vector<GpuId>& group) const;
 
+  /// Rebuilds the flat pairwise caches from the topology and the current
+  /// link efficiencies (called at construction and by SetLinkEfficiency).
+  void RebuildLinkCaches();
+
   const Topology* topo_;
   GpuSpec spec_;
   double sec_per_flop_;
   double compute_overhead_sec_;
   std::map<LinkClass, double> link_efficiency_;
   std::map<GroupSignature, LinearCost> allreduce_calibration_;
+  /// Flat G x G caches of effective bandwidth and latency per pair.
+  Matrix<double> bandwidth_cache_;
+  Matrix<double> latency_cache_;
 };
 
 }  // namespace flexmoe

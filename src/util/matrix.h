@@ -1,0 +1,119 @@
+// Flat row-major matrix used by the simulator's hot paths (routing tables,
+// All-to-All byte matrices, per-GPU logit blocks).
+//
+// The nested std::vector<std::vector<T>> it replaces costs one heap
+// allocation per row and scatters rows across the heap; Matrix<T> stores
+// all rows contiguously, so a G x G byte matrix or an E x G routing table
+// is a single allocation with cache-friendly row traversal. Row access via
+// operator[] returns a lightweight row view, keeping the familiar
+// m[i][j] syntax of the nested-vector code it replaces.
+//
+// Ownership rule for scratch reuse (see DESIGN.md "Performance
+// architecture"): long-lived objects may keep Matrix members as per-call
+// scratch and hand out const references; callers must copy if they need
+// the data past the next call.
+
+#ifndef FLEXMOE_UTIL_MATRIX_H_
+#define FLEXMOE_UTIL_MATRIX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+template <typename T>
+class Matrix {
+ public:
+  /// Mutable view of one row; supports row[j], size(), and iteration.
+  class Row {
+   public:
+    Row(T* data, int cols) : data_(data), cols_(cols) {}
+    T& operator[](size_t j) const { return data_[j]; }
+    size_t size() const { return static_cast<size_t>(cols_); }
+    T* begin() const { return data_; }
+    T* end() const { return data_ + cols_; }
+    T* data() const { return data_; }
+
+   private:
+    T* data_;
+    int cols_;
+  };
+
+  class ConstRow {
+   public:
+    ConstRow(const T* data, int cols) : data_(data), cols_(cols) {}
+    const T& operator[](size_t j) const { return data_[j]; }
+    size_t size() const { return static_cast<size_t>(cols_); }
+    const T* begin() const { return data_; }
+    const T* end() const { return data_ + cols_; }
+    const T* data() const { return data_; }
+
+   private:
+    const T* data_;
+    int cols_;
+  };
+
+  Matrix() = default;
+  Matrix(int rows, int cols, T init = T())
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), init) {
+    FLEXMOE_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Reshapes to rows x cols and sets every element to `value`. Reuses the
+  /// existing allocation when the size matches (the scratch-buffer idiom).
+  void assign(int rows, int cols, T value) {
+    FLEXMOE_CHECK(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), value);
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  T& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  const T& operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  Row operator[](size_t r) { return Row(row(static_cast<int>(r)), cols_); }
+  ConstRow operator[](size_t r) const {
+    return ConstRow(row(static_cast<int>(r)), cols_);
+  }
+
+  /// Raw pointer to row `r` (contiguous `cols()` elements).
+  T* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const T* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  /// Flat contiguous storage (row-major), e.g. for whole-matrix reductions.
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  size_t element_count() const { return data_.size(); }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+  bool operator!=(const Matrix& other) const { return !(*this == other); }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_UTIL_MATRIX_H_

@@ -21,9 +21,11 @@ Topology MakeTopo(int nodes = 2, int gpus_per_node = 4) {
 
 TEST(ByteMatrixTest, Construction) {
   ByteMatrix m = MakeByteMatrix(3);
-  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
   EXPECT_EQ(m[0].size(), 3u);
   m[1][2] = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
   EXPECT_EQ(TotalBytes(m), 7.0);
 }
 
