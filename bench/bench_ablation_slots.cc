@@ -21,8 +21,9 @@ int Run(bool quick, int threads, bool legacy_gate) {
       "Ablation — vExpert slots per GPU (scheduling granularity)",
       "GPT-MoE-S on 16 GPUs, slots swept over {1, 2, 4, 8, 16}");
 
+  const std::vector<int> slot_sweep = {1, 2, 4, 8, 16};
   std::vector<GridCell> cells;
-  for (int slots : {1, 2, 4, 8, 16}) {
+  for (int slots : slot_sweep) {
     GridCell cell;
     cell.label = StrFormat("slots=%d", slots);
     ExperimentOptions& o = cell.options;
@@ -44,10 +45,10 @@ int Run(bool quick, int threads, bool legacy_gate) {
 
   Table table({"slots/GPU", "step time (ms)", "balance", "ops applied",
                "hours to target"});
-  for (const GridCellResult& cell : results) {
-    FLEXMOE_CHECK_MSG(cell.status.ok(), cell.status.ToString());
-    const ExperimentReport& r = cell.report;
-    table.AddRow({cell.label.substr(std::string("slots=").size()),
+  for (size_t i = 0; i < results.size(); ++i) {
+    FLEXMOE_CHECK_MSG(results[i].status.ok(), results[i].status.ToString());
+    const ExperimentReport& r = results[i].report;
+    table.AddRow({StrFormat("%d", slot_sweep[i]),
                   StrFormat("%.1f", r.mean_step_seconds * 1e3),
                   StrFormat("%.2f", r.mean_balance_ratio),
                   StrFormat("%lld",

@@ -88,12 +88,14 @@ int Run(bool quick, int threads, bool legacy_gate) {
   // grid runner and slice the results back into the two panels.
   std::vector<GridCell> cells;
   AddPanelCells(kPanelS, 3, 32, quick, legacy_gate, &cells);
+  const size_t panel_l_offset = cells.size();
   AddPanelCells(kPanelL, 3, 64, quick, legacy_gate, &cells);
   const std::vector<GridCellResult> results =
       RunExperimentGrid(cells, threads);
 
   PrintPanel("Figure 5(a): X-MoE-S", kPanelS, 3, 32, results.data());
-  PrintPanel("Figure 5(b): X-MoE-L", kPanelL, 3, 64, results.data() + 9);
+  PrintPanel("Figure 5(b): X-MoE-L", kPanelL, 3, 64,
+             results.data() + panel_l_offset);
   std::printf(
       "shape check: FlexMoE fastest on every model; the FasterMoE gap\n"
       "widens on 64 GPUs where its global shadow synchronization hurts.\n");

@@ -167,11 +167,11 @@ double GridCellsPerSec(bool quick, int threads) {
   return static_cast<double>(cells.size()) / elapsed;
 }
 
-void WriteJson(const std::string& path, const std::vector<MetricRow>& rows) {
+bool WriteJson(const std::string& path, const std::vector<MetricRow>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
+    return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"bench_micro_core\",\n  \"metrics\": {\n");
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -182,6 +182,7 @@ void WriteJson(const std::string& path, const std::vector<MetricRow>& rows) {
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 int Run(bool quick, int threads, const std::string& out_path,
@@ -262,8 +263,7 @@ int Run(bool quick, int threads, const std::string& out_path,
     add(extra.name, extra.value, extra.unit);
   }
 
-  WriteJson(out_path, rows);
-  return 0;
+  return WriteJson(out_path, rows) ? 0 : 1;
 }
 
 }  // namespace

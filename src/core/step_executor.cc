@@ -120,11 +120,11 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
     FLEXMOE_CHECK(work.routed != nullptr);
     // Shadow-parameter broadcasts (baseline FasterMoE) precede the layer.
     for (const ShadowBroadcast& bc : work.broadcasts) {
-      const std::vector<GpuId>& all = alive;
-      if (!Alive(bc.root) || all.size() < 2) continue;
+      if (!Alive(bc.root) || alive.size() < 2) continue;
       const CollectiveResult r =
-          ExecBroadcast(cluster_, *profile_, bc.bytes * GroupBandwidthScale(all),
-                        bc.root, all, frontier);
+          ExecBroadcast(cluster_, *profile_,
+                        bc.bytes * GroupBandwidthScale(alive), bc.root, alive,
+                        frontier);
       timing.sync_seconds += r.finish - frontier;
       frontier = r.finish;
     }
@@ -232,17 +232,14 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
 
   // ---- Data-parallel AllReduce of non-MoE gradients ----------------------
   // (every system pays it; tracked separately from the Eq. 9 expert sync).
-  {
-    const std::vector<GpuId>& all = alive;
-    if (all.size() >= 2) {
-      const CollectiveResult dp = ExecRingAllReduce(
-          cluster_, *profile_,
-          model_.non_moe_params() * model_.grad_bytes *
-              GroupBandwidthScale(all),
-          all, frontier);
-      timing.dp_sync_seconds += dp.finish - frontier;
-      frontier = dp.finish;
-    }
+  if (alive.size() >= 2) {
+    const CollectiveResult dp = ExecRingAllReduce(
+        cluster_, *profile_,
+        model_.non_moe_params() * model_.grad_bytes *
+            GroupBandwidthScale(alive),
+        alive, frontier);
+    timing.dp_sync_seconds += dp.finish - frontier;
+    frontier = dp.finish;
   }
 
   timing.end = frontier;

@@ -197,6 +197,13 @@ Status Placement::Validate() const {
     if (vexperts_[static_cast<size_t>(e)] != n_e) {
       return Status::Internal("vExpert total cache out of sync");
     }
+    // Full mirror check: a stale counts_ entry at a pair absent from the
+    // sparse map would slip past the per-entry comparison above.
+    int row_sum = 0;
+    for (GpuId g = 0; g < num_gpus(); ++g) row_sum += counts_(e, g);
+    if (row_sum != n_e) {
+      return Status::Internal("flat count cache out of sync");
+    }
     total += n_e;
   }
   for (GpuId g = 0; g < num_gpus(); ++g) {

@@ -58,11 +58,7 @@ class Matrix {
 
   Matrix() = default;
   Matrix(int rows, int cols, T init = T())
-      : rows_(rows),
-        cols_(cols),
-        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), init) {
-    FLEXMOE_CHECK(rows >= 0 && cols >= 0);
-  }
+      : rows_(rows), cols_(cols), data_(CheckedCount(rows, cols), init) {}
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
@@ -71,10 +67,10 @@ class Matrix {
   /// Reshapes to rows x cols and sets every element to `value`. Reuses the
   /// existing allocation when the size matches (the scratch-buffer idiom).
   void assign(int rows, int cols, T value) {
-    FLEXMOE_CHECK(rows >= 0 && cols >= 0);
+    const size_t count = CheckedCount(rows, cols);
     rows_ = rows;
     cols_ = cols;
-    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), value);
+    data_.assign(count, value);
   }
 
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
@@ -109,6 +105,11 @@ class Matrix {
   bool operator!=(const Matrix& other) const { return !(*this == other); }
 
  private:
+  static size_t CheckedCount(int rows, int cols) {
+    FLEXMOE_CHECK(rows >= 0 && cols >= 0);
+    return static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  }
+
   int rows_ = 0;
   int cols_ = 0;
   std::vector<T> data_;
