@@ -16,7 +16,7 @@
 namespace flexmoe {
 namespace {
 
-int Run(bool quick, int threads, bool legacy_gate) {
+int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
   bench::PrintHeader(
       "Ablation — vExpert slots per GPU (scheduling granularity)",
       "GPT-MoE-S on 16 GPUs, slots swept over {1, 2, 4, 8, 16}");
@@ -38,6 +38,7 @@ int Run(bool quick, int threads, bool legacy_gate) {
     o.warmup_steps = quick ? 10 : 25;
     o.seed = 53;
     o.legacy_gate = legacy_gate;
+    o.workload.scenario.name = workload;
     cells.push_back(std::move(cell));
   }
   const std::vector<GridCellResult> results =
@@ -69,5 +70,6 @@ int Run(bool quick, int threads, bool legacy_gate) {
 int main(int argc, char** argv) {
   return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
                       flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv));
+                      flexmoe::bench::LegacyGate(argc, argv),
+                      flexmoe::bench::WorkloadName(argc, argv));
 }

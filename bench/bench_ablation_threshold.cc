@@ -14,7 +14,7 @@
 namespace flexmoe {
 namespace {
 
-int Run(bool quick, int threads, bool legacy_gate) {
+int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
   bench::PrintHeader(
       "Ablation — scheduler trigger threshold (balance ratio)",
       "GPT-MoE-S on 16 GPUs, threshold swept over {1.05 .. 2.0}");
@@ -36,6 +36,7 @@ int Run(bool quick, int threads, bool legacy_gate) {
     o.warmup_steps = quick ? 10 : 25;
     o.seed = 59;
     o.legacy_gate = legacy_gate;
+    o.workload.scenario.name = workload;
     cells.push_back(std::move(cell));
   }
   const std::vector<GridCellResult> results =
@@ -67,5 +68,6 @@ int Run(bool quick, int threads, bool legacy_gate) {
 int main(int argc, char** argv) {
   return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
                       flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv));
+                      flexmoe::bench::LegacyGate(argc, argv),
+                      flexmoe::bench::WorkloadName(argc, argv));
 }

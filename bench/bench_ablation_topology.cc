@@ -24,7 +24,8 @@ struct RunResult {
   double ds_ms = 0.0;
 };
 
-RunResult RunAt(double inter_node_gbps, bool quick, bool legacy_gate) {
+RunResult RunAt(double inter_node_gbps, bool quick, bool legacy_gate,
+                const char* workload) {
   TopologyOptions topt = AzureA100Options(16);
   topt.inter_node_bytes_per_sec = inter_node_gbps * 1e9 / 8.0;
   const Topology topo = *Topology::Create(topt);
@@ -44,6 +45,7 @@ RunResult RunAt(double inter_node_gbps, bool quick, bool legacy_gate) {
   t.tokens_per_gpu = model.tokens_per_gpu;
   t.balance_coef = 0.001;
   t.legacy_gate = legacy_gate;
+  t.scenario.name = workload;
   t.seed = 61;
 
   const int steps = quick ? 40 : 80;
@@ -71,7 +73,7 @@ RunResult RunAt(double inter_node_gbps, bool quick, bool legacy_gate) {
   return result;
 }
 
-int Run(bool quick, int threads, bool legacy_gate) {
+int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
   bench::PrintHeader(
       "Ablation — inter-node bandwidth sensitivity",
       "FlexMoE vs uncapped expert parallelism on 16 GPUs (2 nodes)");
@@ -82,7 +84,7 @@ int Run(bool quick, int threads, bool legacy_gate) {
   std::vector<RunResult> results(sweep.size());
   ParallelFor(static_cast<int>(sweep.size()), threads, [&](int i) {
     results[static_cast<size_t>(i)] =
-        RunAt(sweep[static_cast<size_t>(i)], quick, legacy_gate);
+        RunAt(sweep[static_cast<size_t>(i)], quick, legacy_gate, workload);
   });
 
   Table table({"inter-node link", "EP step (ms)", "FlexMoE step (ms)",
@@ -107,5 +109,6 @@ int Run(bool quick, int threads, bool legacy_gate) {
 int main(int argc, char** argv) {
   return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
                       flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv));
+                      flexmoe::bench::LegacyGate(argc, argv),
+                      flexmoe::bench::WorkloadName(argc, argv));
 }

@@ -4,6 +4,8 @@
 //   --quick          smoke-test scale (fewer steps; noisier numbers)
 //   --threads N      grid-runner worker count (default: hardware)
 //   --legacy-gate    route sampling through the pre-optimization gate
+//   --workload NAME  workload scenario from the catalog (default:
+//                    pretrain-steady; see gate/logit_process.h)
 
 #ifndef FLEXMOE_BENCH_BENCH_COMMON_H_
 #define FLEXMOE_BENCH_BENCH_COMMON_H_
@@ -47,6 +49,11 @@ inline int GridThreads(int argc, char** argv) {
 /// True if "--legacy-gate" was passed: run the pre-optimization sampler.
 inline bool LegacyGate(int argc, char** argv) {
   return HasFlag(argc, argv, "--legacy-gate");
+}
+
+/// Workload scenario name: "--workload NAME", default pretrain-steady.
+inline const char* WorkloadName(int argc, char** argv) {
+  return FlagValue(argc, argv, "--workload", "pretrain-steady");
 }
 
 inline void PrintHeader(const std::string& title, const std::string& paper) {

@@ -38,7 +38,8 @@ constexpr PaperSpeedups kPanelL[] = {
 constexpr const char* kSystems[3] = {"deepspeed", "fastermoe", "flexmoe"};
 
 void AddPanelCells(const PaperSpeedups* rows, int n, int num_gpus, bool quick,
-                   bool legacy_gate, std::vector<GridCell>* cells) {
+                   bool legacy_gate, const char* workload,
+                   std::vector<GridCell>* cells) {
   for (int i = 0; i < n; ++i) {
     for (int s = 0; s < 3; ++s) {
       GridCell cell;
@@ -52,6 +53,7 @@ void AddPanelCells(const PaperSpeedups* rows, int n, int num_gpus, bool quick,
       cell.options.warmup_steps = quick ? 5 : 25;
       cell.options.seed = 31;
       cell.options.legacy_gate = legacy_gate;
+      cell.options.workload.scenario.name = workload;
       cells->push_back(std::move(cell));
     }
   }
@@ -80,16 +82,16 @@ void PrintPanel(const char* title, const PaperSpeedups* rows, int n,
   std::printf("%s\n", table.ToAscii().c_str());
 }
 
-int Run(bool quick, int threads, bool legacy_gate) {
+int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
   bench::PrintHeader("Figure 5 — time to target quality",
                      "DeepSpeed / FasterMoE / FlexMoE on six models");
 
   // All 18 (panel x model x system) cells are independent; run them on the
   // grid runner and slice the results back into the two panels.
   std::vector<GridCell> cells;
-  AddPanelCells(kPanelS, 3, 32, quick, legacy_gate, &cells);
+  AddPanelCells(kPanelS, 3, 32, quick, legacy_gate, workload, &cells);
   const size_t panel_l_offset = cells.size();
-  AddPanelCells(kPanelL, 3, 64, quick, legacy_gate, &cells);
+  AddPanelCells(kPanelL, 3, 64, quick, legacy_gate, workload, &cells);
   const std::vector<GridCellResult> results =
       RunExperimentGrid(cells, threads);
 
@@ -108,5 +110,6 @@ int Run(bool quick, int threads, bool legacy_gate) {
 int main(int argc, char** argv) {
   return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
                       flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv));
+                      flexmoe::bench::LegacyGate(argc, argv),
+                      flexmoe::bench::WorkloadName(argc, argv));
 }

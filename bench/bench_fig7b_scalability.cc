@@ -30,7 +30,7 @@ ModelConfig SingleMoELayer() {
 
 constexpr double kPaperFlex[] = {6.7, 10.7, 19.8, 35.6};
 
-int Run(bool quick, int threads, bool legacy_gate) {
+int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
   bench::PrintHeader("Figure 7(b) — scalability on 8/16/32/64 GPUs",
                      "single MoE layer, 64 experts, speedup vs DeepSpeed-8");
 
@@ -52,6 +52,7 @@ int Run(bool quick, int threads, bool legacy_gate) {
       cell.options.warmup_steps = quick ? 5 : 25;
       cell.options.seed = 47;
       cell.options.legacy_gate = legacy_gate;
+      cell.options.workload.scenario.name = workload;
       cells.push_back(std::move(cell));
     }
   }
@@ -92,5 +93,6 @@ int Run(bool quick, int threads, bool legacy_gate) {
 int main(int argc, char** argv) {
   return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
                       flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv));
+                      flexmoe::bench::LegacyGate(argc, argv),
+                      flexmoe::bench::WorkloadName(argc, argv));
 }

@@ -111,12 +111,53 @@ Result<RoutingTrace> RoutingTrace::Load(const std::string& path) {
   }
   RoutingTrace trace;
   if (steps == 0) {
+    // An empty trace is exactly the three header words — anything after
+    // them is corruption, same as trailing bytes behind a payload.
+    const long pos = std::ftell(f);
+    if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0 || std::ftell(f) != pos) {
+      std::fclose(f);
+      return Status::InvalidArgument("trailing bytes after empty trace");
+    }
     std::fclose(f);
     return trace;
   }
   if (!read_u64(&experts) || !read_u64(&gpus) || experts == 0 || gpus == 0) {
     std::fclose(f);
     return Status::InvalidArgument("bad trace shape");
+  }
+  // A corrupted header must fail with a Status, not a multi-terabyte
+  // allocation: sanity-cap each dimension, then require the file to hold
+  // exactly the payload the header promises (also rejects trailing bytes).
+  constexpr uint64_t kMaxDim = 1u << 20;
+  if (steps > kMaxDim || layers == 0 || layers > kMaxDim ||
+      experts > kMaxDim || gpus > kMaxDim) {
+    std::fclose(f);
+    return Status::InvalidArgument("implausible trace shape");
+  }
+  const uint64_t cells_per_step = layers * experts * gpus;
+  if (cells_per_step > (1ull << 32) ||
+      steps * cells_per_step > (1ull << 36)) {
+    std::fclose(f);
+    return Status::InvalidArgument("implausible trace size");
+  }
+  const long header_end = std::ftell(f);
+  if (header_end < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::Internal("cannot stat trace file");
+  }
+  const long file_size = std::ftell(f);
+  const uint64_t expected_size =
+      static_cast<uint64_t>(header_end) + steps * cells_per_step * 8;
+  if (file_size < 0 || static_cast<uint64_t>(file_size) != expected_size) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        StrFormat("trace payload size mismatch: header promises %llu "
+                  "bytes, file has %ld",
+                  static_cast<unsigned long long>(expected_size), file_size));
+  }
+  if (std::fseek(f, header_end, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::Internal("cannot rewind trace file");
   }
   for (uint64_t s = 0; s < steps; ++s) {
     std::vector<Assignment> step;
@@ -129,6 +170,10 @@ Result<RoutingTrace> RoutingTrace::Load(const std::string& path) {
           if (!read_u64(&v)) {
             std::fclose(f);
             return Status::InvalidArgument("truncated trace body");
+          }
+          if (v > (1ull << 62)) {
+            std::fclose(f);
+            return Status::InvalidArgument("corrupt trace count");
           }
           a.set(e, g, static_cast<int64_t>(v));
         }

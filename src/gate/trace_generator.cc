@@ -4,7 +4,6 @@
 #include <cmath>
 #include <map>
 #include <mutex>
-#include <numeric>
 #include <tuple>
 
 namespace flexmoe {
@@ -32,6 +31,7 @@ Status TraceGeneratorOptions::Validate() const {
   if (balance_tau_steps <= 0.0) {
     return Status::InvalidArgument("balance_tau_steps <= 0");
   }
+  FLEXMOE_RETURN_IF_ERROR(scenario.Validate());
   return Status::OK();
 }
 
@@ -132,22 +132,34 @@ Result<TraceGenerator> TraceGenerator::Create(
   gate_opts.exact_sampling = options.exact_sampling;
   gate_opts.legacy_sampling = options.legacy_gate;
   FLEXMOE_ASSIGN_OR_RETURN(TopKGate gate, TopKGate::Create(gate_opts));
-  return TraceGenerator(options, sigma0, std::move(gate));
+
+  std::vector<std::unique_ptr<LogitProcess>> processes;
+  processes.reserve(static_cast<size_t>(options.num_moe_layers));
+  for (int l = 0; l < options.num_moe_layers; ++l) {
+    FLEXMOE_ASSIGN_OR_RETURN(
+        auto process, MakeLogitProcess(options.scenario, options.num_experts,
+                                       sigma0, options.ou_theta));
+    processes.push_back(std::move(process));
+  }
+  return TraceGenerator(options, sigma0, std::move(gate),
+                        std::move(processes));
 }
 
-TraceGenerator::TraceGenerator(const TraceGeneratorOptions& options,
-                               double sigma0, TopKGate gate)
+TraceGenerator::TraceGenerator(
+    const TraceGeneratorOptions& options, double sigma0, TopKGate gate,
+    std::vector<std::unique_ptr<LogitProcess>> processes)
     : options_(options),
       sigma0_(sigma0),
       gate_(std::move(gate)),
-      rng_(options.seed) {
+      rng_(options.seed),
+      processes_(std::move(processes)) {
   logits_.resize(static_cast<size_t>(options_.num_moe_layers));
   jitter_.resize(static_cast<size_t>(options_.num_moe_layers));
   gpu_logits_scratch_.assign(options_.num_gpus, options_.num_experts, 0.0);
   for (int l = 0; l < options_.num_moe_layers; ++l) {
     auto& z = logits_[static_cast<size_t>(l)];
     z.resize(static_cast<size_t>(options_.num_experts));
-    for (double& v : z) v = rng_.Normal(0.0, sigma0_);
+    processes_[static_cast<size_t>(l)]->Init(&rng_, &z);
     auto& layer_jitter = jitter_[static_cast<size_t>(l)];
     layer_jitter.assign(options_.num_gpus, options_.num_experts, 0.0);
     // Row-major [gpu][expert] fill preserves the seed's RNG draw order.
@@ -170,23 +182,10 @@ double TraceGenerator::TargetSigma(int64_t t) const {
 }
 
 void TraceGenerator::EvolveLayer(int layer) {
-  auto& z = logits_[static_cast<size_t>(layer)];
-  const double theta = options_.ou_theta;
-  // Equilibrium-preserving OU noise: keeps the process variance constant
-  // while the direction drifts (expert ranks swap smoothly).
-  const double noise_sigma = sigma0_ * std::sqrt(2.0 * theta);
-  for (double& v : z) {
-    v += -theta * v + rng_.Normal(0.0, noise_sigma);
-  }
-  // Renormalize to the balance-pressure target scale.
-  double mean = std::accumulate(z.begin(), z.end(), 0.0) /
-                static_cast<double>(z.size());
-  double var = 0.0;
-  for (double v : z) var += (v - mean) * (v - mean);
-  var /= static_cast<double>(z.size());
-  const double sd = std::sqrt(std::max(var, 1e-12));
-  const double target = TargetSigma(step_);
-  for (double& v : z) v = (v - mean) * (target / sd);
+  // The scenario process owns the latent-logit dynamics (the steady
+  // process reproduces the pre-catalog OU update byte-for-byte).
+  processes_[static_cast<size_t>(layer)]->Evolve(
+      step_, TargetSigma(step_), &rng_, &logits_[static_cast<size_t>(layer)]);
 
   // Per-GPU jitter follows its own faster OU process (flat row-major walk
   // matches the seed's [gpu][expert] RNG draw order).

@@ -13,13 +13,18 @@
 //
 // Each MoE layer owns an independent logit process; each GPU sees a small
 // jittered copy of the layer logits (data heterogeneity across ranks).
+// The logit dynamics are pluggable (gate/logit_process.h): the `scenario`
+// option selects a named workload regime from the catalog, defaulting to
+// the paper-calibrated `pretrain-steady` dynamics above.
 
 #ifndef FLEXMOE_GATE_TRACE_GENERATOR_H_
 #define FLEXMOE_GATE_TRACE_GENERATOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "gate/gate.h"
+#include "gate/logit_process.h"
 #include "moe/moe_layer.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -62,6 +67,10 @@ struct TraceGeneratorOptions {
   /// ("with training progressing, imbalance is getting better", Fig. 7a).
   double balance_tau_steps = 400.0;
 
+  /// Workload regime: which logit dynamics drive expert popularity. The
+  /// default reproduces the pre-catalog generator byte-for-byte.
+  ScenarioOptions scenario;
+
   bool exact_sampling = false;
   /// Route the gate through the pre-optimization sampler (`--legacy-gate`).
   bool legacy_gate = false;
@@ -98,7 +107,8 @@ class TraceGenerator {
 
  private:
   TraceGenerator(const TraceGeneratorOptions& options, double sigma0,
-                 TopKGate gate);
+                 TopKGate gate,
+                 std::vector<std::unique_ptr<LogitProcess>> processes);
 
   void EvolveLayer(int layer);
   /// Fills `gpu_logits_scratch_` with the per-GPU jittered logits of
@@ -110,7 +120,9 @@ class TraceGenerator {
   TopKGate gate_;
   Rng rng_;
   int64_t step_ = 0;
-  /// [layer][expert] latent logits.
+  /// One scenario process per layer (independent dynamics).
+  std::vector<std::unique_ptr<LogitProcess>> processes_;
+  /// [layer][expert] latent logits, written by the layer's process.
   std::vector<std::vector<double>> logits_;
   /// Per-layer [gpu][expert] slow-moving jitter processes (flat rows).
   std::vector<Matrix<double>> jitter_;

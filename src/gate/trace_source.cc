@@ -1,0 +1,42 @@
+#include "gate/trace_source.h"
+
+namespace flexmoe {
+
+std::vector<Assignment> ReplayTraceSource::NextStep() {
+  FLEXMOE_CHECK_MSG(cursor_ < trace_.num_steps(),
+                    "replay trace exhausted");
+  const std::vector<Assignment>& step =
+      trace_.step(static_cast<int>(cursor_));
+  ++cursor_;
+  return step;
+}
+
+std::vector<Assignment> RecordingTraceSource::NextStep() {
+  std::vector<Assignment> step = inner_->NextStep();
+  FLEXMOE_CHECK_MSG(sink_->Append(step).ok(),
+                    "recorded step shape mismatch");
+  return step;
+}
+
+uint64_t HashStep(const std::vector<Assignment>& step, uint64_t h) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  for (const Assignment& a : step) {
+    mix(static_cast<uint64_t>(a.num_experts()));
+    mix(static_cast<uint64_t>(a.num_gpus()));
+    for (int e = 0; e < a.num_experts(); ++e) {
+      const int64_t* row = a.row(e);
+      for (int g = 0; g < a.num_gpus(); ++g) {
+        mix(static_cast<uint64_t>(row[g]));
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace flexmoe

@@ -28,6 +28,7 @@ Status ExperimentOptions::Validate() const {
     return Status::InvalidArgument("warmup_steps out of range");
   }
   FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
+  FLEXMOE_RETURN_IF_ERROR(workload.scenario.Validate());
   return Status::OK();
 }
 
@@ -53,8 +54,37 @@ Result<TraceGenerator> BuildTraceGenerator(const ExperimentOptions& options) {
     t.balance_coef = options.balance_coef;
     t.seed = options.seed;
     t.legacy_gate = options.legacy_gate;
+    t.scenario = options.workload.scenario;
   }
   return TraceGenerator::Create(t);
+}
+
+Result<std::unique_ptr<TraceSource>> BuildTraceSource(
+    const ExperimentOptions& options) {
+  if (!options.workload.replay_path.empty()) {
+    FLEXMOE_ASSIGN_OR_RETURN(RoutingTrace trace,
+                             RoutingTrace::Load(options.workload.replay_path));
+    if (trace.num_steps() < options.measure_steps) {
+      return Status::InvalidArgument(StrFormat(
+          "replay trace has %d steps, experiment needs %d",
+          trace.num_steps(), options.measure_steps));
+    }
+    if (trace.num_layers() != options.model.num_moe_layers ||
+        trace.at(0, 0).num_experts() != options.model.num_experts ||
+        trace.at(0, 0).num_gpus() != options.num_gpus) {
+      return Status::InvalidArgument(StrFormat(
+          "replay trace shape [%d layers x %d experts x %d gpus] does not "
+          "match the experiment [%d x %d x %d]",
+          trace.num_layers(), trace.at(0, 0).num_experts(),
+          trace.at(0, 0).num_gpus(), options.model.num_moe_layers,
+          options.model.num_experts, options.num_gpus));
+    }
+    return std::unique_ptr<TraceSource>(
+        new ReplayTraceSource(std::move(trace)));
+  }
+  FLEXMOE_ASSIGN_OR_RETURN(TraceGenerator gen, BuildTraceGenerator(options));
+  return std::unique_ptr<TraceSource>(
+      new GeneratorTraceSource(std::move(gen)));
 }
 
 Result<std::unique_ptr<MoESystem>> BuildSystem(
@@ -120,7 +150,13 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
         profiler.Calibrate(options.model.expert_fwdbwd_flops_per_token()));
   }
 
-  FLEXMOE_ASSIGN_OR_RETURN(TraceGenerator gen, BuildTraceGenerator(options));
+  FLEXMOE_ASSIGN_OR_RETURN(std::unique_ptr<TraceSource> source,
+                           BuildTraceSource(options));
+  RoutingTrace recorded;
+  if (!options.workload.record_path.empty()) {
+    source = std::unique_ptr<TraceSource>(
+        new RecordingTraceSource(std::move(source), &recorded));
+  }
   FLEXMOE_ASSIGN_OR_RETURN(std::unique_ptr<MoESystem> system,
                            BuildSystem(options, &topo, &profile));
 
@@ -130,13 +166,23 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
     FLEXMOE_RETURN_IF_ERROR(system->InstallFaultPlan(plan));
   }
 
+  uint64_t trace_hash = kTraceHashSeed;
   for (int s = 0; s < options.measure_steps; ++s) {
-    system->RunStep(gen.Step());
+    const std::vector<Assignment> step = source->NextStep();
+    trace_hash = HashStep(step, trace_hash);
+    system->RunStep(step);
+  }
+  if (!options.workload.record_path.empty()) {
+    FLEXMOE_RETURN_IF_ERROR(recorded.Save(options.workload.record_path));
   }
 
   ExperimentReport report;
   report.system = system->name();
   report.model = options.model.name;
+  report.workload = options.workload.replay_path.empty()
+                        ? options.workload.scenario.name
+                        : "replay:" + options.workload.replay_path;
+  report.trace_hash = trace_hash;
   report.num_gpus = options.num_gpus;
   report.stats = system->stats();
   report.tokens_per_step = static_cast<double>(options.model.tokens_per_gpu) *

@@ -16,10 +16,24 @@
 #include "core/system.h"
 #include "elastic/fault_plan.h"
 #include "gate/trace_generator.h"
+#include "gate/trace_source.h"
 #include "moe/model_config.h"
 #include "quality/targets.h"
 
 namespace flexmoe {
+
+/// \brief Which workload the experiment consumes: a named scenario from
+/// the catalog (gate/logit_process.h) generated live, or a replayed
+/// recorded trace. Orthogonally, the consumed stream can be recorded.
+struct WorkloadOptions {
+  /// Logit-dynamics regime for the live generator (ignored on replay).
+  ScenarioOptions scenario;
+  /// When non-empty, replay this saved RoutingTrace instead of generating.
+  /// The trace must cover measure_steps and match the model's shape.
+  std::string replay_path;
+  /// When non-empty, save the consumed trace here after the run.
+  std::string record_path;
+};
 
 /// \brief One experiment configuration.
 struct ExperimentOptions {
@@ -51,8 +65,11 @@ struct ExperimentOptions {
   /// pre-training profiling pass). Disable for raw analytic defaults.
   bool calibrate_profile = true;
 
+  /// Workload regime / replay / record selection.
+  WorkloadOptions workload;
+
   /// Optional explicit trace generator overrides (<=0 fields are derived
-  /// from the model/num_gpus).
+  /// from the model/num_gpus). Overrides win over `workload.scenario`.
   TraceGeneratorOptions trace;
   bool use_trace_overrides = false;
 
@@ -73,7 +90,12 @@ struct ExperimentOptions {
 struct ExperimentReport {
   std::string system;
   std::string model;
+  /// Workload the run consumed: scenario name, or "replay:<path>".
+  std::string workload;
   int num_gpus = 0;
+  /// FNV-1a hash of every consumed assignment (seeded kTraceHashSeed):
+  /// two runs saw the identical token stream iff their hashes match.
+  uint64_t trace_hash = 0;
 
   TrainingStats stats;
   double tokens_per_step = 0.0;   ///< tokens (not assignments) per step
@@ -107,6 +129,12 @@ FaultPlanOptions ResolveFaultOptions(const ExperimentOptions& options);
 /// \brief Builds the trace generator an experiment would use (exposed so
 /// benches can pre-inspect the workload).
 Result<TraceGenerator> BuildTraceGenerator(const ExperimentOptions& options);
+
+/// \brief Builds the experiment's assignment stream: a live generator for
+/// `workload.scenario`, or a replay of `workload.replay_path` (validated
+/// against the model shape and step budget).
+Result<std::unique_ptr<TraceSource>> BuildTraceSource(
+    const ExperimentOptions& options);
 
 /// \brief Builds the system under test against the given cluster.
 Result<std::unique_ptr<MoESystem>> BuildSystem(

@@ -1,0 +1,232 @@
+#include "harness/golden.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace flexmoe {
+
+ExperimentOptions WorkloadGoldenCell(const std::string& scenario,
+                                     const std::string& system) {
+  ExperimentOptions o;
+  o.system = system;
+  o.model = GptMoES();
+  o.model.num_moe_layers = 2;
+  o.model.tokens_per_gpu = 2048;
+  // 16 devices: large enough that FasterMoE's global shadow sync starts
+  // paying its scaling tax (the paper's Figure 5 regime), small enough for
+  // a sub-second cell.
+  o.num_gpus = 16;
+  o.measure_steps = 60;
+  o.warmup_steps = 15;
+  o.seed = 5;
+  o.workload.scenario.name = scenario;
+  // Scale the scenario clocks into the 60-step window: the shift lands
+  // mid-run, three diurnal periods complete, and six tenant slices rotate.
+  o.workload.scenario.shift_step = 30;
+  o.workload.scenario.diurnal_period = 20.0;
+  o.workload.scenario.tenant_block_steps = 10;
+  // Sustained flash crowds (multi-step half-life) rather than the
+  // catalog's default 3-step spikes: transient load a placement system
+  // can meaningfully chase within the short cell.
+  o.workload.scenario.burst_rate = 0.08;
+  o.workload.scenario.burst_boost = 3.0;
+  o.workload.scenario.burst_decay = 0.90;
+  return o;
+}
+
+MetricsDigest DigestFromReport(const std::string& label,
+                               const ExperimentReport& report) {
+  MetricsDigest d;
+  d.label = label;
+  d.system = report.system;
+  d.workload = report.workload;
+  d.num_gpus = report.num_gpus;
+  d.steps = static_cast<int>(report.stats.num_steps());
+  d.trace_hash = report.trace_hash;
+  d.mean_step_seconds = report.mean_step_seconds;
+  d.throughput_tokens_per_sec = report.throughput_tokens_per_sec;
+  d.mean_balance_ratio = report.mean_balance_ratio;
+  d.mean_token_efficiency = report.mean_token_efficiency;
+  d.mean_expert_efficiency = report.mean_expert_efficiency;
+  d.mean_gpu_utilization = report.mean_gpu_utilization;
+  d.hours_to_target = report.hours_to_target;
+  d.ops_applied = report.stats.TotalOpsApplied();
+  d.tokens_dropped = report.stats.TotalTokensDropped();
+  return d;
+}
+
+std::string FormatDigest(const MetricsDigest& d) {
+  // %.17g round-trips doubles exactly, so a committed golden pins the
+  // full-precision value a deterministic rerun reproduces.
+  return StrFormat(
+      "label=%s system=%s workload=%s gpus=%d steps=%d trace_hash=%016llx "
+      "step_s=%.17g throughput=%.17g balance=%.17g token_eff=%.17g "
+      "expert_eff=%.17g util=%.17g hours=%.17g ops=%lld dropped=%lld",
+      d.label.c_str(), d.system.c_str(), d.workload.c_str(), d.num_gpus,
+      d.steps, static_cast<unsigned long long>(d.trace_hash),
+      d.mean_step_seconds, d.throughput_tokens_per_sec, d.mean_balance_ratio,
+      d.mean_token_efficiency, d.mean_expert_efficiency,
+      d.mean_gpu_utilization, d.hours_to_target,
+      static_cast<long long>(d.ops_applied),
+      static_cast<long long>(d.tokens_dropped));
+}
+
+Result<MetricsDigest> ParseDigest(const std::string& line) {
+  MetricsDigest d;
+  bool saw_label = false, saw_hash = false;
+  for (const std::string& token : Split(line, ' ')) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("bad digest token '%s'", token.c_str()));
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "label") {
+      d.label = value;
+      saw_label = true;
+    } else if (key == "system") {
+      d.system = value;
+    } else if (key == "workload") {
+      d.workload = value;
+    } else if (key == "gpus") {
+      d.num_gpus = std::atoi(value.c_str());
+    } else if (key == "steps") {
+      d.steps = std::atoi(value.c_str());
+    } else if (key == "trace_hash") {
+      d.trace_hash = std::strtoull(value.c_str(), nullptr, 16);
+      saw_hash = true;
+    } else if (key == "step_s") {
+      d.mean_step_seconds = std::atof(value.c_str());
+    } else if (key == "throughput") {
+      d.throughput_tokens_per_sec = std::atof(value.c_str());
+    } else if (key == "balance") {
+      d.mean_balance_ratio = std::atof(value.c_str());
+    } else if (key == "token_eff") {
+      d.mean_token_efficiency = std::atof(value.c_str());
+    } else if (key == "expert_eff") {
+      d.mean_expert_efficiency = std::atof(value.c_str());
+    } else if (key == "util") {
+      d.mean_gpu_utilization = std::atof(value.c_str());
+    } else if (key == "hours") {
+      d.hours_to_target = std::atof(value.c_str());
+    } else if (key == "ops") {
+      d.ops_applied = std::atoll(value.c_str());
+    } else if (key == "dropped") {
+      d.tokens_dropped = std::atoll(value.c_str());
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown digest key '%s'", key.c_str()));
+    }
+  }
+  if (!saw_label || !saw_hash) {
+    return Status::InvalidArgument("digest line missing label/trace_hash");
+  }
+  return d;
+}
+
+Status SaveDigests(const std::vector<MetricsDigest>& digests,
+                   const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::fprintf(f, "# flexmoe metrics digest v1\n");
+  for (const MetricsDigest& d : digests) {
+    std::fprintf(f, "%s\n", FormatDigest(d).c_str());
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<std::vector<MetricsDigest>> LoadDigests(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::vector<MetricsDigest> digests;
+  char buf[1024];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    Result<MetricsDigest> d = ParseDigest(line);
+    if (!d.ok()) {
+      std::fclose(f);
+      return d.status();
+    }
+    digests.push_back(*std::move(d));
+  }
+  std::fclose(f);
+  return digests;
+}
+
+namespace {
+
+Status CheckClose(const char* field, double golden, double fresh,
+                  double rel_tol) {
+  const double denom = std::max(std::abs(golden), std::abs(fresh));
+  if (denom == 0.0) return Status::OK();
+  if (std::abs(golden - fresh) / denom > rel_tol) {
+    return Status::Internal(
+        StrFormat("digest field %s drifted: golden=%.17g fresh=%.17g",
+                  field, golden, fresh));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CompareDigests(const MetricsDigest& golden, const MetricsDigest& fresh,
+                      double rel_tol) {
+  if (golden.label != fresh.label || golden.system != fresh.system ||
+      golden.workload != fresh.workload) {
+    return Status::Internal(StrFormat(
+        "digest identity mismatch: golden %s/%s/%s vs fresh %s/%s/%s",
+        golden.label.c_str(), golden.system.c_str(), golden.workload.c_str(),
+        fresh.label.c_str(), fresh.system.c_str(), fresh.workload.c_str()));
+  }
+  if (golden.num_gpus != fresh.num_gpus || golden.steps != fresh.steps) {
+    return Status::Internal(
+        StrFormat("digest shape mismatch for %s", golden.label.c_str()));
+  }
+  if (golden.trace_hash != fresh.trace_hash) {
+    return Status::Internal(StrFormat(
+        "trace hash mismatch for %s: golden=%016llx fresh=%016llx — the "
+        "workload stream itself changed", golden.label.c_str(),
+        static_cast<unsigned long long>(golden.trace_hash),
+        static_cast<unsigned long long>(fresh.trace_hash)));
+  }
+  if (golden.ops_applied != fresh.ops_applied ||
+      golden.tokens_dropped != fresh.tokens_dropped) {
+    return Status::Internal(StrFormat(
+        "digest op/drop counts drifted for %s", golden.label.c_str()));
+  }
+  FLEXMOE_RETURN_IF_ERROR(CheckClose("step_s", golden.mean_step_seconds,
+                                     fresh.mean_step_seconds, rel_tol));
+  FLEXMOE_RETURN_IF_ERROR(CheckClose("throughput",
+                                     golden.throughput_tokens_per_sec,
+                                     fresh.throughput_tokens_per_sec,
+                                     rel_tol));
+  FLEXMOE_RETURN_IF_ERROR(CheckClose("balance", golden.mean_balance_ratio,
+                                     fresh.mean_balance_ratio, rel_tol));
+  FLEXMOE_RETURN_IF_ERROR(CheckClose("token_eff",
+                                     golden.mean_token_efficiency,
+                                     fresh.mean_token_efficiency, rel_tol));
+  FLEXMOE_RETURN_IF_ERROR(CheckClose("expert_eff",
+                                     golden.mean_expert_efficiency,
+                                     fresh.mean_expert_efficiency, rel_tol));
+  FLEXMOE_RETURN_IF_ERROR(CheckClose("util", golden.mean_gpu_utilization,
+                                     fresh.mean_gpu_utilization, rel_tol));
+  FLEXMOE_RETURN_IF_ERROR(CheckClose("hours", golden.hours_to_target,
+                                     fresh.hours_to_target, rel_tol));
+  return Status::OK();
+}
+
+}  // namespace flexmoe

@@ -9,22 +9,10 @@
 #include "baselines/fastermoe.h"
 #include "baselines/swipe.h"
 #include "gate/trace_generator.h"
+#include "test_env.h"
 
 namespace flexmoe {
 namespace {
-
-struct Fixture {
-  std::unique_ptr<Topology> topo;
-  HardwareProfile profile;
-
-  static Fixture Make(int num_gpus = 8) {
-    return Fixture(std::make_unique<Topology>(
-        *Topology::Create(AzureA100Options(num_gpus))));
-  }
-
-  explicit Fixture(std::unique_ptr<Topology> t)
-      : topo(std::move(t)), profile(topo.get(), GpuSpec{}) {}
-};
 
 ModelConfig SmallModel() {
   ModelConfig m = GptMoES();
@@ -61,7 +49,7 @@ TEST(FixedPlacementTest, OneVExpertPerExpert) {
 }
 
 TEST(ExpertParallelTest, DropsTokensBeyondCapacity) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   ExpertParallelOptions o;
   o.model = SmallModel();
   o.num_gpus = 8;
@@ -75,7 +63,7 @@ TEST(ExpertParallelTest, DropsTokensBeyondCapacity) {
 }
 
 TEST(ExpertParallelTest, NoCapacityNoDrops) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   ExpertParallelOptions o;
   o.model = SmallModel();
   o.num_gpus = 8;
@@ -89,8 +77,8 @@ TEST(ExpertParallelTest, NoCapacityNoDrops) {
 TEST(ExpertParallelTest, CapacityCapsStepTime) {
   // With capacity 1.0 the hot expert computes at most cap tokens: the
   // capped step must be faster than the uncapped one.
-  Fixture f1 = Fixture::Make();
-  Fixture f2 = Fixture::Make();
+  TestEnv f1 = TestEnv::Make();
+  TestEnv f2 = TestEnv::Make();
   ExpertParallelOptions capped;
   capped.model = SmallModel();
   capped.num_gpus = 8;
@@ -105,7 +93,7 @@ TEST(ExpertParallelTest, CapacityCapsStepTime) {
 }
 
 TEST(FasterMoETest, ShadowsHotExperts) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   FasterMoEOptions o;
   o.model = SmallModel();
   o.num_gpus = 8;
@@ -121,7 +109,7 @@ TEST(FasterMoETest, ShadowsHotExperts) {
 }
 
 TEST(FasterMoETest, NoShadowsWhenBalanced) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   FasterMoEOptions o;
   o.model = SmallModel();
   o.num_gpus = 8;
@@ -141,8 +129,8 @@ TEST(FasterMoETest, NoShadowsWhenBalanced) {
 }
 
 TEST(FasterMoETest, NeverDropsAndBeatsUncappedEpOnSkew) {
-  Fixture f1 = Fixture::Make();
-  Fixture f2 = Fixture::Make();
+  TestEnv f1 = TestEnv::Make();
+  TestEnv f2 = TestEnv::Make();
   const ModelConfig model = SmallModel();
   FasterMoEOptions fo;
   fo.model = model;
@@ -189,7 +177,7 @@ TEST(SwipeRebalanceTest, NoReassignmentWhenBalanced) {
 }
 
 TEST(SwipeSystemTest, HighExpertEfficiencyLowTokenEfficiency) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   SwipeOptions o;
   o.model = SmallModel();
   o.num_gpus = 8;
@@ -208,9 +196,9 @@ TEST(BaselineComparisonTest, EfficiencyQuadrantsOfFigure7a) {
   // On a realistic skewed trace: DeepSpeed loses tokens AND expert
   // efficiency; SWIPE keeps expert efficiency but loses token efficiency;
   // FasterMoE keeps token efficiency with middling expert efficiency.
-  Fixture fd = Fixture::Make();
-  Fixture fs = Fixture::Make();
-  Fixture ff = Fixture::Make();
+  TestEnv fd = TestEnv::Make();
+  TestEnv fs = TestEnv::Make();
+  TestEnv ff = TestEnv::Make();
   const ModelConfig model = SmallModel();
 
   TraceGeneratorOptions t;

@@ -16,6 +16,7 @@
 #include "elastic/recovery.h"
 #include "gate/trace_generator.h"
 #include "sim/engine.h"
+#include "test_env.h"
 
 namespace flexmoe {
 namespace {
@@ -316,21 +317,18 @@ TEST(ElasticTest, GroupCacheEvictsGroupsContainingDeadGpu) {
 // ---- Scheduler / Policy Maker health consultation --------------------------
 
 struct PlannerFixture {
-  std::unique_ptr<Topology> topo;
-  HardwareProfile profile;
+  TestEnv env = TestEnv::Make(8);
   ModelConfig model;
   CostModel cost;
   PolicyMaker pm;
 
   PlannerFixture()
-      : topo(std::make_unique<Topology>(*Topology::Create(AzureA100Options(8)))),
-        profile(topo.get(), GpuSpec{}),
-        model([] {
+      : model([] {
           ModelConfig m = GptMoES();
           m.num_experts = 8;
           return m;
         }()),
-        cost(&profile, ShapeFromModel(model)),
+        cost(&env.profile, ShapeFromModel(model)),
         pm(&cost, PolicyMakerOptions{}) {}
 };
 
@@ -407,8 +405,7 @@ struct RunOutcome {
 };
 
 RunOutcome RunFlexMoEWithPlan(const FaultPlan& plan, uint64_t seed) {
-  auto topo = std::make_unique<Topology>(*Topology::Create(AzureA100Options(8)));
-  HardwareProfile profile(topo.get(), GpuSpec{});
+  TestEnv env = TestEnv::Make(8);
   ModelConfig m = GptMoES();
   m.num_experts = 8;
   m.num_moe_layers = 2;
@@ -417,7 +414,7 @@ RunOutcome RunFlexMoEWithPlan(const FaultPlan& plan, uint64_t seed) {
   FlexMoEOptions o;
   o.model = m;
   o.num_gpus = 8;
-  auto sys = *FlexMoESystem::Create(o, topo.get(), &profile);
+  auto sys = *FlexMoESystem::Create(o, env.topo.get(), &env.profile);
   EXPECT_TRUE(sys->InstallFaultPlan(plan).ok());
 
   TraceGeneratorOptions t;

@@ -10,21 +10,10 @@
 #include "baselines/swipe.h"
 #include "core/flexmoe.h"
 #include "elastic/recovery.h"
+#include "test_env.h"
 
 namespace flexmoe {
 namespace {
-
-struct Env {
-  std::unique_ptr<Topology> topo;
-  HardwareProfile profile;
-
-  static Env Make(int num_gpus = 8) {
-    auto topo = std::make_unique<Topology>(
-        *Topology::Create(AzureA100Options(num_gpus)));
-    HardwareProfile profile(topo.get(), GpuSpec{});
-    return Env{std::move(topo), std::move(profile)};
-  }
-};
 
 ModelConfig TinyModel() {
   ModelConfig m = GptMoES();
@@ -49,7 +38,7 @@ std::vector<Assignment> MakeStep(const ModelConfig& m, int gpus,
 
 class AllSystemsTest : public testing::TestWithParam<const char*> {
  protected:
-  std::unique_ptr<MoESystem> MakeSystem(Env* env, const ModelConfig& m) {
+  std::unique_ptr<MoESystem> MakeSystem(TestEnv* env, const ModelConfig& m) {
     const std::string name = GetParam();
     if (name == "flexmoe") {
       FlexMoEOptions o;
@@ -77,7 +66,7 @@ class AllSystemsTest : public testing::TestWithParam<const char*> {
 };
 
 TEST_P(AllSystemsTest, SurvivesEmptySteps) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   const ModelConfig m = TinyModel();
   auto sys = MakeSystem(&env, m);
   // A step where the gate routed zero tokens everywhere (e.g. a pipeline
@@ -91,7 +80,7 @@ TEST_P(AllSystemsTest, SurvivesEmptySteps) {
 }
 
 TEST_P(AllSystemsTest, SurvivesSingleExpertConcentration) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   const ModelConfig m = TinyModel();
   auto sys = MakeSystem(&env, m);
   // Every token to expert 0 — the most adversarial routing possible.
@@ -109,7 +98,7 @@ TEST_P(AllSystemsTest, SurvivesSingleExpertConcentration) {
 }
 
 TEST_P(AllSystemsTest, SurvivesAlternatingExtremes) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   const ModelConfig m = TinyModel();
   auto sys = MakeSystem(&env, m);
   // The workload flips between two opposite concentrations every step —
@@ -131,7 +120,7 @@ TEST_P(AllSystemsTest, SurvivesAlternatingExtremes) {
 }
 
 TEST_P(AllSystemsTest, RejectsWrongLayerCount) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   const ModelConfig m = TinyModel();
   auto sys = MakeSystem(&env, m);
   std::vector<Assignment> wrong = MakeStep(m, 8, 10);
@@ -145,7 +134,7 @@ TEST_P(AllSystemsTest, RejectsWrongLayerCount) {
 // degraded mode).
 
 TEST_P(AllSystemsTest, SurvivesMidRunGpuFailure) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   const ModelConfig m = TinyModel();
   auto sys = MakeSystem(&env, m);
 
@@ -185,7 +174,7 @@ TEST_P(AllSystemsTest, SurvivesMidRunGpuFailure) {
 }
 
 TEST_P(AllSystemsTest, SurvivesStragglerAndRecovery) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   const ModelConfig m = TinyModel();
   auto sys = MakeSystem(&env, m);
 
@@ -213,7 +202,7 @@ TEST_P(AllSystemsTest, SurvivesStragglerAndRecovery) {
 }
 
 TEST_P(AllSystemsTest, SurvivesChurn) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   const ModelConfig m = TinyModel();
   auto sys = MakeSystem(&env, m);
 
@@ -241,7 +230,7 @@ INSTANTIATE_TEST_SUITE_P(Systems, AllSystemsTest,
                                          "swipe"));
 
 TEST(FlexMoEFailureTest, DrainsDeadDeviceAndKeepsInvariants) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   const ModelConfig m = TinyModel();
   FlexMoEOptions o;
   o.model = m;
@@ -280,7 +269,7 @@ TEST(FlexMoEFailureTest, DrainsDeadDeviceAndKeepsInvariants) {
 }
 
 TEST(FlexMoEFailureTest, PlacementsSurviveAdversarialFlipFlop) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   ModelConfig m = TinyModel();
   FlexMoEOptions o;
   o.model = m;
@@ -303,7 +292,7 @@ TEST(FlexMoEFailureTest, PlacementsSurviveAdversarialFlipFlop) {
 }
 
 TEST(FlexMoEFailureTest, ZeroMigrationConfiguration) {
-  Env env = Env::Make();
+  TestEnv env = TestEnv::Make();
   FlexMoEOptions o;
   o.model = TinyModel();
   o.num_gpus = 8;

@@ -7,22 +7,11 @@
 
 #include "core/flexmoe.h"
 #include "gate/trace_generator.h"
+#include "test_env.h"
+
 
 namespace flexmoe {
 namespace {
-
-struct Fixture {
-  std::unique_ptr<Topology> topo;
-  HardwareProfile profile;
-
-  static Fixture Make(int num_gpus = 8) {
-    TopologyOptions topt = AzureA100Options(num_gpus);
-    return Fixture(std::make_unique<Topology>(*Topology::Create(topt)));
-  }
-
-  explicit Fixture(std::unique_ptr<Topology> t)
-      : topo(std::move(t)), profile(topo.get(), GpuSpec{}) {}
-};
 
 ModelConfig SmallModel() {
   ModelConfig m = GptMoES();
@@ -53,7 +42,7 @@ TraceGenerator MakeGen(const ModelConfig& m, int num_gpus,
 }
 
 TEST(FlexMoESystemTest, CreateValidatesOptions) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   FlexMoEOptions o = MakeOptions();
   o.num_gpus = 16;  // mismatch with topo (8)
   EXPECT_FALSE(FlexMoESystem::Create(o, f.topo.get(), &f.profile).ok());
@@ -63,7 +52,7 @@ TEST(FlexMoESystemTest, CreateValidatesOptions) {
 }
 
 TEST(FlexMoESystemTest, RunsAndNeverDropsTokens) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   auto sys = *FlexMoESystem::Create(MakeOptions(), f.topo.get(), &f.profile);
   TraceGenerator gen = MakeGen(SmallModel(), 8);
   for (int s = 0; s < 10; ++s) {
@@ -78,7 +67,7 @@ TEST(FlexMoESystemTest, RunsAndNeverDropsTokens) {
 }
 
 TEST(FlexMoESystemTest, PlacementsStayValidUnderScheduling) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   FlexMoEOptions o = MakeOptions();
   o.scheduler.max_plan_iterations = 8;
   auto sys = *FlexMoESystem::Create(o, f.topo.get(), &f.profile);
@@ -93,7 +82,7 @@ TEST(FlexMoESystemTest, PlacementsStayValidUnderScheduling) {
 }
 
 TEST(FlexMoESystemTest, SchedulingImprovesBalanceOverTime) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   auto sys = *FlexMoESystem::Create(MakeOptions(), f.topo.get(), &f.profile);
   TraceGenerator gen = MakeGen(SmallModel(), 8);
   double early = 0.0, late = 0.0;
@@ -113,8 +102,8 @@ TEST(FlexMoESystemTest, SchedulingImprovesBalanceOverTime) {
 TEST(FlexMoESystemTest, BeatsStaticPlacementOnSkewedTrace) {
   // Same trace, FlexMoE scheduling ON vs OFF (threshold so high it never
   // triggers): the scheduler must win on mean step time after warmup.
-  Fixture f_on = Fixture::Make();
-  Fixture f_off = Fixture::Make();
+  TestEnv f_on = TestEnv::Make();
+  TestEnv f_off = TestEnv::Make();
   FlexMoEOptions on = MakeOptions();
   FlexMoEOptions off = MakeOptions();
   off.scheduler.threshold = 1e9;  // never triggers
@@ -134,8 +123,8 @@ TEST(FlexMoESystemTest, BeatsStaticPlacementOnSkewedTrace) {
 }
 
 TEST(FlexMoESystemTest, DeterministicAcrossRuns) {
-  Fixture f1 = Fixture::Make();
-  Fixture f2 = Fixture::Make();
+  TestEnv f1 = TestEnv::Make();
+  TestEnv f2 = TestEnv::Make();
   auto sys1 = *FlexMoESystem::Create(MakeOptions(), f1.topo.get(), &f1.profile);
   auto sys2 = *FlexMoESystem::Create(MakeOptions(), f2.topo.get(), &f2.profile);
   TraceGenerator gen1 = MakeGen(SmallModel(), 8);
@@ -150,7 +139,7 @@ TEST(FlexMoESystemTest, DeterministicAcrossRuns) {
 }
 
 TEST(FlexMoESystemTest, MetricsWithinPhysicalBounds) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   auto sys = *FlexMoESystem::Create(MakeOptions(), f.topo.get(), &f.profile);
   TraceGenerator gen = MakeGen(SmallModel(), 8);
   for (int s = 0; s < 20; ++s) {
@@ -163,7 +152,7 @@ TEST(FlexMoESystemTest, MetricsWithinPhysicalBounds) {
 }
 
 TEST(FlexMoESystemTest, GroupCacheIsExercisedByReplication) {
-  Fixture f = Fixture::Make();
+  TestEnv f = TestEnv::Make();
   auto sys = *FlexMoESystem::Create(MakeOptions(), f.topo.get(), &f.profile);
   TraceGenerator gen = MakeGen(SmallModel(), 8);
   for (int s = 0; s < 40; ++s) sys->RunStep(gen.Step());

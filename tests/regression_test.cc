@@ -11,30 +11,17 @@
 #include "core/flexmoe.h"
 #include "core/policy_maker.h"
 #include "gate/trace_generator.h"
+#include "test_env.h"
 
 namespace flexmoe {
 namespace {
-
-struct Env {
-  std::unique_ptr<Topology> topo;
-  HardwareProfile profile;
-
-  static Env Make(int num_gpus) {
-    auto topo = std::make_unique<Topology>(
-        *Topology::Create(AzureA100Options(num_gpus)));
-    Profiler profiler(topo.get(), GpuSpec{}, ProfilerOptions{});
-    HardwareProfile profile =
-        *profiler.Calibrate(GptMoES().expert_fwdbwd_flops_per_token());
-    return Env{std::move(topo), std::move(profile)};
-  }
-};
 
 // Bug 1: the literal Algorithm 2 (argmax-capacity expert only, max-only
 // objective) stalls when two near-tied hot experts bottleneck different
 // GPUs — expanding either leaves the max unchanged for one round and every
 // plan was rejected. Fixed by top-k hot candidates + the 8-norm score.
 TEST(RegressionTest, PolicyMakerDoesNotStallOnTiedHotExperts) {
-  Env env = Env::Make(8);
+  TestEnv env = TestEnv::MakeCalibrated(8);
   ModelConfig model = GptMoES();
   model.num_experts = 8;
   const CostModel cost(&env.profile, ShapeFromModel(model));
@@ -74,7 +61,7 @@ TEST(RegressionTest, PolicyMakerDoesNotStallOnTiedHotExperts) {
 // +120/+240 ms step-time pattern). The default capacity must comfortably
 // hold layers x replicated-experts, and FlexMoE pre-warms its live groups.
 TEST(RegressionTest, GroupCacheDoesNotThrashAtSteadyState) {
-  Env env = Env::Make(8);
+  TestEnv env = TestEnv::MakeCalibrated(8);
   FlexMoEOptions o;
   o.model = GptMoES();
   o.model.num_experts = 16;
@@ -107,7 +94,7 @@ TEST(RegressionTest, GroupCacheDoesNotThrashAtSteadyState) {
 // after backward and more replication made steps slower, inverting the
 // paper's result.
 TEST(RegressionTest, ReplicationReducesStepTimeOnSkewedTrace) {
-  Env env = Env::Make(8);
+  TestEnv env = TestEnv::MakeCalibrated(8);
   ModelConfig model = GptMoES();
   model.num_experts = 16;
   model.num_moe_layers = 2;
@@ -120,7 +107,7 @@ TEST(RegressionTest, ReplicationReducesStepTimeOnSkewedTrace) {
   no_sched.scheduler.threshold = 1e9;  // static placement forever
   no_sched.scheduler.max_migrations = 0;
 
-  Env env2 = Env::Make(8);
+  TestEnv env2 = TestEnv::MakeCalibrated(8);
   auto on = *FlexMoESystem::Create(with_sched, env.topo.get(), &env.profile);
   auto off = *FlexMoESystem::Create(no_sched, env2.topo.get(), &env2.profile);
 
@@ -155,7 +142,7 @@ TEST(RegressionTest, ReplicationReducesStepTimeOnSkewedTrace) {
 // live placements lagged targets by many steps. The executor must drain a
 // multi-op backlog within a couple of boundaries.
 TEST(RegressionTest, ExecutorDrainsBacklogQuickly) {
-  Env env = Env::Make(8);
+  TestEnv env = TestEnv::MakeCalibrated(8);
   PlacementExecutor exec(ExecutorOptions{}, &env.profile, 64e6);
   ClusterState cluster(env.topo.get());
   PlacementOptions popt;
@@ -194,7 +181,7 @@ TEST(RegressionTest, ExecutorDrainsBacklogQuickly) {
 // step forever. The backoff must throttle fruitless planning while leaving
 // the balance unaffected.
 TEST(RegressionTest, FruitlessTriggersBackOff) {
-  Env env = Env::Make(8);
+  TestEnv env = TestEnv::MakeCalibrated(8);
   FlexMoEOptions o;
   o.model = GptMoES();
   o.model.num_experts = 16;

@@ -1,0 +1,176 @@
+// TraceSource and the replay contract: a recorded trace replayed into a
+// system must be indistinguishable from the live generator run — the
+// metrics of all four systems must be byte-identical between the two.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gate/trace_source.h"
+#include "harness/experiment.h"
+
+namespace flexmoe {
+namespace {
+
+ExperimentOptions SmallExperiment(const std::string& system) {
+  ExperimentOptions o;
+  o.system = system;
+  o.model = GptMoES();
+  o.model.num_moe_layers = 2;
+  o.model.tokens_per_gpu = 2048;
+  o.num_gpus = 8;
+  o.measure_steps = 30;
+  o.warmup_steps = 5;
+  o.seed = 21;
+  return o;
+}
+
+TraceGeneratorOptions SmallTrace() {
+  TraceGeneratorOptions o;
+  o.num_experts = 16;
+  o.num_moe_layers = 2;
+  o.num_gpus = 8;
+  o.tokens_per_gpu = 1024;
+  o.seed = 9;
+  return o;
+}
+
+TEST(TraceSourceTest, GeneratorSourceMatchesBareGenerator) {
+  auto bare = *TraceGenerator::Create(SmallTrace());
+  GeneratorTraceSource source(*TraceGenerator::Create(SmallTrace()));
+  EXPECT_EQ(source.StepsRemaining(), -1);
+  uint64_t h_bare = kTraceHashSeed, h_src = kTraceHashSeed;
+  for (int s = 0; s < 5; ++s) {
+    h_bare = HashStep(bare.Step(), h_bare);
+    h_src = HashStep(source.NextStep(), h_src);
+  }
+  EXPECT_EQ(h_bare, h_src);
+}
+
+TEST(TraceSourceTest, RecordingThenReplayYieldsIdenticalStream) {
+  auto gen = *TraceGenerator::Create(SmallTrace());
+  RoutingTrace sink;
+  RecordingTraceSource recorder(
+      std::unique_ptr<TraceSource>(
+          new GeneratorTraceSource(*TraceGenerator::Create(SmallTrace()))),
+      &sink);
+
+  uint64_t h_live = kTraceHashSeed, h_rec = kTraceHashSeed;
+  for (int s = 0; s < 6; ++s) {
+    h_live = HashStep(gen.Step(), h_live);
+    h_rec = HashStep(recorder.NextStep(), h_rec);
+  }
+  EXPECT_EQ(h_live, h_rec);
+  ASSERT_EQ(sink.num_steps(), 6);
+
+  ReplayTraceSource replay(std::move(sink));
+  EXPECT_EQ(replay.StepsRemaining(), 6);
+  uint64_t h_replay = kTraceHashSeed;
+  for (int s = 0; s < 6; ++s) {
+    h_replay = HashStep(replay.NextStep(), h_replay);
+  }
+  EXPECT_EQ(h_replay, h_live);
+  EXPECT_EQ(replay.StepsRemaining(), 0);
+}
+
+TEST(BuildTraceSourceTest, RejectsShortOrMismatchedTraces) {
+  // Record a 30-step trace of the small experiment's shape.
+  ExperimentOptions rec = SmallExperiment("flexmoe");
+  rec.workload.record_path = testing::TempDir() + "/short.trace";
+  ASSERT_TRUE(RunExperiment(rec).ok());
+
+  // Needing more steps than the trace holds is an error...
+  ExperimentOptions replay = SmallExperiment("flexmoe");
+  replay.workload.replay_path = rec.workload.record_path;
+  replay.measure_steps = 31;
+  EXPECT_FALSE(BuildTraceSource(replay).ok());
+
+  // ...as is a shape mismatch (different GPU count).
+  replay = SmallExperiment("flexmoe");
+  replay.workload.replay_path = rec.workload.record_path;
+  replay.num_gpus = 16;
+  EXPECT_FALSE(BuildTraceSource(replay).ok());
+
+  // A missing file surfaces the Load error.
+  replay = SmallExperiment("flexmoe");
+  replay.workload.replay_path = "/nonexistent/trace.bin";
+  EXPECT_FALSE(BuildTraceSource(replay).ok());
+
+  // The exact-fit replay is fine.
+  replay = SmallExperiment("flexmoe");
+  replay.workload.replay_path = rec.workload.record_path;
+  auto source = BuildTraceSource(replay);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ((*source)->StepsRemaining(), 30);
+}
+
+// The satellite's core claim: record once, replay into every system, and
+// each system's metrics are byte-identical to its live-generator run.
+TEST(ReplayDeterminismTest, AllSystemsByteIdenticalUnderReplay) {
+  const std::string trace_path = testing::TempDir() + "/replay_all.trace";
+  {
+    ExperimentOptions rec = SmallExperiment("flexmoe");
+    rec.workload.record_path = trace_path;
+    ASSERT_TRUE(RunExperiment(rec).ok());
+  }
+  for (const std::string system :
+       {"flexmoe", "deepspeed", "fastermoe", "swipe"}) {
+    const auto live = RunExperiment(SmallExperiment(system));
+    ASSERT_TRUE(live.ok()) << system;
+
+    ExperimentOptions replay_opts = SmallExperiment(system);
+    replay_opts.workload.replay_path = trace_path;
+    const auto replayed = RunExperiment(replay_opts);
+    ASSERT_TRUE(replayed.ok()) << system;
+
+    // The streams were identical...
+    EXPECT_EQ(live->trace_hash, replayed->trace_hash) << system;
+    // ...so every metric must match to the last bit (== on doubles).
+    EXPECT_EQ(live->mean_step_seconds, replayed->mean_step_seconds) << system;
+    EXPECT_EQ(live->throughput_tokens_per_sec,
+              replayed->throughput_tokens_per_sec)
+        << system;
+    EXPECT_EQ(live->mean_balance_ratio, replayed->mean_balance_ratio)
+        << system;
+    EXPECT_EQ(live->mean_token_efficiency, replayed->mean_token_efficiency)
+        << system;
+    EXPECT_EQ(live->mean_expert_efficiency, replayed->mean_expert_efficiency)
+        << system;
+    EXPECT_EQ(live->mean_gpu_utilization, replayed->mean_gpu_utilization)
+        << system;
+    EXPECT_EQ(live->hours_to_target, replayed->hours_to_target) << system;
+    EXPECT_EQ(live->stats.TotalOpsApplied(), replayed->stats.TotalOpsApplied())
+        << system;
+    // Per-step timelines too, not just aggregates.
+    ASSERT_EQ(live->stats.num_steps(), replayed->stats.num_steps()) << system;
+    for (int64_t s = 0; s < live->stats.num_steps(); ++s) {
+      ASSERT_EQ(live->stats.steps()[static_cast<size_t>(s)].step_seconds,
+                replayed->stats.steps()[static_cast<size_t>(s)].step_seconds)
+          << system << " step " << s;
+    }
+    EXPECT_EQ(replayed->workload, "replay:" + trace_path) << system;
+    EXPECT_EQ(live->workload, "pretrain-steady") << system;
+  }
+}
+
+// Replaying a bursty recording reproduces a bursty run: scenarios survive
+// the record/replay round trip, not just the default dynamics.
+TEST(ReplayDeterminismTest, ScenarioRecordingsReplayIdentically) {
+  const std::string trace_path = testing::TempDir() + "/replay_bursty.trace";
+  ExperimentOptions rec = SmallExperiment("flexmoe");
+  rec.workload.scenario.name = "bursty";
+  rec.workload.record_path = trace_path;
+  const auto live = RunExperiment(rec);
+  ASSERT_TRUE(live.ok());
+
+  ExperimentOptions replay_opts = SmallExperiment("flexmoe");
+  replay_opts.workload.replay_path = trace_path;
+  const auto replayed = RunExperiment(replay_opts);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(live->trace_hash, replayed->trace_hash);
+  EXPECT_EQ(live->mean_step_seconds, replayed->mean_step_seconds);
+  EXPECT_EQ(live->mean_balance_ratio, replayed->mean_balance_ratio);
+}
+
+}  // namespace
+}  // namespace flexmoe

@@ -1,0 +1,162 @@
+// Golden-run differential harness for the workload catalog. For each
+// scenario, one quick cell per system (the canonical WorkloadGoldenCell)
+// runs through the experiment grid; the test asserts
+//
+//  1. the DIFFERENTIAL: FlexMoE reaches the quality target first and
+//     sustains the highest effective token rate against every static
+//     baseline, in every scenario, and holds better balance than the
+//     imbalance-visible baselines; and
+//  2. the GOLDEN pin: each cell's metrics digest matches the committed
+//     digest in tests/goldens/ — including the trace hash, so a byte-level
+//     change to any scenario's token stream fails loudly.
+//
+// Regenerate goldens after an intentional behavior change with
+//   FLEXMOE_UPDATE_GOLDENS=1 ./workload_golden_test
+// and commit the diff (policy: DESIGN.md Section 7).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/golden.h"
+#include "harness/grid_runner.h"
+#include "util/string_util.h"
+
+namespace flexmoe {
+namespace {
+
+constexpr const char* kSystems[4] = {"deepspeed", "fastermoe", "swipe",
+                                     "flexmoe"};
+
+std::string GoldenPath(const std::string& scenario) {
+  return std::string(FLEXMOE_TEST_SOURCE_DIR) + "/goldens/workload_" +
+         scenario + ".golden";
+}
+
+bool UpdateMode() {
+  const char* env = std::getenv("FLEXMOE_UPDATE_GOLDENS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+double EffectiveThroughput(const ExperimentReport& r) {
+  return r.throughput_tokens_per_sec * r.mean_effective_token_rate;
+}
+
+/// Runs the canonical quick cell for all systems under one scenario.
+std::vector<GridCellResult> RunScenario(const std::string& scenario) {
+  std::vector<GridCell> cells;
+  for (const char* system : kSystems) {
+    GridCell cell;
+    cell.label = scenario + "/" + system;
+    cell.options = WorkloadGoldenCell(scenario, system);
+    cells.push_back(std::move(cell));
+  }
+  return RunExperimentGrid(cells);
+}
+
+class WorkloadGoldenTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadGoldenTest, FlexMoEWinsAndMatchesGolden) {
+  const std::string scenario = GetParam();
+  const std::vector<GridCellResult> results = RunScenario(scenario);
+  ASSERT_EQ(results.size(), 4u);
+  for (const GridCellResult& r : results) {
+    ASSERT_TRUE(r.status.ok()) << r.label << ": " << r.status.ToString();
+  }
+  const ExperimentReport& ds = results[0].report;
+  const ExperimentReport& fm = results[1].report;
+  const ExperimentReport& sw = results[2].report;
+  const ExperimentReport& flex = results[3].report;
+
+  // All four systems consumed the identical token stream.
+  EXPECT_EQ(ds.trace_hash, flex.trace_hash);
+  EXPECT_EQ(fm.trace_hash, flex.trace_hash);
+  EXPECT_EQ(sw.trace_hash, flex.trace_hash);
+
+  // --- the differential -------------------------------------------------
+  for (const ExperimentReport* baseline : {&ds, &fm, &sw}) {
+    EXPECT_LT(flex.hours_to_target, baseline->hours_to_target)
+        << scenario << " vs " << baseline->system;
+    EXPECT_GT(EffectiveThroughput(flex), EffectiveThroughput(*baseline))
+        << scenario << " vs " << baseline->system;
+  }
+  // SWIPE hides imbalance by re-routing tokens (its balance is 1.0 by
+  // construction, paid for above); the baselines that route honestly must
+  // show worse balance than FlexMoE.
+  EXPECT_LT(flex.mean_balance_ratio, ds.mean_balance_ratio) << scenario;
+  EXPECT_LT(flex.mean_balance_ratio, fm.mean_balance_ratio) << scenario;
+
+  // --- the golden pin ---------------------------------------------------
+  std::vector<MetricsDigest> fresh;
+  for (const GridCellResult& r : results) {
+    fresh.push_back(DigestFromReport(r.label, r.report));
+  }
+  const std::string path = GoldenPath(scenario);
+  if (UpdateMode()) {
+    ASSERT_TRUE(SaveDigests(fresh, path).ok());
+    GTEST_SKIP() << "goldens updated: " << path;
+  }
+  const auto golden = LoadDigests(path);
+  ASSERT_TRUE(golden.ok()) << "missing golden " << path
+                           << " — run with FLEXMOE_UPDATE_GOLDENS=1";
+  ASSERT_EQ(golden->size(), fresh.size()) << path;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    // Deterministic simulator + fixed seed: tolerance only needs to absorb
+    // the digest's decimal round-trip, not real variance.
+    const Status match = CompareDigests((*golden)[i], fresh[i], 1e-9);
+    EXPECT_TRUE(match.ok()) << match.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, WorkloadGoldenTest,
+                         testing::Values("pretrain-steady", "finetune-shift",
+                                         "bursty", "diurnal", "multi-tenant"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// Digest serialization round-trips exactly.
+TEST(MetricsDigestTest, FormatParseRoundTrip) {
+  MetricsDigest d;
+  d.label = "bursty/flexmoe";
+  d.system = "FlexMoE";
+  d.workload = "bursty";
+  d.num_gpus = 16;
+  d.steps = 60;
+  d.trace_hash = 0x0123456789abcdefULL;
+  d.mean_step_seconds = 0.024501234567890123;
+  d.throughput_tokens_per_sec = 1.3456789e6;
+  d.mean_balance_ratio = 1.7654321;
+  d.mean_token_efficiency = 1.0;
+  d.mean_expert_efficiency = 0.87654321;
+  d.mean_gpu_utilization = 0.6543;
+  d.hours_to_target = 1.696969;
+  d.ops_applied = 321;
+  d.tokens_dropped = 7;
+  const auto parsed = ParseDigest(FormatDigest(d));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(CompareDigests(d, *parsed, 0.0).ok());
+  EXPECT_EQ(parsed->trace_hash, d.trace_hash);
+  EXPECT_EQ(parsed->mean_step_seconds, d.mean_step_seconds);
+
+  MetricsDigest drifted = *parsed;
+  drifted.mean_balance_ratio *= 1.001;
+  EXPECT_FALSE(CompareDigests(d, drifted, 1e-9).ok());
+  drifted = *parsed;
+  drifted.trace_hash ^= 1;
+  EXPECT_FALSE(CompareDigests(d, drifted, 1e-9).ok());
+
+  EXPECT_FALSE(ParseDigest("label=x bogus").ok());
+  EXPECT_FALSE(ParseDigest("nonsense").ok());
+  EXPECT_FALSE(ParseDigest("system=y").ok());  // no label/hash
+}
+
+}  // namespace
+}  // namespace flexmoe

@@ -1,0 +1,363 @@
+// Distributional pins for the workload scenario catalog: each named
+// regime must actually exhibit the dynamics it advertises, and the default
+// pretrain-steady scenario must reproduce the pre-catalog generator
+// byte-for-byte (the refactor moved its logit update behind LogitProcess;
+// the inline reference below is that pre-refactor update, verbatim).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gate/logit_process.h"
+#include "gate/trace_generator.h"
+#include "util/stats.h"
+
+namespace flexmoe {
+namespace {
+
+TraceGeneratorOptions BaseOptions(const std::string& scenario) {
+  TraceGeneratorOptions o;
+  o.num_experts = 32;
+  o.num_moe_layers = 1;
+  o.num_gpus = 8;
+  o.tokens_per_gpu = 2048;
+  o.seed = 11;
+  o.scenario.name = scenario;
+  return o;
+}
+
+/// Per-step normalized expert-share vectors of layer 0.
+std::vector<std::vector<double>> ShareSeries(TraceGenerator* gen,
+                                             int steps) {
+  std::vector<std::vector<double>> series;
+  series.reserve(static_cast<size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    const Assignment a = gen->Step()[0];
+    std::vector<double> shares = a.ExpertLoads();
+    const double total = static_cast<double>(a.Total());
+    for (double& v : shares) v /= total;
+    series.push_back(std::move(shares));
+  }
+  return series;
+}
+
+std::vector<double> MeanShares(
+    const std::vector<std::vector<double>>& series, int lo, int hi) {
+  std::vector<double> mean(series[0].size(), 0.0);
+  for (int s = lo; s < hi; ++s) {
+    for (size_t e = 0; e < mean.size(); ++e) {
+      mean[e] += series[static_cast<size_t>(s)][e];
+    }
+  }
+  for (double& v : mean) v /= static_cast<double>(hi - lo);
+  return mean;
+}
+
+/// Chi-squared statistic of observing share vector `p` when `q` was
+/// expected, at a fixed pseudo-count (so regimes compare on one scale).
+double ChiSquared(const std::vector<double>& p, const std::vector<double>& q) {
+  constexpr double kPseudoCount = 1e4;
+  double chi2 = 0.0;
+  for (size_t e = 0; e < p.size(); ++e) {
+    const double expected = std::max(q[e], 1e-9);
+    const double diff = p[e] - q[e];
+    chi2 += kPseudoCount * diff * diff / expected;
+  }
+  return chi2;
+}
+
+double Mean(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+/// Excess kurtosis of a series (0 for a Gaussian; >> 0 = heavy tails).
+double ExcessKurtosis(const std::vector<double>& v) {
+  const double mean = Mean(v);
+  double m2 = 0.0, m4 = 0.0;
+  for (double x : v) {
+    const double d = x - mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(v.size());
+  m4 /= static_cast<double>(v.size());
+  return m4 / (m2 * m2) - 3.0;
+}
+
+/// Pearson autocorrelation of `v` at `lag`.
+double Autocorr(const std::vector<double>& v, int lag) {
+  const double mean = Mean(v);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    den += (v[i] - mean) * (v[i] - mean);
+    if (i + static_cast<size_t>(lag) < v.size()) {
+      num += (v[i] - mean) * (v[i + static_cast<size_t>(lag)] - mean);
+    }
+  }
+  return num / den;
+}
+
+double L1(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+TEST(ScenarioCatalogTest, NamesAndValidation) {
+  EXPECT_EQ(ScenarioCatalog().size(), 5u);
+  for (const std::string& name : ScenarioCatalog()) {
+    EXPECT_TRUE(IsKnownScenario(name));
+    ScenarioOptions s;
+    s.name = name;
+    EXPECT_TRUE(s.Validate().ok()) << name;
+    auto gen = TraceGenerator::Create(BaseOptions(name));
+    EXPECT_TRUE(gen.ok()) << name;
+  }
+  EXPECT_FALSE(IsKnownScenario("steady"));
+  ScenarioOptions bad;
+  bad.name = "nosuch";
+  EXPECT_FALSE(bad.Validate().ok());
+  EXPECT_FALSE(MakeLogitProcess(bad, 8, 1.0, 0.01).ok());
+  bad = ScenarioOptions{};
+  bad.burst_decay = 1.5;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = ScenarioOptions{};
+  bad.num_tenants = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+// The tentpole's contract: the default scenario IS the pre-catalog
+// generator. The reference below replicates the pre-refactor constructor
+// and EvolveLayer (logit OU + renorm, jitter OU, per-GPU add) against the
+// same gate, and every sampled count must match exactly — which also pins
+// the RNG stream alignment, not just the distribution.
+TEST(PretrainSteadyTest, ByteIdenticalToPreCatalogGenerator) {
+  TraceGeneratorOptions o = BaseOptions("pretrain-steady");
+  o.num_moe_layers = 2;
+  auto gen = *TraceGenerator::Create(o);
+  const double sigma0 = gen.sigma0();
+
+  // ---- inline pre-refactor reference ----
+  TopKGateOptions gate_opts;
+  gate_opts.num_experts = o.num_experts;
+  gate_opts.num_gpus = o.num_gpus;
+  gate_opts.top_k = o.top_k;
+  gate_opts.tokens_per_gpu = o.tokens_per_gpu;
+  TopKGate gate = *TopKGate::Create(gate_opts);
+  Rng rng(o.seed);
+  std::vector<std::vector<double>> logits(2);
+  std::vector<Matrix<double>> jitter(2);
+  for (int l = 0; l < 2; ++l) {
+    logits[l].resize(static_cast<size_t>(o.num_experts));
+    for (double& v : logits[l]) v = rng.Normal(0.0, sigma0);
+    jitter[l].assign(o.num_gpus, o.num_experts, 0.0);
+    double* flat = jitter[l].data();
+    for (size_t i = 0; i < jitter[l].element_count(); ++i) {
+      flat[i] = rng.Normal(0.0, o.gpu_jitter_sigma);
+    }
+  }
+  Matrix<double> gpu_logits(o.num_gpus, o.num_experts, 0.0);
+
+  for (int s = 0; s < 40; ++s) {
+    const std::vector<Assignment> got = gen.Step();
+    for (int l = 0; l < 2; ++l) {
+      auto& z = logits[l];
+      const double noise_sigma = sigma0 * std::sqrt(2.0 * o.ou_theta);
+      for (double& v : z) v += -o.ou_theta * v + rng.Normal(0.0, noise_sigma);
+      double mean = std::accumulate(z.begin(), z.end(), 0.0) /
+                    static_cast<double>(z.size());
+      double var = 0.0;
+      for (double v : z) var += (v - mean) * (v - mean);
+      var /= static_cast<double>(z.size());
+      const double sd = std::sqrt(std::max(var, 1e-12));
+      for (double& v : z) v = (v - mean) * (sigma0 / sd);  // lambda = 0
+
+      const double jtheta = o.gpu_jitter_theta;
+      const double jnoise = o.gpu_jitter_sigma * std::sqrt(2.0 * jtheta);
+      double* flat = jitter[l].data();
+      for (size_t i = 0; i < jitter[l].element_count(); ++i) {
+        flat[i] += -jtheta * flat[i] + rng.Normal(0.0, jnoise);
+      }
+      for (int g = 0; g < o.num_gpus; ++g) {
+        double* out = gpu_logits.row(g);
+        const double* j = jitter[l].row(g);
+        for (int e = 0; e < o.num_experts; ++e) {
+          out[e] = z[static_cast<size_t>(e)] + j[e];
+        }
+      }
+      const Assignment want = gate.Sample(gpu_logits, &rng);
+      for (int e = 0; e < o.num_experts; ++e) {
+        for (int g = 0; g < o.num_gpus; ++g) {
+          ASSERT_EQ(got[l].at(e, g), want.at(e, g))
+              << "step " << s << " layer " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(FinetuneShiftTest, DistributionShiftsAtConfiguredStep) {
+  TraceGeneratorOptions o = BaseOptions("finetune-shift");
+  o.scenario.shift_step = 150;
+  auto gen = *TraceGenerator::Create(o);
+  const auto series = ShareSeries(&gen, 250);
+
+  // Two adjacent windows inside the pre-shift regime vs the pair
+  // straddling the shift; short windows keep natural OU drift small
+  // against the full distribution swap.
+  const auto pre1 = MeanShares(series, 110, 130);
+  const auto pre2 = MeanShares(series, 130, 150);
+  const auto post = MeanShares(series, 150, 170);
+  const double within = ChiSquared(pre2, pre1);
+  const double across = ChiSquared(post, pre2);
+  EXPECT_GT(across, 4.0 * within);
+  EXPECT_GT(L1(post, pre2), 3.0 * L1(pre2, pre1));
+
+  // And the regime is steady again after the shift: no lingering jump.
+  auto steady = *TraceGenerator::Create(BaseOptions("pretrain-steady"));
+  const auto steady_series = ShareSeries(&steady, 250);
+  RunningStat shift_adjacent, steady_adjacent;
+  for (int s = 160; s + 1 < 250; ++s) {
+    shift_adjacent.Add(
+        L1(series[static_cast<size_t>(s)], series[static_cast<size_t>(s + 1)]));
+    steady_adjacent.Add(L1(steady_series[static_cast<size_t>(s)],
+                           steady_series[static_cast<size_t>(s + 1)]));
+  }
+  EXPECT_LT(shift_adjacent.mean(), 2.0 * steady_adjacent.mean());
+}
+
+/// Removes the slow OU drift: each sample minus its centered 21-step
+/// rolling median. Bursts are fast against the ~100-step drift, so they
+/// survive detrending while the shared base motion cancels.
+std::vector<double> Detrend(const std::vector<double>& v) {
+  constexpr int kHalf = 10;
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    const size_t lo = i > kHalf ? i - kHalf : 0;
+    const size_t hi = std::min(v.size(), i + kHalf + 1);
+    std::vector<double> window(v.begin() + static_cast<long>(lo),
+                               v.begin() + static_cast<long>(hi));
+    std::nth_element(window.begin(), window.begin() + window.size() / 2,
+                     window.end());
+    out.push_back(v[i] - window[window.size() / 2]);
+  }
+  return out;
+}
+
+TEST(BurstyTest, HotExpertSharesAreHeavyTailed) {
+  TraceGeneratorOptions steady_opts = BaseOptions("pretrain-steady");
+  steady_opts.seed = 13;
+  TraceGeneratorOptions bursty_opts = BaseOptions("bursty");
+  bursty_opts.seed = 13;
+  auto steady = *TraceGenerator::Create(steady_opts);
+  auto bursty = *TraceGenerator::Create(bursty_opts);
+  const int kSteps = 800;
+  const auto steady_series = ShareSeries(&steady, kSteps);
+  const auto bursty_series = ShareSeries(&bursty, kSteps);
+
+  std::vector<double> steady_top, bursty_top;
+  for (int s = 0; s < kSteps; ++s) {
+    steady_top.push_back(*std::max_element(
+        steady_series[static_cast<size_t>(s)].begin(),
+        steady_series[static_cast<size_t>(s)].end()));
+    bursty_top.push_back(*std::max_element(
+        bursty_series[static_cast<size_t>(s)].begin(),
+        bursty_series[static_cast<size_t>(s)].end()));
+  }
+  // Transient spikes: after removing the slow drift both regimes share,
+  // the bursty top-expert share keeps rare large excursions — much higher
+  // excess kurtosis and a farther extreme relative to its own noise floor.
+  const std::vector<double> steady_fast = Detrend(steady_top);
+  const std::vector<double> bursty_fast = Detrend(bursty_top);
+  EXPECT_GT(ExcessKurtosis(bursty_fast), ExcessKurtosis(steady_fast) + 2.5);
+  const auto max_over_sd = [](const std::vector<double>& v) {
+    const double mean = Mean(v);
+    double m2 = 0.0, mx = -1e30;
+    for (double x : v) {
+      m2 += (x - mean) * (x - mean);
+      mx = std::max(mx, x);
+    }
+    return mx / std::sqrt(m2 / static_cast<double>(v.size()));
+  };
+  EXPECT_GT(max_over_sd(bursty_fast), max_over_sd(steady_fast) + 1.0);
+}
+
+TEST(DiurnalTest, SharesArePeriodicAtConfiguredPeriod) {
+  TraceGeneratorOptions o = BaseOptions("diurnal");
+  o.scenario.diurnal_period = 64.0;
+  o.scenario.diurnal_amplitude = 2.0;
+  auto gen = *TraceGenerator::Create(o);
+  const int kSteps = 448;  // 7 full periods
+  const auto series = ShareSeries(&gen, kSteps);
+
+  // Mean per-expert autocorrelation: high at the full period, negative at
+  // the half period (a wave is anti-correlated with itself shifted 180°).
+  double corr_full = 0.0, corr_half = 0.0;
+  for (int e = 0; e < o.num_experts; ++e) {
+    std::vector<double> expert_series;
+    expert_series.reserve(static_cast<size_t>(kSteps));
+    for (int s = 0; s < kSteps; ++s) {
+      expert_series.push_back(series[static_cast<size_t>(s)][static_cast<size_t>(e)]);
+    }
+    corr_full += Autocorr(expert_series, 64);
+    corr_half += Autocorr(expert_series, 32);
+  }
+  corr_full /= o.num_experts;
+  corr_half /= o.num_experts;
+  EXPECT_GT(corr_full, corr_half + 0.5);
+  EXPECT_GT(corr_full, 0.3);
+  EXPECT_LT(corr_half, 0.0);
+}
+
+TEST(MultiTenantTest, PopularityJumpsAtTenantBoundaries) {
+  TraceGeneratorOptions o = BaseOptions("multi-tenant");
+  o.scenario.num_tenants = 4;
+  o.scenario.tenant_block_steps = 25;
+  auto gen = *TraceGenerator::Create(o);
+  const int kSteps = 400;
+  const auto series = ShareSeries(&gen, kSteps);
+
+  RunningStat boundary, within;
+  for (int s = 0; s + 1 < kSteps; ++s) {
+    // Step s+1 starts a new tenant slice iff (s+1) % block == 0.
+    const double d = L1(series[static_cast<size_t>(s)],
+                        series[static_cast<size_t>(s + 1)]);
+    if ((s + 1) % 25 == 0) {
+      boundary.Add(d);
+    } else {
+      within.Add(d);
+    }
+  }
+  // Time slices swap in a different tenant's distribution: across-boundary
+  // steps move far more mass than within-slice drift.
+  EXPECT_GT(boundary.mean(), 4.0 * within.mean());
+}
+
+TEST(AllScenariosTest, TokenConservationAndDeterminism) {
+  for (const std::string& name : ScenarioCatalog()) {
+    TraceGeneratorOptions o = BaseOptions(name);
+    o.num_moe_layers = 2;
+    auto gen1 = *TraceGenerator::Create(o);
+    auto gen2 = *TraceGenerator::Create(o);
+    for (int s = 0; s < 10; ++s) {
+      const auto a = gen1.Step();
+      const auto b = gen2.Step();
+      for (size_t l = 0; l < a.size(); ++l) {
+        EXPECT_EQ(a[l].Total(), o.tokens_per_gpu * o.num_gpus * o.top_k)
+            << name;
+        for (int e = 0; e < a[l].num_experts(); ++e) {
+          for (int g = 0; g < a[l].num_gpus(); ++g) {
+            ASSERT_EQ(a[l].at(e, g), b[l].at(e, g)) << name;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexmoe
