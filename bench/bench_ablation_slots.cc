@@ -16,7 +16,11 @@
 namespace flexmoe {
 namespace {
 
-int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
+int Run(const bench::CommonFlags& flags) {
+  const bool quick = flags.quick;
+  const int threads = flags.threads;
+  const bool legacy_gate = flags.legacy_gate;
+  const char* workload = flags.workload;
   bench::PrintHeader(
       "Ablation — vExpert slots per GPU (scheduling granularity)",
       "GPT-MoE-S on 16 GPUs, slots swept over {1, 2, 4, 8, 16}");
@@ -68,8 +72,5 @@ int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
-                      flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv),
-                      flexmoe::bench::WorkloadName(argc, argv));
+  return flexmoe::Run(flexmoe::bench::ParseCommonFlags(argc, argv));
 }

@@ -14,7 +14,11 @@
 namespace flexmoe {
 namespace {
 
-int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
+int Run(const bench::CommonFlags& flags) {
+  const bool quick = flags.quick;
+  const int threads = flags.threads;
+  const bool legacy_gate = flags.legacy_gate;
+  const char* workload = flags.workload;
   bench::PrintHeader(
       "Ablation — scheduler trigger threshold (balance ratio)",
       "GPT-MoE-S on 16 GPUs, threshold swept over {1.05 .. 2.0}");
@@ -66,8 +70,5 @@ int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
-                      flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv),
-                      flexmoe::bench::WorkloadName(argc, argv));
+  return flexmoe::Run(flexmoe::bench::ParseCommonFlags(argc, argv));
 }

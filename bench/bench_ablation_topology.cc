@@ -73,7 +73,11 @@ RunResult RunAt(double inter_node_gbps, bool quick, bool legacy_gate,
   return result;
 }
 
-int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
+int Run(const bench::CommonFlags& flags) {
+  const bool quick = flags.quick;
+  const int threads = flags.threads;
+  const bool legacy_gate = flags.legacy_gate;
+  const char* workload = flags.workload;
   bench::PrintHeader(
       "Ablation — inter-node bandwidth sensitivity",
       "FlexMoE vs uncapped expert parallelism on 16 GPUs (2 nodes)");
@@ -107,8 +111,5 @@ int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
-                      flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv),
-                      flexmoe::bench::WorkloadName(argc, argv));
+  return flexmoe::Run(flexmoe::bench::ParseCommonFlags(argc, argv));
 }

@@ -56,6 +56,24 @@ inline const char* WorkloadName(int argc, char** argv) {
   return FlagValue(argc, argv, "--workload", "pretrain-steady");
 }
 
+/// The flag set every grid bench shares, parsed once (previously each
+/// bench's main() re-assembled the same four calls).
+struct CommonFlags {
+  bool quick = false;
+  int threads = 0;       ///< grid-runner workers; 0 = hardware
+  bool legacy_gate = false;
+  const char* workload = "pretrain-steady";
+};
+
+inline CommonFlags ParseCommonFlags(int argc, char** argv) {
+  CommonFlags flags;
+  flags.quick = QuickMode(argc, argv);
+  flags.threads = GridThreads(argc, argv);
+  flags.legacy_gate = LegacyGate(argc, argv);
+  flags.workload = WorkloadName(argc, argv);
+  return flags;
+}
+
 inline void PrintHeader(const std::string& title, const std::string& paper) {
   std::printf("==========================================================\n");
   std::printf("%s\n", title.c_str());

@@ -82,7 +82,11 @@ void PrintPanel(const char* title, const PaperSpeedups* rows, int n,
   std::printf("%s\n", table.ToAscii().c_str());
 }
 
-int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
+int Run(const bench::CommonFlags& flags) {
+  const bool quick = flags.quick;
+  const int threads = flags.threads;
+  const bool legacy_gate = flags.legacy_gate;
+  const char* workload = flags.workload;
   bench::PrintHeader("Figure 5 — time to target quality",
                      "DeepSpeed / FasterMoE / FlexMoE on six models");
 
@@ -108,8 +112,5 @@ int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
-                      flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv),
-                      flexmoe::bench::WorkloadName(argc, argv));
+  return flexmoe::Run(flexmoe::bench::ParseCommonFlags(argc, argv));
 }

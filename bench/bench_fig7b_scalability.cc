@@ -30,7 +30,11 @@ ModelConfig SingleMoELayer() {
 
 constexpr double kPaperFlex[] = {6.7, 10.7, 19.8, 35.6};
 
-int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
+int Run(const bench::CommonFlags& flags) {
+  const bool quick = flags.quick;
+  const int threads = flags.threads;
+  const bool legacy_gate = flags.legacy_gate;
+  const char* workload = flags.workload;
   bench::PrintHeader("Figure 7(b) — scalability on 8/16/32/64 GPUs",
                      "single MoE layer, 64 experts, speedup vs DeepSpeed-8");
 
@@ -91,8 +95,5 @@ int Run(bool quick, int threads, bool legacy_gate, const char* workload) {
 }  // namespace flexmoe
 
 int main(int argc, char** argv) {
-  return flexmoe::Run(flexmoe::bench::QuickMode(argc, argv),
-                      flexmoe::bench::GridThreads(argc, argv),
-                      flexmoe::bench::LegacyGate(argc, argv),
-                      flexmoe::bench::WorkloadName(argc, argv));
+  return flexmoe::Run(flexmoe::bench::ParseCommonFlags(argc, argv));
 }

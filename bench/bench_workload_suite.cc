@@ -50,9 +50,11 @@ double EffectiveThroughput(const ExperimentReport& r) {
 }
 
 int Run(int argc, char** argv) {
-  const bool quick = bench::QuickMode(argc, argv);
-  const int threads = bench::GridThreads(argc, argv);
-  const bool legacy_gate = bench::LegacyGate(argc, argv);
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+  const bool quick = flags.quick;
+  const int threads = flags.threads;
+  const bool legacy_gate = flags.legacy_gate;
+  // Unlike the figure benches, an absent --workload means "all scenarios".
   const char* only = bench::FlagValue(argc, argv, "--workload", "");
   const char* digests_path = bench::FlagValue(argc, argv, "--digests", "");
 

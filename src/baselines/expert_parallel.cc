@@ -75,6 +75,16 @@ Status ExpertParallelSystem::InstallFaultPlan(const FaultPlan& plan) {
 
 StepMetrics ExpertParallelSystem::RunStep(
     const std::vector<Assignment>& layer_assignments) {
+  return RunStepImpl(layer_assignments, /*serving=*/false);
+}
+
+StepMetrics ExpertParallelSystem::ServeMicrobatch(
+    const std::vector<Assignment>& layer_assignments) {
+  return RunStepImpl(layer_assignments, /*serving=*/true);
+}
+
+StepMetrics ExpertParallelSystem::RunStepImpl(
+    const std::vector<Assignment>& layer_assignments, bool serving) {
   FLEXMOE_CHECK(static_cast<int>(layer_assignments.size()) ==
                 options_.model.num_moe_layers);
   const int num_layers = static_cast<int>(layer_assignments.size());
@@ -88,10 +98,14 @@ StepMetrics ExpertParallelSystem::RunStep(
   int64_t fault_dropped = 0;
   const bool adjust = elastic_.NeedsAssignmentAdjustment();
 
-  int64_t total = 0, dropped = 0;
+  int64_t total = 0, dropped = 0, recirculated = 0;
   double balance_sum = 0.0;
   std::vector<RoutedAssignment> routed;
-  routed.reserve(static_cast<size_t>(num_layers));
+  routed.reserve(static_cast<size_t>(serving ? 2 * num_layers : num_layers));
+  // Serving only: per-layer capacity overflow, re-executed in a second
+  // forward pass below (a served response cannot skip tokens through the
+  // residual connection the way training does).
+  std::vector<Assignment> overflow;
   for (const Assignment& assignment : layer_assignments) {
     total += assignment.Total();
     const Assignment adjusted =
@@ -101,20 +115,31 @@ StepMetrics ExpertParallelSystem::RunStep(
     CapacityResult capped;
     if (options_.capacity_factor > 0.0) {
       capped = ApplyCapacity(*effective, options_.capacity_factor);
-      dropped += capped.dropped;
+      if (serving && capped.dropped > 0) {
+        recirculated += capped.dropped;
+        overflow.push_back(CapacityOverflow(*effective, capped.kept));
+      } else {
+        dropped += capped.dropped;
+      }
       effective = &capped.kept;
     }
     routed.push_back(FlexibleRouter::Route(*effective, placement_));
     balance_sum += BalanceRatio(routed.back().PerGpuComputeLoads());
   }
   dropped += fault_dropped;
-
-  std::vector<LayerWork> work(static_cast<size_t>(num_layers));
-  for (int l = 0; l < num_layers; ++l) {
-    work[static_cast<size_t>(l)].routed = &routed[static_cast<size_t>(l)];
-    work[static_cast<size_t>(l)].placement = &placement_;  // no replicas
+  for (const Assignment& extra : overflow) {
+    if (extra.Total() > 0) {
+      routed.push_back(FlexibleRouter::Route(extra, placement_));
+    }
   }
-  const StepTiming timing = step_executor_.ExecuteStep(work, nullptr);
+
+  std::vector<LayerWork> work(routed.size());
+  for (size_t l = 0; l < routed.size(); ++l) {
+    work[l].routed = &routed[l];
+    work[l].placement = &placement_;  // no replicas
+  }
+  const StepTiming timing = serving ? step_executor_.ExecuteForward(work)
+                                    : step_executor_.ExecuteStep(work, nullptr);
 
   const double token_eff =
       total > 0 ? static_cast<double>(total - dropped) /
@@ -127,6 +152,7 @@ StepMetrics ExpertParallelSystem::RunStep(
       timing.per_gpu_expert_compute, balance_sum / num_layers, token_eff,
       total, dropped,
       elastic_.active() ? elastic_.health().num_alive() : 0);
+  metrics.tokens_recirculated = recirculated;
   FillFaultMetrics(elastic_, fault_report, placement_, &metrics);
   ++step_;
   stats_.Add(metrics);

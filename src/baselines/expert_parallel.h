@@ -39,6 +39,11 @@ class ExpertParallelSystem : public MoESystem {
   std::string name() const override { return "DeepSpeed"; }
   StepMetrics RunStep(
       const std::vector<Assignment>& layer_assignments) override;
+  /// Serving: capacity overflow cannot be dropped from a response, so it
+  /// recirculates through a second forward pass — the capacity mechanism
+  /// turns from a quality loss into a latency cost.
+  StepMetrics ServeMicrobatch(
+      const std::vector<Assignment>& layer_assignments) override;
   const TrainingStats& stats() const override { return stats_; }
   const ClusterState& cluster() const override { return cluster_; }
   Status InstallFaultPlan(const FaultPlan& plan) override;
@@ -53,6 +58,9 @@ class ExpertParallelSystem : public MoESystem {
   ExpertParallelSystem(const ExpertParallelOptions& options,
                        const Topology* topo, const HardwareProfile* profile,
                        Placement placement);
+
+  StepMetrics RunStepImpl(const std::vector<Assignment>& layer_assignments,
+                          bool serving);
 
   ExpertParallelOptions options_;
   const Topology* topo_;

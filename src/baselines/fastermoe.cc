@@ -58,10 +58,12 @@ Status FasterMoESystem::InstallFaultPlan(const FaultPlan& plan) {
 }
 
 std::vector<int> FasterMoESystem::SelectShadows(
-    const Assignment& assignment) const {
+    const Assignment& assignment, bool serving) const {
   const int num_experts = assignment.num_experts();
   const int num_gpus = assignment.num_gpus();
-  const double flops = options_.model.expert_fwdbwd_flops_per_token();
+  const double flops = serving
+                           ? options_.model.expert_fwd_flops_per_token()
+                           : options_.model.expert_fwdbwd_flops_per_token();
 
   // Broadcast of fp16 parameters + global AllReduce of gradients: the fixed
   // price of shadowing one expert for one step.
@@ -73,8 +75,11 @@ std::vector<int> FasterMoESystem::SelectShadows(
       param_bytes / profile_->BandwidthBytesPerSec(0, num_gpus > 8 ? 8 : 1) +
       profile_->LatencySeconds(0, num_gpus > 8 ? 8 : 1) *
           static_cast<double>(num_gpus);
+  // No backward pass in serving means no shadow-gradient AllReduce to pay.
   const double sync_sec =
-      profile_->AllReduceSeconds(options_.model.expert_grad_bytes(), all);
+      serving ? 0.0
+              : profile_->AllReduceSeconds(options_.model.expert_grad_bytes(),
+                                           all);
   const double shadow_cost = bcast_sec + sync_sec;
 
   // Shadowing relieves the bottleneck only down to the mean per-GPU load
@@ -108,6 +113,16 @@ std::vector<int> FasterMoESystem::SelectShadows(
 
 StepMetrics FasterMoESystem::RunStep(
     const std::vector<Assignment>& layer_assignments) {
+  return RunStepImpl(layer_assignments, /*serving=*/false);
+}
+
+StepMetrics FasterMoESystem::ServeMicrobatch(
+    const std::vector<Assignment>& layer_assignments) {
+  return RunStepImpl(layer_assignments, /*serving=*/true);
+}
+
+StepMetrics FasterMoESystem::RunStepImpl(
+    const std::vector<Assignment>& layer_assignments, bool serving) {
   FLEXMOE_CHECK(static_cast<int>(layer_assignments.size()) ==
                 options_.model.num_moe_layers);
   const int num_layers = static_cast<int>(layer_assignments.size());
@@ -139,7 +154,7 @@ StepMetrics FasterMoESystem::RunStep(
                : Assignment();
     const Assignment& assignment = adjust ? adjusted : original;
     total += original.Total();
-    const std::vector<int> shadows = SelectShadows(assignment);
+    const std::vector<int> shadows = SelectShadows(assignment, serving);
     last_shadows_[static_cast<size_t>(l)] = shadows;
 
     RoutedAssignment& r = routed[static_cast<size_t>(l)];
@@ -182,11 +197,14 @@ StepMetrics FasterMoESystem::RunStep(
     for (int e : shadows) {
       w.broadcasts.push_back(
           {placement_.HostGpus(e).front(), param_bytes});
-      w.extra_sync_groups.push_back(all);  // global shadow-gradient sync
+      if (!serving) {
+        w.extra_sync_groups.push_back(all);  // global shadow-gradient sync
+      }
     }
   }
 
-  const StepTiming timing = step_executor_.ExecuteStep(work, nullptr);
+  const StepTiming timing = serving ? step_executor_.ExecuteForward(work)
+                                    : step_executor_.ExecuteStep(work, nullptr);
   const double token_eff =
       total > 0 ? static_cast<double>(total - fault_dropped) /
                       static_cast<double>(total)

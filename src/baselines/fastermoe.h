@@ -43,6 +43,11 @@ class FasterMoESystem : public MoESystem {
   std::string name() const override { return "FasterMoE"; }
   StepMetrics RunStep(
       const std::vector<Assignment>& layer_assignments) override;
+  /// Serving: shadowing still pays the per-batch parameter broadcast, but
+  /// with no backward pass there is no shadow-gradient AllReduce — the
+  /// gain model prices shadows accordingly (forward FLOPs vs broadcast).
+  StepMetrics ServeMicrobatch(
+      const std::vector<Assignment>& layer_assignments) override;
   const TrainingStats& stats() const override { return stats_; }
   const ClusterState& cluster() const override { return cluster_; }
   Status InstallFaultPlan(const FaultPlan& plan) override;
@@ -61,8 +66,13 @@ class FasterMoESystem : public MoESystem {
 
   /// The shadowing decision: replicate iff the compute time saved by
   /// processing expert `e` locally exceeds broadcast + AllReduce overhead
-  /// (FasterMoE's performance-model policy).
-  std::vector<int> SelectShadows(const Assignment& assignment) const;
+  /// (FasterMoE's performance-model policy). Serving drops the AllReduce
+  /// term and prices savings at forward FLOPs.
+  std::vector<int> SelectShadows(const Assignment& assignment,
+                                 bool serving) const;
+
+  StepMetrics RunStepImpl(const std::vector<Assignment>& layer_assignments,
+                          bool serving);
 
   FasterMoEOptions options_;
   const Topology* topo_;

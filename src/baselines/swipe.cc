@@ -6,6 +6,7 @@
 
 #include "baselines/expert_parallel.h"
 #include "core/balance.h"
+#include "gate/capacity.h"
 
 namespace flexmoe {
 
@@ -133,6 +134,16 @@ Status SwipeSystem::InstallFaultPlan(const FaultPlan& plan) {
 
 StepMetrics SwipeSystem::RunStep(
     const std::vector<Assignment>& layer_assignments) {
+  return RunStepImpl(layer_assignments, /*serving=*/false);
+}
+
+StepMetrics SwipeSystem::ServeMicrobatch(
+    const std::vector<Assignment>& layer_assignments) {
+  return RunStepImpl(layer_assignments, /*serving=*/true);
+}
+
+StepMetrics SwipeSystem::RunStepImpl(
+    const std::vector<Assignment>& layer_assignments, bool serving) {
   FLEXMOE_CHECK(static_cast<int>(layer_assignments.size()) ==
                 options_.model.num_moe_layers);
   const int num_layers = static_cast<int>(layer_assignments.size());
@@ -145,10 +156,11 @@ StepMetrics SwipeSystem::RunStep(
                           &step_executor_);
   int64_t fault_dropped = 0;
 
-  int64_t total = 0, reassigned = 0;
+  int64_t total = 0, reassigned = 0, recirculated = 0;
   double balance_sum = 0.0;
   std::vector<RoutedAssignment> routed;
-  routed.reserve(static_cast<size_t>(num_layers));
+  routed.reserve(static_cast<size_t>(serving ? 2 * num_layers : num_layers));
+  std::vector<Assignment> overflow;  // serving: recirculated to true experts
   const bool adjust = elastic_.NeedsAssignmentAdjustment();
   for (const Assignment& original : layer_assignments) {
     total += original.Total();
@@ -156,21 +168,39 @@ StepMetrics SwipeSystem::RunStep(
         adjust ? elastic_.AdjustAssignment(original, &fault_dropped)
                : Assignment();
     const Assignment& assignment = adjust ? adjusted : original;
-    SwipeRebalance rb = RebalanceStrict(assignment);
-    reassigned += rb.reassigned;
-    routed.push_back(FlexibleRouter::Route(rb.balanced, placement_));
+    if (serving) {
+      // Cap every expert at the uniform average (RebalanceStrict's cap);
+      // the overflow keeps its true experts and re-executes second-pass.
+      CapacityResult capped = ApplyCapacity(assignment, 1.0);
+      if (capped.dropped > 0) {
+        recirculated += capped.dropped;
+        overflow.push_back(CapacityOverflow(assignment, capped.kept));
+      }
+      routed.push_back(FlexibleRouter::Route(capped.kept, placement_));
+    } else {
+      SwipeRebalance rb = RebalanceStrict(assignment);
+      reassigned += rb.reassigned;
+      routed.push_back(FlexibleRouter::Route(rb.balanced, placement_));
+    }
     balance_sum += BalanceRatio(routed.back().PerGpuComputeLoads());
   }
-
-  std::vector<LayerWork> work(static_cast<size_t>(num_layers));
-  for (int l = 0; l < num_layers; ++l) {
-    work[static_cast<size_t>(l)].routed = &routed[static_cast<size_t>(l)];
-    work[static_cast<size_t>(l)].placement = &placement_;
+  for (const Assignment& extra : overflow) {
+    if (extra.Total() > 0) {
+      routed.push_back(FlexibleRouter::Route(extra, placement_));
+    }
   }
-  const StepTiming timing = step_executor_.ExecuteStep(work, nullptr);
+
+  std::vector<LayerWork> work(routed.size());
+  for (size_t l = 0; l < routed.size(); ++l) {
+    work[l].routed = &routed[l];
+    work[l].placement = &placement_;
+  }
+  const StepTiming timing = serving ? step_executor_.ExecuteForward(work)
+                                    : step_executor_.ExecuteStep(work, nullptr);
 
   // Re-assigned tokens ARE processed (expert efficiency is high) but by the
   // wrong experts (token efficiency suffers) — Figure 7(a)'s trade-off.
+  // Serving never re-assigns, so only fault losses dent its efficiency.
   const double token_eff =
       total > 0 ? static_cast<double>(total - reassigned - fault_dropped) /
                       static_cast<double>(total)
@@ -182,6 +212,7 @@ StepMetrics SwipeSystem::RunStep(
       timing.per_gpu_expert_compute, balance_sum / num_layers, token_eff,
       total, fault_dropped,
       elastic_.active() ? elastic_.health().num_alive() : 0);
+  metrics.tokens_recirculated = recirculated;
   FillFaultMetrics(elastic_, fault_report, placement_, &metrics);
   ++step_;
   stats_.Add(metrics);

@@ -44,6 +44,13 @@ class SwipeSystem : public MoESystem {
   std::string name() const override { return "SWIPE"; }
   StepMetrics RunStep(
       const std::vector<Assignment>& layer_assignments) override;
+  /// Serving: a response cannot use a wrong expert's output, so instead of
+  /// re-assigning overflow to under-loaded experts the serving pass caps
+  /// every expert at the uniform average and recirculates the overflow to
+  /// its true experts in a second forward pass — SWIPE's balancing trick
+  /// degenerates into a latency cost when quality cannot be traded away.
+  StepMetrics ServeMicrobatch(
+      const std::vector<Assignment>& layer_assignments) override;
   const TrainingStats& stats() const override { return stats_; }
   const ClusterState& cluster() const override { return cluster_; }
   Status InstallFaultPlan(const FaultPlan& plan) override;
@@ -54,6 +61,9 @@ class SwipeSystem : public MoESystem {
  private:
   SwipeSystem(const SwipeOptions& options, const Topology* topo,
               const HardwareProfile* profile, Placement placement);
+
+  StepMetrics RunStepImpl(const std::vector<Assignment>& layer_assignments,
+                          bool serving);
 
   SwipeOptions options_;
   const Topology* topo_;

@@ -61,7 +61,8 @@ double CostModel::SyncSeconds(const Placement& placement, int expert) const {
 }
 
 LayerCostEstimate CostModel::EstimateLayer(const RoutedAssignment& routed,
-                                           const Placement& placement) const {
+                                           const Placement& placement,
+                                           bool include_sync) const {
   const int num_gpus = routed.num_gpus;
   LayerCostEstimate est;
   est.per_gpu_seconds.assign(static_cast<size_t>(num_gpus), 0.0);
@@ -72,8 +73,10 @@ LayerCostEstimate CostModel::EstimateLayer(const RoutedAssignment& routed,
   // Per-expert sync costs are shared by all hosts of the expert.
   std::vector<double> sync_of_expert(static_cast<size_t>(routed.num_experts),
                                      0.0);
-  for (int e = 0; e < routed.num_experts; ++e) {
-    sync_of_expert[static_cast<size_t>(e)] = SyncSeconds(placement, e);
+  if (include_sync) {
+    for (int e = 0; e < routed.num_experts; ++e) {
+      sync_of_expert[static_cast<size_t>(e)] = SyncSeconds(placement, e);
+    }
   }
 
   for (GpuId g = 0; g < num_gpus; ++g) {

@@ -60,9 +60,12 @@ class CostModel {
   /// Eq. 9 for one expert under `placement`.
   double SyncSeconds(const Placement& placement, int expert) const;
 
-  /// Eq. 5 evaluated on an explicit routing.
+  /// Eq. 5 evaluated on an explicit routing. `include_sync` = false drops
+  /// the Eq. 9 replica-sync term — the serving objective, where no
+  /// gradients exist and replication costs only its one-time transfer.
   LayerCostEstimate EstimateLayer(const RoutedAssignment& routed,
-                                  const Placement& placement) const;
+                                  const Placement& placement,
+                                  bool include_sync = true) const;
 
   /// Convenience: routes `assignment` with FlexibleRouter, then estimates.
   LayerCostEstimate EstimateLayer(const Assignment& assignment,

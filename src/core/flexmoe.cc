@@ -96,6 +96,16 @@ const Placement& FlexMoESystem::target_placement(int layer) const {
 
 StepMetrics FlexMoESystem::RunStep(
     const std::vector<Assignment>& layer_assignments) {
+  return RunStepImpl(layer_assignments, /*serving=*/false);
+}
+
+StepMetrics FlexMoESystem::ServeMicrobatch(
+    const std::vector<Assignment>& layer_assignments) {
+  return RunStepImpl(layer_assignments, /*serving=*/true);
+}
+
+StepMetrics FlexMoESystem::RunStepImpl(
+    const std::vector<Assignment>& layer_assignments, bool serving) {
   FLEXMOE_CHECK(static_cast<int>(layer_assignments.size()) ==
                 options_.model.num_moe_layers);
   const int num_layers = static_cast<int>(layer_assignments.size());
@@ -173,7 +183,9 @@ StepMetrics FlexMoESystem::RunStep(
     metrics.adjust_block_seconds = blocking;
   }
 
-  // 1b. Pre-warm NCCL groups for the live placements. Communicator
+  // 1b. (training only) Pre-warm NCCL groups for the live placements —
+  //     serving runs no replica collectives, so there is nothing to warm.
+  //     Communicator
   //     bootstrap is host-side (CPU + sockets) work that overlaps with GPU
   //     execution and with the copy engines, so it costs nothing on either
   //     the training critical path or the background copy streams; the
@@ -181,19 +193,21 @@ StepMetrics FlexMoESystem::RunStep(
   //     statistics still expose creation churn.
   const bool prune_dead_groups =
       elastic_.active() && elastic_.health().AnyDead();
-  for (const Placement& placement : live_) {
-    for (int e = 0; e < placement.num_experts(); ++e) {
-      std::vector<GpuId> group = placement.HostGpus(e);
-      if (prune_dead_groups) {
-        // Never bootstrap a communicator around a departed rank (only an
-        // orphan's tombstone replica can put one in a group).
-        group.erase(std::remove_if(group.begin(), group.end(),
-                                   [this](GpuId g) {
-                                     return !elastic_.health().alive(g);
-                                   }),
-                    group.end());
+  if (!serving) {
+    for (const Placement& placement : live_) {
+      for (int e = 0; e < placement.num_experts(); ++e) {
+        std::vector<GpuId> group = placement.HostGpus(e);
+        if (prune_dead_groups) {
+          // Never bootstrap a communicator around a departed rank (only an
+          // orphan's tombstone replica can put one in a group).
+          group.erase(std::remove_if(group.begin(), group.end(),
+                                     [this](GpuId g) {
+                                       return !elastic_.health().alive(g);
+                                     }),
+                      group.end());
+        }
+        if (group.size() >= 2) group_cache_.Acquire(group);
       }
-      if (group.size() >= 2) group_cache_.Acquire(group);
     }
   }
 
@@ -217,7 +231,9 @@ StepMetrics FlexMoESystem::RunStep(
     work[static_cast<size_t>(l)].routed = &routed[static_cast<size_t>(l)];
     work[static_cast<size_t>(l)].placement = &live_[static_cast<size_t>(l)];
   }
-  const StepTiming timing = step_executor_.ExecuteStep(work, &group_cache_);
+  const StepTiming timing =
+      serving ? step_executor_.ExecuteForward(work)
+              : step_executor_.ExecuteStep(work, &group_cache_);
 
   metrics.step_seconds = timing.StepSeconds() + blocking;
   metrics.a2a_seconds = timing.a2a_seconds;

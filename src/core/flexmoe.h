@@ -50,6 +50,8 @@ class FlexMoESystem : public MoESystem {
   std::string name() const override { return "FlexMoE"; }
   StepMetrics RunStep(
       const std::vector<Assignment>& layer_assignments) override;
+  StepMetrics ServeMicrobatch(
+      const std::vector<Assignment>& layer_assignments) override;
   const TrainingStats& stats() const override { return stats_; }
   const ClusterState& cluster() const override { return cluster_; }
   Status InstallFaultPlan(const FaultPlan& plan) override;
@@ -69,6 +71,13 @@ class FlexMoESystem : public MoESystem {
   FlexMoESystem(const FlexMoEOptions& options, const Topology* topo,
                 const HardwareProfile* profile, NcclGroupCache group_cache,
                 std::vector<Placement> initial);
+
+  /// Shared body of RunStep / ServeMicrobatch: the elastic boundary, the
+  /// placement-adjustment loop, routing, and the scheduler all behave
+  /// identically — only the engine pass differs (full training step vs
+  /// forward-only serving pass).
+  StepMetrics RunStepImpl(const std::vector<Assignment>& layer_assignments,
+                          bool serving);
 
   FlexMoEOptions options_;
   const Topology* topo_;

@@ -41,6 +41,10 @@ struct StepMetrics {
 
   int64_t tokens_total = 0;    ///< token-assignments this step
   int64_t tokens_dropped = 0;  ///< dropped by capacity or lost to faults
+  /// Serving only: token-assignments a static layout could not place in
+  /// the main pass (capacity overflow, SWIPE re-routes) and re-executed in
+  /// a recirculation pass — latency cost instead of quality loss.
+  int64_t tokens_recirculated = 0;
   int ops_applied = 0;         ///< placement modifications taking effect
   int ops_launched = 0;
 

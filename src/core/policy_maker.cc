@@ -70,7 +70,9 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
     const Assignment& assignment, const Placement& placement) const {
   const RoutedAssignment routed =
       FlexibleRouter::Route(assignment, placement);
-  const LayerCostEstimate est0 = cost_model_->EstimateLayer(routed, placement);
+  const bool include_sync = !options_.serve_objective;
+  const LayerCostEstimate est0 =
+      cost_model_->EstimateLayer(routed, placement, include_sync);
   const double score0 = PlanScore(est0);
   const std::vector<double> caps = VExpertCapacities(assignment, placement);
   const std::vector<int64_t> gpu_loads = routed.PerGpuComputeTokens();
@@ -193,8 +195,8 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
           scratch_routed = shrunk_routed;
           FlexibleRouter::AccumulateExpert(assignment, after_shrink, hot, +1,
                                            &scratch_routed);
-          const double score = PlanScore(
-              cost_model_->EstimateLayer(scratch_routed, after_shrink));
+          const double score = PlanScore(cost_model_->EstimateLayer(
+              scratch_routed, after_shrink, include_sync));
           FLEXMOE_CHECK(after_shrink.RemoveVExpert(hot, dst).ok());
           if (score < best_score) {
             best_score = score;

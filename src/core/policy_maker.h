@@ -43,6 +43,15 @@ struct PolicyMakerOptions {
   /// Improvement (seconds) a migration must deliver to be emitted.
   double min_migration_gain_sec = 1e-5;
 
+  /// Serving objective (DESIGN.md Section 8): optimize the forward
+  /// latency of a microbatch instead of the training step time. With no
+  /// gradients to synchronize, the Eq. 9 replica-sync term disappears
+  /// from the Eq. 5 estimate, so replicating a hot expert costs only its
+  /// one-time transfer — the planner chases p99 latency / SLO attainment
+  /// by spreading hot experts far more aggressively than it would when
+  /// every replica keeps paying sync.
+  bool serve_objective = false;
+
   Status Validate() const;
 };
 

@@ -1,0 +1,266 @@
+#include "core/serve_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/string_util.h"
+
+namespace flexmoe {
+
+Status ServingOptions::Validate() const {
+  if (!enabled) return Status::OK();
+  if (arrival_rate_rps <= 0.0) {
+    return Status::InvalidArgument("serving.arrival_rate_rps must be > 0");
+  }
+  if (tokens_per_request <= 0) {
+    return Status::InvalidArgument("serving.tokens_per_request must be > 0");
+  }
+  if (slo_seconds <= 0.0) {
+    return Status::InvalidArgument("serving.slo_seconds must be > 0");
+  }
+  if (batch_window_seconds <= 0.0) {
+    return Status::InvalidArgument("serving.batch_window_seconds must be > 0");
+  }
+  if (max_batch_tokens < 0) {
+    return Status::InvalidArgument("serving.max_batch_tokens must be >= 0");
+  }
+  return Status::OK();
+}
+
+Assignment ScaleAssignmentTo(const Assignment& src, int64_t target_total) {
+  FLEXMOE_CHECK(target_total >= 0);
+  const int64_t src_total = src.Total();
+  Assignment out(src.num_experts(), src.num_gpus());
+  if (src_total <= 0 || target_total == 0) return out;
+
+  // Floor of the exact proportional share per cell; the remainders decide
+  // who gets the leftover units (largest remainder, ties by cell index
+  // ascending — a pure function of the inputs).
+  struct Remainder {
+    int64_t rem;  // numerator of the fractional part, in units of 1/src_total
+    int expert;
+    int gpu;
+  };
+  std::vector<Remainder> remainders;
+  int64_t assigned = 0;
+  for (int e = 0; e < src.num_experts(); ++e) {
+    const int64_t* row = src.row(e);
+    for (int g = 0; g < src.num_gpus(); ++g) {
+      const int64_t count = row[g];
+      if (count <= 0) continue;
+      // count, target_total <= ~2^31 in practice; the product fits int64
+      // for every shape the harness builds (tokens_per_gpu * gpus * top_k).
+      const int64_t numer = count * target_total;
+      const int64_t floor_share = numer / src_total;
+      const int64_t rem = numer % src_total;
+      if (floor_share > 0) out.set(e, g, floor_share);
+      assigned += floor_share;
+      if (rem > 0) remainders.push_back({rem, e, g});
+    }
+  }
+  int64_t leftover = target_total - assigned;
+  FLEXMOE_CHECK(leftover >= 0 &&
+                leftover <= static_cast<int64_t>(remainders.size()));
+  std::sort(remainders.begin(), remainders.end(),
+            [](const Remainder& a, const Remainder& b) {
+              if (a.rem != b.rem) return a.rem > b.rem;
+              if (a.expert != b.expert) return a.expert < b.expert;
+              return a.gpu < b.gpu;
+            });
+  for (int64_t i = 0; i < leftover; ++i) {
+    const Remainder& r = remainders[static_cast<size_t>(i)];
+    out.add(r.expert, r.gpu, 1);
+  }
+  return out;
+}
+
+namespace {
+
+double NearestRankQuantile(const std::vector<double>& sorted_ascending,
+                           double q) {
+  if (sorted_ascending.empty()) return 0.0;
+  const size_t n = sorted_ascending.size();
+  size_t rank =
+      static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::max<size_t>(1, std::min(rank, n));
+  return sorted_ascending[rank - 1];
+}
+
+}  // namespace
+
+ServeExecutor::ServeExecutor(MoESystem* system, TraceSource* source,
+                             RequestSource* requests,
+                             const ServingOptions& options,
+                             int64_t max_batch_tokens, int top_k)
+    : system_(system),
+      source_(source),
+      requests_(requests),
+      options_(options),
+      max_batch_tokens_(max_batch_tokens),
+      top_k_(top_k) {
+  FLEXMOE_CHECK(system != nullptr && source != nullptr && requests != nullptr);
+  FLEXMOE_CHECK(max_batch_tokens > 0);
+  FLEXMOE_CHECK(top_k > 0);
+}
+
+Result<ServingReport> ServeExecutor::Run(int num_batches) {
+  if (num_batches <= 0) {
+    return Status::InvalidArgument("num_batches must be > 0");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  ServingReport report;
+  // EDF priority queue: after an outage the backlog can run to millions
+  // of requests, so admission must not re-sort the whole queue per batch.
+  const auto edf_after = [](const ServeRequest& a, const ServeRequest& b) {
+    if (a.deadline_seconds != b.deadline_seconds) {
+      return a.deadline_seconds > b.deadline_seconds;
+    }
+    if (a.arrival_seconds != b.arrival_seconds) {
+      return a.arrival_seconds > b.arrival_seconds;
+    }
+    return a.id > b.id;
+  };
+  std::priority_queue<ServeRequest, std::vector<ServeRequest>,
+                      decltype(edf_after)>
+      queue(edf_after);
+  std::vector<double> latencies;
+  double engine_idle = 0.0;
+  double first_launch = -1.0;
+  double last_end = 0.0;
+  double batch_seconds_sum = 0.0;
+  int64_t batch_tokens_sum = 0;
+
+  auto pull_arrivals_upto = [&](double t) {
+    while (requests_->PeekArrival() <= t) {
+      ServeRequest req = requests_->Next();
+      report.requests_arrived += 1;
+      report.tokens_arrived += req.tokens;
+      queue.push(req);
+    }
+  };
+
+  for (int b = 0; b < num_batches; ++b) {
+    ServeBatchRecord record;
+    record.batch = b;
+    record.engine_idle = engine_idle;
+
+    pull_arrivals_upto(engine_idle);
+    record.backlog_at_idle = static_cast<int>(queue.size());
+    double launch;
+    if (!queue.empty()) {
+      // Work-conserving: the backlog already waited out the previous
+      // batch's execution — that was its batching window.
+      launch = engine_idle;
+    } else {
+      // Idle engine: the window opens at the first arrival and the batch
+      // collects everything landing within it.
+      const double t0 = std::max(engine_idle, requests_->PeekArrival());
+      launch = t0 + options_.batch_window_seconds;
+      pull_arrivals_upto(launch);
+    }
+
+    // EDF admission under the token cap; at least one request always
+    // enters (requests are sized far below the cap by construction).
+    std::vector<ServeRequest> admitted;
+    int64_t admitted_tokens = 0;
+    record.max_admitted_deadline = -kInf;
+    while (!queue.empty()) {
+      const ServeRequest& req = queue.top();
+      if (!admitted.empty() &&
+          admitted_tokens + req.tokens > max_batch_tokens_) {
+        break;
+      }
+      admitted_tokens += req.tokens;
+      record.max_admitted_deadline =
+          std::max(record.max_admitted_deadline, req.deadline_seconds);
+      admitted.push_back(req);
+      queue.pop();
+    }
+    FLEXMOE_CHECK(!admitted.empty());
+
+    record.launch = launch;
+    record.tokens = admitted_tokens;
+    record.num_requests = static_cast<int>(admitted.size());
+    record.left_waiting = static_cast<int>(queue.size());
+    // The heap top is the earliest remaining deadline — exactly the EDF
+    // invariant witness.
+    record.min_waiting_deadline =
+        queue.empty() ? kInf : queue.top().deadline_seconds;
+
+    // Shape the microbatch's routing from the next source step, rescaled
+    // to the admitted volume (tokens -> top_k assignments each).
+    if (source_->StepsRemaining() == 0) {
+      return Status::InvalidArgument(
+          StrFormat("trace source exhausted at serving batch %d", b));
+    }
+    const std::vector<Assignment> step = source_->NextStep();
+    trace_hash_ = HashStep(step, trace_hash_);
+    std::vector<Assignment> scaled;
+    scaled.reserve(step.size());
+    for (const Assignment& layer : step) {
+      scaled.push_back(ScaleAssignmentTo(layer, admitted_tokens * top_k_));
+    }
+
+    const StepMetrics metrics = system_->ServeMicrobatch(scaled);
+    const double end = launch + metrics.step_seconds;
+    engine_idle = end;
+    record.end = end;
+    if (first_launch < 0.0) first_launch = launch;
+    last_end = end;
+    report.batches += 1;
+    report.tokens_recirculated += metrics.tokens_recirculated;
+    batch_seconds_sum += metrics.step_seconds;
+    batch_tokens_sum += admitted_tokens;
+
+    if (metrics.tokens_dropped > 0) {
+      // A fault hit this batch: its responses are lost, but the admitted
+      // requests are not — the whole batch re-enters the queue (original
+      // arrivals and deadlines intact) and re-executes later.
+      record.failed = true;
+      report.failed_batches += 1;
+      for (const ServeRequest& req : admitted) queue.push(req);
+    } else {
+      for (const ServeRequest& req : admitted) {
+        const double latency = end - req.arrival_seconds;
+        latencies.push_back(latency);
+        report.requests_completed += 1;
+        report.tokens_completed += req.tokens;
+        if (end > req.deadline_seconds) report.slo_violations += 1;
+      }
+    }
+    log_.push_back(record);
+  }
+
+  report.requests_queued_at_end = static_cast<int64_t>(queue.size());
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double v : latencies) sum += v;
+    report.mean_latency_seconds =
+        sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_latency_seconds = NearestRankQuantile(latencies, 0.50);
+    report.p99_latency_seconds = NearestRankQuantile(latencies, 0.99);
+    report.max_latency_seconds = latencies.back();
+  }
+  report.slo_attainment =
+      report.requests_completed > 0
+          ? static_cast<double>(report.requests_completed -
+                                report.slo_violations) /
+                static_cast<double>(report.requests_completed)
+          : 1.0;
+  report.mean_batch_seconds =
+      batch_seconds_sum / static_cast<double>(report.batches);
+  report.mean_batch_tokens = static_cast<double>(batch_tokens_sum) /
+                             static_cast<double>(report.batches);
+  report.span_seconds = std::max(0.0, last_end - first_launch);
+  report.served_tokens_per_sec =
+      report.span_seconds > 0.0
+          ? static_cast<double>(report.tokens_completed) / report.span_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace flexmoe

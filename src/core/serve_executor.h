@@ -1,0 +1,134 @@
+// ServeExecutor: latency-SLO serving with continuous batching (DESIGN.md
+// Section 8). Requests arrive from a RequestSource; the executor admits
+// them into microbatches under an earliest-deadline-first discipline and a
+// token cap, shapes each microbatch's routing from the next TraceSource
+// step (rescaled to the admitted token count), and executes it through the
+// system's forward-only ServeMicrobatch path. No optimizer step exists;
+// the metric is per-request latency against the SLO.
+//
+// Batching discipline (pinned by serve_executor_test's property tests):
+//  * WORK-CONSERVING UNDER BACKLOG — if requests are waiting the moment
+//    the engine goes idle, the next batch launches immediately (their
+//    batching window was the previous batch's execution).
+//  * From an idle engine, the batcher waits exactly batch_window_seconds
+//    past the first arrival before launching, collecting what lands.
+//  * DEADLINE ORDER — admission is EDF (deadline, then arrival, then id):
+//    no waiting request is ever passed over in favor of one with a later
+//    deadline.
+//  * TOKEN CONSERVATION — every admitted request completes exactly once;
+//    a batch that loses tokens to a fault mid-execution is retried
+//    wholesale (admitted requests are never dropped), with the retry
+//    latency charged to the original arrival.
+
+#ifndef FLEXMOE_CORE_SERVE_EXECUTOR_H_
+#define FLEXMOE_CORE_SERVE_EXECUTOR_H_
+
+#include <vector>
+
+#include "core/system.h"
+#include "gate/request_source.h"
+#include "gate/trace_source.h"
+
+namespace flexmoe {
+
+/// \brief Serving-mode configuration (harness-level; see
+/// ExperimentOptions::serving).
+struct ServingOptions {
+  /// Master switch: run the experiment as a serving workload.
+  bool enabled = false;
+  /// Mean request arrival rate before scenario modulation; <= 0 is invalid
+  /// when enabled (benches derive it from the model's token throughput).
+  double arrival_rate_rps = 0.0;
+  int64_t tokens_per_request = 256;
+  /// Per-request latency SLO.
+  double slo_seconds = 0.0;
+  /// Batching window from an idle engine; also the wall-clock length of
+  /// one scenario step for arrival-rate modulation.
+  double batch_window_seconds = 0.0;
+  /// Token cap per microbatch; 0 derives model.tokens_per_gpu * num_gpus.
+  int64_t max_batch_tokens = 0;
+
+  Status Validate() const;
+};
+
+/// \brief One batch's audit record (drives the property tests).
+struct ServeBatchRecord {
+  int64_t batch = 0;
+  double engine_idle = 0.0;  ///< when the executor became free
+  double launch = 0.0;
+  double end = 0.0;
+  int64_t tokens = 0;          ///< admitted tokens (not assignments)
+  int num_requests = 0;
+  int backlog_at_idle = 0;     ///< requests waiting when the engine freed
+  int left_waiting = 0;        ///< requests still queued after admission
+  /// Earliest deadline among requests left waiting (+inf when none) and
+  /// latest deadline among admitted ones (-inf when none): EDF admission
+  /// implies max_admitted_deadline <= min_waiting_deadline.
+  double min_waiting_deadline = 0.0;
+  double max_admitted_deadline = 0.0;
+  bool failed = false;         ///< fault mid-batch; batch was re-enqueued
+};
+
+/// \brief Aggregated serving outcome.
+struct ServingReport {
+  int64_t requests_arrived = 0;    ///< pulled from the source into the queue
+  int64_t requests_completed = 0;
+  int64_t requests_queued_at_end = 0;  ///< admitted to the queue, never ran
+  int64_t tokens_arrived = 0;
+  int64_t tokens_completed = 0;
+  int64_t batches = 0;
+  int64_t failed_batches = 0;      ///< fault retries (batches re-run)
+  int64_t tokens_recirculated = 0; ///< static layouts' second-pass volume
+  int64_t slo_violations = 0;
+  /// Fraction of completed requests that met their deadline.
+  double slo_attainment = 1.0;
+  double mean_latency_seconds = 0.0;
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  double max_latency_seconds = 0.0;
+  double mean_batch_seconds = 0.0;
+  double mean_batch_tokens = 0.0;
+  /// First launch to last completion.
+  double span_seconds = 0.0;
+  double served_tokens_per_sec = 0.0;
+};
+
+/// \brief Deterministically rescales `src` to exactly `target_total`
+/// token-assignments, preserving cell proportions (floor + largest
+/// remainder, ties broken by cell index). Integer-exact: the result's
+/// Total() == target_total, and cells that were zero stay zero.
+Assignment ScaleAssignmentTo(const Assignment& src, int64_t target_total);
+
+/// \brief Drives a MoESystem through a serving run.
+class ServeExecutor {
+ public:
+  /// All pointers must outlive the executor. `max_batch_tokens` must be
+  /// resolved (> 0); `top_k` converts admitted tokens to assignments.
+  ServeExecutor(MoESystem* system, TraceSource* source,
+                RequestSource* requests, const ServingOptions& options,
+                int64_t max_batch_tokens, int top_k);
+
+  /// Executes exactly `num_batches` microbatches (one TraceSource step
+  /// each) and aggregates the report.
+  Result<ServingReport> Run(int num_batches);
+
+  /// FNV-1a hash of the consumed source steps (chained from
+  /// kTraceHashSeed) — the same stream identity the training loop reports.
+  uint64_t trace_hash() const { return trace_hash_; }
+
+  const std::vector<ServeBatchRecord>& batch_log() const { return log_; }
+
+ private:
+  MoESystem* system_;
+  TraceSource* source_;
+  RequestSource* requests_;
+  ServingOptions options_;
+  int64_t max_batch_tokens_;
+  int top_k_;
+  uint64_t trace_hash_ = kTraceHashSeed;
+  std::vector<ServeBatchRecord> log_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_SERVE_EXECUTOR_H_

@@ -99,6 +99,75 @@ double StepExecutor::RunExpertCompute(
   return finish;
 }
 
+double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
+                                      const std::vector<GpuId>& alive,
+                                      double frontier, StepTiming* timing) {
+  const double fwd_flops = model_.expert_fwd_flops_per_token();
+  for (const LayerWork& work : layers) {
+    FLEXMOE_CHECK(work.routed != nullptr);
+    // Shadow-parameter broadcasts (baseline FasterMoE) precede the layer.
+    for (const ShadowBroadcast& bc : work.broadcasts) {
+      if (!Alive(bc.root) || alive.size() < 2) continue;
+      const CollectiveResult r =
+          ExecBroadcast(cluster_, *profile_,
+                        bc.bytes * GroupBandwidthScale(alive), bc.root, alive,
+                        frontier);
+      timing->sync_seconds += r.finish - frontier;
+      frontier = r.finish;
+    }
+
+    const double phase0 = frontier;
+    const CollectiveResult dispatch = ExecAllToAll(
+        cluster_, *profile_, DispatchBytes(*work.routed, false), frontier);
+    timing->a2a_seconds += dispatch.finish - phase0;
+
+    const double compute_finish = RunExpertCompute(
+        *work.routed, fwd_flops, dispatch.per_gpu_finish, timing);
+    timing->compute_seconds += std::max(0.0, compute_finish - dispatch.finish);
+
+    const CollectiveResult combine = ExecAllToAll(
+        cluster_, *profile_, DispatchBytes(*work.routed, true),
+        compute_finish);
+    timing->a2a_seconds += combine.finish - compute_finish;
+    frontier = combine.finish;
+  }
+  return frontier;
+}
+
+StepTiming StepExecutor::ExecuteForward(const std::vector<LayerWork>& layers) {
+  StepTiming timing;
+  timing.per_gpu_expert_compute.assign(
+      static_cast<size_t>(cluster_->num_gpus()), 0.0);
+  timing.start = Frontier();
+
+  // With no backward pass there is no shadow-gradient AllReduce to pay,
+  // so a broadcast is the whole shadowing price.
+  const std::vector<GpuId> alive = AliveGpus();
+  double frontier = RunForwardLayers(layers, alive, timing.start, &timing);
+
+  // Non-MoE forward compute (attention, dense FFNs, gate), scaled to the
+  // forward share of the full-step cost by the same fwd/fwdbwd ratio the
+  // expert networks exhibit. No optimizer, no gradient AllReduce.
+  {
+    const double fwd_fraction = model_.expert_fwd_flops_per_token() /
+                                model_.expert_fwdbwd_flops_per_token();
+    const double non_moe =
+        NonMoEComputeSeconds(model_, *profile_) * fwd_fraction;
+    double phase_finish = frontier;
+    for (GpuId g = 0; g < cluster_->num_gpus(); ++g) {
+      if (!Alive(g)) continue;
+      const double scaled = non_moe * ComputeScale(g);
+      const double start = cluster_->compute(g).Reserve(frontier, scaled);
+      phase_finish = std::max(phase_finish, start + scaled);
+    }
+    timing.non_moe_seconds += phase_finish - frontier;
+    frontier = phase_finish;
+  }
+
+  timing.end = frontier;
+  return timing;
+}
+
 StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
                                      NcclGroupCache* group_cache) {
   StepTiming timing;
@@ -116,34 +185,7 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
   const std::vector<GpuId> alive = AliveGpus();
 
   // ---- Forward pass over MoE layers ------------------------------------
-  for (const LayerWork& work : layers) {
-    FLEXMOE_CHECK(work.routed != nullptr);
-    // Shadow-parameter broadcasts (baseline FasterMoE) precede the layer.
-    for (const ShadowBroadcast& bc : work.broadcasts) {
-      if (!Alive(bc.root) || alive.size() < 2) continue;
-      const CollectiveResult r =
-          ExecBroadcast(cluster_, *profile_,
-                        bc.bytes * GroupBandwidthScale(alive), bc.root, alive,
-                        frontier);
-      timing.sync_seconds += r.finish - frontier;
-      frontier = r.finish;
-    }
-
-    const double phase0 = frontier;
-    const CollectiveResult dispatch = ExecAllToAll(
-        cluster_, *profile_, DispatchBytes(*work.routed, false), frontier);
-    timing.a2a_seconds += dispatch.finish - phase0;
-
-    const double compute_finish = RunExpertCompute(
-        *work.routed, fwd_flops, dispatch.per_gpu_finish, &timing);
-    timing.compute_seconds += std::max(0.0, compute_finish - dispatch.finish);
-
-    const CollectiveResult combine = ExecAllToAll(
-        cluster_, *profile_, DispatchBytes(*work.routed, true),
-        compute_finish);
-    timing.a2a_seconds += combine.finish - compute_finish;
-    frontier = combine.finish;
-  }
+  frontier = RunForwardLayers(layers, alive, frontier, &timing);
 
   // ---- Non-MoE compute (attention, dense FFNs, gate, optimizer) --------
   {

@@ -76,6 +76,16 @@ class StepExecutor {
   StepTiming ExecuteStep(const std::vector<LayerWork>& layers,
                          NcclGroupCache* group_cache);
 
+  /// Executes a forward-only pass (the serving path, DESIGN.md Section 8):
+  /// per layer — [shadow broadcasts] -> dispatch A2A -> expert compute at
+  /// forward FLOPs -> combine A2A — then the non-MoE forward compute. No
+  /// backward, no expert/data-parallel gradient sync, no optimizer; the
+  /// timing therefore measures the latency of answering one microbatch.
+  /// `layers` may contain more entries than the model has MoE layers
+  /// (recirculation passes append extra LayerWork); the non-MoE forward
+  /// cost is charged once regardless.
+  StepTiming ExecuteForward(const std::vector<LayerWork>& layers);
+
   /// The earliest time all training-critical streams are free — the start
   /// of the next step.
   double Frontier() const;
@@ -107,6 +117,15 @@ class StepExecutor {
   double RunExpertCompute(const RoutedAssignment& routed,
                           double flops_per_token,
                           const std::vector<double>& per_gpu_earliest,
+                          StepTiming* timing);
+
+  /// The forward pass over `layers` — [shadow broadcasts] -> dispatch A2A
+  /// -> expert compute at forward FLOPs -> combine A2A, per layer —
+  /// shared verbatim by ExecuteStep and ExecuteForward so the two paths
+  /// can never diverge in dispatch/broadcast semantics. Returns the new
+  /// frontier.
+  double RunForwardLayers(const std::vector<LayerWork>& layers,
+                          const std::vector<GpuId>& alive, double frontier,
                           StepTiming* timing);
 
   ClusterState* cluster_;

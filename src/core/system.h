@@ -32,6 +32,17 @@ class MoESystem {
   virtual StepMetrics RunStep(
       const std::vector<Assignment>& layer_assignments) = 0;
 
+  /// Executes one serving microbatch: a forward-only pass over the given
+  /// per-layer assignments (no backward, no gradient sync, no optimizer).
+  /// Serving never degrades a response — tokens a static layout would drop
+  /// (capacity) or re-route (SWIPE) recirculate through a second forward
+  /// pass instead, which `tokens_recirculated` counts; `tokens_dropped`
+  /// counts only tokens lost to a fault mid-batch (the ServeExecutor
+  /// retries the whole batch when that happens). Returned step_seconds is
+  /// the microbatch's answer latency.
+  virtual StepMetrics ServeMicrobatch(
+      const std::vector<Assignment>& layer_assignments) = 0;
+
   /// All metrics recorded so far.
   virtual const TrainingStats& stats() const = 0;
 

@@ -64,4 +64,16 @@ CapacityResult ApplyCapacity(const Assignment& assignment,
   return result;
 }
 
+Assignment CapacityOverflow(const Assignment& full, const Assignment& kept) {
+  FLEXMOE_CHECK(full.num_experts() == kept.num_experts() &&
+                full.num_gpus() == kept.num_gpus());
+  Assignment overflow(full.num_experts(), full.num_gpus());
+  for (int e = 0; e < full.num_experts(); ++e) {
+    for (int g = 0; g < full.num_gpus(); ++g) {
+      overflow.set(e, g, full.at(e, g) - kept.at(e, g));
+    }
+  }
+  return overflow;
+}
+
 }  // namespace flexmoe

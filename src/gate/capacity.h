@@ -33,6 +33,12 @@ struct CapacityResult {
 CapacityResult ApplyCapacity(const Assignment& assignment,
                              double capacity_factor);
 
+/// \brief The cell-wise complement of a capacity split: `full - kept`, the
+/// token-assignments that did NOT fit. The serving paths recirculate this
+/// through a second forward pass instead of dropping it (DESIGN.md
+/// Section 8.3). Shapes must match.
+Assignment CapacityOverflow(const Assignment& full, const Assignment& kept);
+
 }  // namespace flexmoe
 
 #endif  // FLEXMOE_GATE_CAPACITY_H_

@@ -1,0 +1,96 @@
+// RequestSource: the arrival side of the serving workload (DESIGN.md
+// Section 8). Produces an unbounded, deterministic stream of inference
+// requests — arrival times from a piecewise-constant-rate Poisson process
+// whose rate is modulated by the same scenario catalog that drives the
+// routing dynamics (gate/logit_process.h), so the bursty / diurnal /
+// multi-tenant regimes shape WHEN traffic lands, while the TraceSource
+// shapes WHERE the gate routes it.
+//
+// Determinism contract: arrivals are a pure function of the options (rate
+// windows are consumed strictly in order, each drawing from the source's
+// own Rng), so a serving run and its replay see identical request streams
+// for a fixed seed.
+
+#ifndef FLEXMOE_GATE_REQUEST_SOURCE_H_
+#define FLEXMOE_GATE_REQUEST_SOURCE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "gate/logit_process.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace flexmoe {
+
+/// \brief One inference request.
+struct ServeRequest {
+  int64_t id = 0;
+  double arrival_seconds = 0.0;
+  /// Absolute completion deadline: arrival + the experiment's SLO.
+  double deadline_seconds = 0.0;
+  int64_t tokens = 0;
+};
+
+/// \brief Arrival-process configuration.
+struct RequestSourceOptions {
+  /// Mean arrival rate (requests/second) before scenario modulation.
+  double arrival_rate_rps = 100.0;
+  int64_t tokens_per_request = 256;
+  /// Per-request latency SLO; deadline = arrival + slo.
+  double slo_seconds = 0.5;
+  /// Wall-clock length of one scenario "step": the catalog's
+  /// step-denominated clocks (diurnal_period, tenant_block_steps, the
+  /// per-step burst rate/decay) are mapped onto seconds through this.
+  double step_seconds = 0.1;
+  /// Rate-modulation regime (same semantics as the routing catalog):
+  ///   pretrain-steady / finetune-shift  constant rate
+  ///   bursty      flash crowds: rate spikes arriving at burst_rate per
+  ///               step, height burst_boost x base, decaying by
+  ///               burst_decay per step
+  ///   diurnal     sinusoidal rate, period diurnal_period steps
+  ///   multi-tenant  tenant time slices with distinct per-tenant rates
+  ScenarioOptions scenario;
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// \brief Deterministic scenario-modulated Poisson request stream.
+class RequestSource {
+ public:
+  static Result<RequestSource> Create(const RequestSourceOptions& options);
+
+  /// Next request in non-decreasing arrival order (unbounded stream).
+  ServeRequest Next();
+
+  /// Arrival time of the next request without consuming it.
+  double PeekArrival();
+
+  /// Rate multiplier the given window used (1.0 = base rate). Only valid
+  /// for windows the stream already generated; exposed for tests.
+  double WindowMultiplier(int64_t window) const;
+
+  const RequestSourceOptions& options() const { return options_; }
+
+ private:
+  explicit RequestSource(const RequestSourceOptions& options);
+
+  /// Generates windows until at least one arrival is buffered.
+  void FillBuffer();
+  /// The rate multiplier of window `w`; advances the burst state, so it
+  /// must be called once per window in order.
+  double NextWindowMultiplier(int64_t w);
+
+  RequestSourceOptions options_;
+  Rng rng_;
+  int64_t next_window_ = 0;
+  int64_t next_id_ = 0;
+  double burst_level_ = 0.0;
+  std::deque<ServeRequest> buffer_;
+  std::vector<double> window_multipliers_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_GATE_REQUEST_SOURCE_H_

@@ -29,6 +29,7 @@ Status ExperimentOptions::Validate() const {
   }
   FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
   FLEXMOE_RETURN_IF_ERROR(workload.scenario.Validate());
+  FLEXMOE_RETURN_IF_ERROR(serving.Validate());
   return Status::OK();
 }
 
@@ -100,6 +101,13 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
     o.policy = options.policy;
     o.executor = options.executor;
     o.elastic = options.elastic;
+    if (options.serving.enabled) {
+      // Serving optimizes forward latency: drop the Eq. 9 sync term from
+      // the planner's objective, and skip sync-consolidation migrations —
+      // there are no gradients whose AllReduce they could cheapen.
+      o.policy.serve_objective = true;
+      o.scheduler.max_migrations = 0;
+    }
     FLEXMOE_ASSIGN_OR_RETURN(auto sys,
                              FlexMoESystem::Create(o, topo, profile));
     return std::unique_ptr<MoESystem>(std::move(sys));
@@ -167,10 +175,36 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
   }
 
   uint64_t trace_hash = kTraceHashSeed;
-  for (int s = 0; s < options.measure_steps; ++s) {
-    const std::vector<Assignment> step = source->NextStep();
-    trace_hash = HashStep(step, trace_hash);
-    system->RunStep(step);
+  ServingReport serve_report;
+  if (options.serving.enabled) {
+    // Serving loop: measure_steps microbatches of continuous batching.
+    RequestSourceOptions ro;
+    ro.arrival_rate_rps = options.serving.arrival_rate_rps;
+    ro.tokens_per_request = options.serving.tokens_per_request;
+    ro.slo_seconds = options.serving.slo_seconds;
+    ro.step_seconds = options.serving.batch_window_seconds;
+    ro.scenario = options.workload.scenario;
+    // Salted so the arrival stream is independent of the routing stream
+    // even though both derive from the experiment seed.
+    constexpr uint64_t kServingSeedSalt = 0x5e12f1c3a7b98d41ULL;
+    ro.seed = options.seed ^ kServingSeedSalt;
+    FLEXMOE_ASSIGN_OR_RETURN(RequestSource requests,
+                             RequestSource::Create(ro));
+    const int64_t max_batch =
+        options.serving.max_batch_tokens > 0
+            ? options.serving.max_batch_tokens
+            : options.model.tokens_per_gpu * options.num_gpus;
+    ServeExecutor serve(system.get(), source.get(), &requests,
+                        options.serving, max_batch, options.model.top_k);
+    FLEXMOE_ASSIGN_OR_RETURN(serve_report,
+                             serve.Run(options.measure_steps));
+    trace_hash = serve.trace_hash();
+  } else {
+    for (int s = 0; s < options.measure_steps; ++s) {
+      const std::vector<Assignment> step = source->NextStep();
+      trace_hash = HashStep(step, trace_hash);
+      system->RunStep(step);
+    }
   }
   if (!options.workload.record_path.empty()) {
     FLEXMOE_RETURN_IF_ERROR(recorded.Save(options.workload.record_path));
@@ -201,6 +235,16 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
   report.tokens_dropped_total = report.stats.TotalTokensDropped();
   report.recovery_seconds_total = report.stats.TotalRecoverySeconds();
   report.degraded_steps = report.stats.DegradedSteps();
+
+  if (options.serving.enabled) {
+    // Serving has no time-to-quality: the deliverable metrics are latency
+    // and SLO attainment. Throughput counts tokens actually served.
+    report.serving = true;
+    report.serve = serve_report;
+    report.tokens_per_step = serve_report.mean_batch_tokens;
+    report.throughput_tokens_per_sec = serve_report.served_tokens_per_sec;
+    return report;
+  }
 
   // Time-to-quality: effective tokens needed to hit the DeepSpeed-quality
   // target, at this system's measured effective-token rate and step time.

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/flexmoe.h"
+#include "core/serve_executor.h"
 #include "core/system.h"
 #include "elastic/fault_plan.h"
 #include "gate/trace_generator.h"
@@ -68,6 +69,15 @@ struct ExperimentOptions {
   /// Workload regime / replay / record selection.
   WorkloadOptions workload;
 
+  /// Serving mode (DESIGN.md Section 8): when `serving.enabled`, the run
+  /// is a latency-SLO serving workload — `measure_steps` counts
+  /// microbatches, each consuming one TraceSource step rescaled to the
+  /// admitted request volume, executed forward-only (no optimizer step).
+  /// Arrival-rate modulation follows `workload.scenario`; replay runs must
+  /// therefore pass the same scenario options as the recording run to see
+  /// the identical request stream.
+  ServingOptions serving;
+
   /// Optional explicit trace generator overrides (<=0 fields are derived
   /// from the model/num_gpus). Overrides win over `workload.scenario`.
   TraceGeneratorOptions trace;
@@ -120,6 +130,10 @@ struct ExperimentReport {
   int64_t tokens_dropped_total = 0;
   double recovery_seconds_total = 0.0;
   int64_t degraded_steps = 0;
+
+  // --- Serving outcomes (meaningful iff `serving`) -----------------------
+  bool serving = false;
+  ServingReport serve;
 };
 
 /// \brief Resolves the experiment's fault options (inherited num_gpus /

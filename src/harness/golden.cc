@@ -38,6 +38,29 @@ ExperimentOptions WorkloadGoldenCell(const std::string& scenario,
   return o;
 }
 
+ExperimentOptions ServingGoldenCell(const std::string& scenario,
+                                    const std::string& system) {
+  ExperimentOptions o = WorkloadGoldenCell(scenario, system);
+  o.serving.enabled = true;
+  // One window == one scenario step; 60 batches span the same scenario
+  // clocks the training golden cell exercises (shift mid-run, three
+  // diurnal waves, six tenant slices).
+  o.serving.batch_window_seconds = 0.01;
+  o.serving.tokens_per_request = 256;
+  // Rate and cap sized against the cluster's measured forward throughput
+  // (a full 32768-token batch: ~4.9 ms on FlexMoE, ~5.5 ms on FasterMoE,
+  // ~9 ms on the recirculating capacity layouts): base token load sits
+  // just under FlexMoE's drain rate, so the bursty spikes and the hot
+  // multi-tenant slices push every static layout past saturation while
+  // FlexMoE's re-placed experts keep draining. The SLO spans roughly a
+  // dozen healthy batch executions.
+  o.serving.arrival_rate_rps = 30000.0;
+  o.serving.slo_seconds = 0.06;
+  o.serving.max_batch_tokens =
+      o.model.tokens_per_gpu * static_cast<int64_t>(o.num_gpus);
+  return o;
+}
+
 MetricsDigest DigestFromReport(const std::string& label,
                                const ExperimentReport& report) {
   MetricsDigest d;
@@ -56,13 +79,24 @@ MetricsDigest DigestFromReport(const std::string& label,
   d.hours_to_target = report.hours_to_target;
   d.ops_applied = report.stats.TotalOpsApplied();
   d.tokens_dropped = report.stats.TotalTokensDropped();
+  if (report.serving) {
+    d.serving = true;
+    d.requests_completed = report.serve.requests_completed;
+    d.batches = report.serve.batches;
+    d.failed_batches = report.serve.failed_batches;
+    d.tokens_recirculated = report.serve.tokens_recirculated;
+    d.slo_attainment = report.serve.slo_attainment;
+    d.p50_latency_seconds = report.serve.p50_latency_seconds;
+    d.p99_latency_seconds = report.serve.p99_latency_seconds;
+    d.mean_latency_seconds = report.serve.mean_latency_seconds;
+  }
   return d;
 }
 
 std::string FormatDigest(const MetricsDigest& d) {
   // %.17g round-trips doubles exactly, so a committed golden pins the
   // full-precision value a deterministic rerun reproduces.
-  return StrFormat(
+  std::string line = StrFormat(
       "label=%s system=%s workload=%s gpus=%d steps=%d trace_hash=%016llx "
       "step_s=%.17g throughput=%.17g balance=%.17g token_eff=%.17g "
       "expert_eff=%.17g util=%.17g hours=%.17g ops=%lld dropped=%lld",
@@ -73,6 +107,18 @@ std::string FormatDigest(const MetricsDigest& d) {
       d.mean_gpu_utilization, d.hours_to_target,
       static_cast<long long>(d.ops_applied),
       static_cast<long long>(d.tokens_dropped));
+  if (d.serving) {
+    line += StrFormat(
+        " mode=serve req=%lld batches=%lld retries=%lld recirc=%lld "
+        "attain=%.17g p50=%.17g p99=%.17g lat=%.17g",
+        static_cast<long long>(d.requests_completed),
+        static_cast<long long>(d.batches),
+        static_cast<long long>(d.failed_batches),
+        static_cast<long long>(d.tokens_recirculated), d.slo_attainment,
+        d.p50_latency_seconds, d.p99_latency_seconds,
+        d.mean_latency_seconds);
+  }
+  return line;
 }
 
 Result<MetricsDigest> ParseDigest(const std::string& line) {
@@ -118,6 +164,28 @@ Result<MetricsDigest> ParseDigest(const std::string& line) {
       d.ops_applied = std::atoll(value.c_str());
     } else if (key == "dropped") {
       d.tokens_dropped = std::atoll(value.c_str());
+    } else if (key == "mode") {
+      if (value != "serve") {
+        return Status::InvalidArgument(
+            StrFormat("unknown digest mode '%s'", value.c_str()));
+      }
+      d.serving = true;
+    } else if (key == "req") {
+      d.requests_completed = std::atoll(value.c_str());
+    } else if (key == "batches") {
+      d.batches = std::atoll(value.c_str());
+    } else if (key == "retries") {
+      d.failed_batches = std::atoll(value.c_str());
+    } else if (key == "recirc") {
+      d.tokens_recirculated = std::atoll(value.c_str());
+    } else if (key == "attain") {
+      d.slo_attainment = std::atof(value.c_str());
+    } else if (key == "p50") {
+      d.p50_latency_seconds = std::atof(value.c_str());
+    } else if (key == "p99") {
+      d.p99_latency_seconds = std::atof(value.c_str());
+    } else if (key == "lat") {
+      d.mean_latency_seconds = std::atof(value.c_str());
     } else {
       return Status::InvalidArgument(
           StrFormat("unknown digest key '%s'", key.c_str()));
@@ -171,6 +239,15 @@ namespace {
 
 Status CheckClose(const char* field, double golden, double fresh,
                   double rel_tol) {
+  // NaN never compares close to anything through the arithmetic below
+  // (every comparison involving NaN is false, which would silently PASS),
+  // so it is handled explicitly: NaN matches only NaN.
+  if (std::isnan(golden) || std::isnan(fresh)) {
+    if (std::isnan(golden) && std::isnan(fresh)) return Status::OK();
+    return Status::Internal(
+        StrFormat("digest field %s drifted: golden=%.17g fresh=%.17g",
+                  field, golden, fresh));
+  }
   const double denom = std::max(std::abs(golden), std::abs(fresh));
   if (denom == 0.0) return Status::OK();
   if (std::abs(golden - fresh) / denom > rel_tol) {
@@ -226,6 +303,30 @@ Status CompareDigests(const MetricsDigest& golden, const MetricsDigest& fresh,
                                      fresh.mean_gpu_utilization, rel_tol));
   FLEXMOE_RETURN_IF_ERROR(CheckClose("hours", golden.hours_to_target,
                                      fresh.hours_to_target, rel_tol));
+
+  if (golden.serving != fresh.serving) {
+    return Status::Internal(StrFormat(
+        "digest mode mismatch for %s: golden is %s, fresh is %s",
+        golden.label.c_str(), golden.serving ? "serving" : "training",
+        fresh.serving ? "serving" : "training"));
+  }
+  if (golden.serving) {
+    if (golden.requests_completed != fresh.requests_completed ||
+        golden.batches != fresh.batches ||
+        golden.failed_batches != fresh.failed_batches ||
+        golden.tokens_recirculated != fresh.tokens_recirculated) {
+      return Status::Internal(StrFormat(
+          "serving digest counts drifted for %s", golden.label.c_str()));
+    }
+    FLEXMOE_RETURN_IF_ERROR(CheckClose("attain", golden.slo_attainment,
+                                       fresh.slo_attainment, rel_tol));
+    FLEXMOE_RETURN_IF_ERROR(CheckClose("p50", golden.p50_latency_seconds,
+                                       fresh.p50_latency_seconds, rel_tol));
+    FLEXMOE_RETURN_IF_ERROR(CheckClose("p99", golden.p99_latency_seconds,
+                                       fresh.p99_latency_seconds, rel_tol));
+    FLEXMOE_RETURN_IF_ERROR(CheckClose("lat", golden.mean_latency_seconds,
+                                       fresh.mean_latency_seconds, rel_tol));
+  }
   return Status::OK();
 }
 

@@ -37,6 +37,19 @@ struct MetricsDigest {
   double hours_to_target = 0.0;
   int64_t ops_applied = 0;
   int64_t tokens_dropped = 0;
+
+  /// Serving-mode cells append the fields below (`mode=serve` in the
+  /// serialized line); training cells keep the pre-serving line format
+  /// byte-for-byte, so committed training goldens never re-render.
+  bool serving = false;
+  int64_t requests_completed = 0;
+  int64_t batches = 0;
+  int64_t failed_batches = 0;
+  int64_t tokens_recirculated = 0;
+  double slo_attainment = 0.0;
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  double mean_latency_seconds = 0.0;
 };
 
 /// \brief Summarizes a report under the given cell label.
@@ -50,6 +63,15 @@ MetricsDigest DigestFromReport(const std::string& label,
 /// bench_workload_suite --quick and workload_golden_test.
 ExperimentOptions WorkloadGoldenCell(const std::string& scenario,
                                      const std::string& system);
+
+/// \brief THE canonical quick serving cell the committed serving goldens
+/// pin: the WorkloadGoldenCell cluster run as a latency-SLO serving
+/// workload (continuous batching, no optimizer step), with arrival rate /
+/// SLO / window chosen so the bursty and multi-tenant regimes generate
+/// real backlog. Used by bench_serving_slo --quick, serving_golden_test,
+/// and failure_injection_test's failure_during_serving case.
+ExperimentOptions ServingGoldenCell(const std::string& scenario,
+                                    const std::string& system);
 
 /// \brief One-line "key=value ..." rendering (the serialized form).
 std::string FormatDigest(const MetricsDigest& digest);

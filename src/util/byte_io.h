@@ -1,0 +1,71 @@
+// Minimal byte-buffer serialization helpers for checkpoint payloads
+// (TraceGenerator / LogitProcess state). Values are memcpy'd in native
+// byte order: checkpoints restore on the machine (architecture) that
+// wrote them, which is the elastic-restart use case — they are not a
+// portable interchange format (RoutingTrace's explicit little-endian
+// serialization is).
+
+#ifndef FLEXMOE_UTIL_BYTE_IO_H_
+#define FLEXMOE_UTIL_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+template <typename T>
+void PutPod(const T& value, std::string* out) {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "PutPod requires a trivially copyable type");
+  const char* p = reinterpret_cast<const char*>(&value);
+  out->append(p, sizeof(T));
+}
+
+template <typename T>
+Status GetPod(const char** cursor, const char* end, T* value) {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "GetPod requires a trivially copyable type");
+  if (end - *cursor < static_cast<ptrdiff_t>(sizeof(T))) {
+    return Status::InvalidArgument("checkpoint truncated");
+  }
+  std::memcpy(value, *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return Status::OK();
+}
+
+inline void PutDoubleVec(const std::vector<double>& v, std::string* out) {
+  PutPod<uint64_t>(v.size(), out);
+  if (!v.empty()) {
+    out->append(reinterpret_cast<const char*>(v.data()),
+                v.size() * sizeof(double));
+  }
+}
+
+/// Reads a vector written by PutDoubleVec; its size must equal the
+/// expected one (checkpoints never resize state).
+inline Status GetDoubleVec(const char** cursor, const char* end,
+                           size_t expected_size, std::vector<double>* v) {
+  uint64_t n = 0;
+  FLEXMOE_RETURN_IF_ERROR(GetPod(cursor, end, &n));
+  if (n != expected_size) {
+    return Status::InvalidArgument("checkpoint vector size mismatch");
+  }
+  if (end - *cursor < static_cast<ptrdiff_t>(n * sizeof(double))) {
+    return Status::InvalidArgument("checkpoint truncated");
+  }
+  v->resize(static_cast<size_t>(n));
+  if (n > 0) {
+    std::memcpy(v->data(), *cursor, static_cast<size_t>(n) * sizeof(double));
+    *cursor += n * sizeof(double);
+  }
+  return Status::OK();
+}
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_UTIL_BYTE_IO_H_

@@ -176,6 +176,20 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.have_cached_normal = have_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 ZipfDistribution::ZipfDistribution(size_t n, double s) {
   FLEXMOE_CHECK(n > 0);
   probs_.resize(n);

@@ -70,6 +70,19 @@ class Rng {
   /// Creates an independent child stream (e.g. one per MoE layer).
   Rng Fork();
 
+  /// \brief Complete generator state (xoshiro words + the Box–Muller
+  /// cache), for checkpoint/restore of long-running streams.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  /// Captures the state; RestoreState on any Rng instance resumes the
+  /// stream byte-identically from the capture point.
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t s_[4];
   bool have_cached_normal_ = false;

@@ -3,13 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baselines/expert_parallel.h"
 #include "baselines/fastermoe.h"
 #include "baselines/swipe.h"
 #include "core/flexmoe.h"
 #include "elastic/recovery.h"
+#include "harness/golden.h"
 #include "test_env.h"
 
 namespace flexmoe {
@@ -288,6 +292,60 @@ TEST(FlexMoEFailureTest, PlacementsSurviveAdversarialFlipFlop) {
       ASSERT_TRUE(sys->live_placement(l).Validate().ok()) << "step " << s;
       ASSERT_TRUE(sys->target_placement(l).Validate().ok()) << "step " << s;
     }
+  }
+}
+
+// ---- failure during serving: a fail-stop mid-serving must not drop any
+// admitted request — the faulted batch retries wholesale — and the
+// SLO-violation accounting must match the committed golden digest
+// (tests/goldens/serving_failstop.golden; regenerate after an intentional
+// change with FLEXMOE_UPDATE_GOLDENS=1).
+
+TEST(ServingFailureTest, FailStopDuringServingDropsNoAdmittedRequests) {
+  const std::string golden_path =
+      std::string(FLEXMOE_TEST_SOURCE_DIR) + "/goldens/serving_failstop.golden";
+  const char* env = std::getenv("FLEXMOE_UPDATE_GOLDENS");
+  const bool update = env != nullptr && env[0] != '\0' && env[0] != '0';
+
+  std::vector<MetricsDigest> fresh;
+  for (const char* system : {"deepspeed", "fastermoe", "swipe", "flexmoe"}) {
+    ExperimentOptions o = ServingGoldenCell("bursty", system);
+    o.faults.scenario = "failstop";
+    o.faults.gpu = 2;
+    o.faults.fault_step = 20;  // mid-serving: batch 20 of 60
+    const auto report = RunExperiment(o);
+    ASSERT_TRUE(report.ok()) << system << ": "
+                             << report.status().ToString();
+    const ServingReport& s = report->serve;
+    // The fault actually hit a batch in flight...
+    EXPECT_GE(s.failed_batches, 1) << system;
+    EXPECT_EQ(report->faults_applied, 1) << system;
+    // ...yet no admitted request was dropped: everything that arrived is
+    // either completed or still queued, and the retried batch's requests
+    // completed with their retry latency.
+    EXPECT_EQ(s.requests_arrived,
+              s.requests_completed + s.requests_queued_at_end)
+        << system;
+    EXPECT_EQ(s.tokens_arrived,
+              s.tokens_completed + s.requests_queued_at_end *
+                                       o.serving.tokens_per_request)
+        << system;
+    EXPECT_GT(s.requests_completed, 0) << system;
+    fresh.push_back(DigestFromReport(
+        std::string("serve-failstop/bursty/") + system, *report));
+  }
+
+  if (update) {
+    ASSERT_TRUE(SaveDigests(fresh, golden_path).ok());
+    GTEST_SKIP() << "goldens updated: " << golden_path;
+  }
+  const auto golden = LoadDigests(golden_path);
+  ASSERT_TRUE(golden.ok()) << "missing golden " << golden_path
+                           << " — run with FLEXMOE_UPDATE_GOLDENS=1";
+  ASSERT_EQ(golden->size(), fresh.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    const Status match = CompareDigests((*golden)[i], fresh[i], 1e-9);
+    EXPECT_TRUE(match.ok()) << match.ToString();
   }
 }
 

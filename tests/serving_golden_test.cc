@@ -1,0 +1,149 @@
+// Golden-run differential harness for the serving path. For each serving
+// scenario, one quick cell per system (the canonical ServingGoldenCell)
+// runs through the experiment grid; the test asserts
+//
+//  1. the DIFFERENTIAL where skew creates real queueing (bursty and
+//     multi-tenant): FlexMoE's SLO attainment is STRICTLY higher than
+//     every static baseline's, with no worse p99 latency; and
+//  2. the GOLDEN pin: each cell's serving digest matches the committed
+//     digest in tests/goldens/serving_<scenario>.golden — trace hash,
+//     request/batch/retry counts exactly, latency metrics to 1e-9.
+//
+// Regenerate after an intentional behavior change with
+//   FLEXMOE_UPDATE_GOLDENS=1 ./serving_golden_test
+// and commit the diff (policy: DESIGN.md Sections 7.3 and 8).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/golden.h"
+#include "harness/grid_runner.h"
+
+namespace flexmoe {
+namespace {
+
+constexpr const char* kSystems[4] = {"deepspeed", "fastermoe", "swipe",
+                                     "flexmoe"};
+
+std::string GoldenPath(const std::string& scenario) {
+  return std::string(FLEXMOE_TEST_SOURCE_DIR) + "/goldens/serving_" +
+         scenario + ".golden";
+}
+
+bool UpdateMode() {
+  const char* env = std::getenv("FLEXMOE_UPDATE_GOLDENS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+class ServingGoldenTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(ServingGoldenTest, FlexMoEWinsAndMatchesGolden) {
+  const std::string scenario = GetParam();
+  std::vector<GridCell> cells;
+  for (const char* system : kSystems) {
+    GridCell cell;
+    cell.label = "serve/" + scenario + "/" + system;
+    cell.options = ServingGoldenCell(scenario, system);
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<GridCellResult> results = RunExperimentGrid(cells);
+  ASSERT_EQ(results.size(), 4u);
+  for (const GridCellResult& r : results) {
+    ASSERT_TRUE(r.status.ok()) << r.label << ": " << r.status.ToString();
+    ASSERT_TRUE(r.report.serving) << r.label;
+  }
+
+  // All four systems consumed the identical token stream.
+  const uint64_t h = results[3].report.trace_hash;
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(results[static_cast<size_t>(s)].report.trace_hash, h);
+  }
+
+  // --- the differential (strict where skew queues) ----------------------
+  const ServingReport& flex = results[3].report.serve;
+  if (scenario == "bursty" || scenario == "multi-tenant") {
+    for (int s = 0; s < 3; ++s) {
+      const ServingReport& base = results[static_cast<size_t>(s)].report.serve;
+      EXPECT_GT(flex.slo_attainment, base.slo_attainment)
+          << scenario << " vs " << results[static_cast<size_t>(s)].label;
+      EXPECT_LE(flex.p99_latency_seconds, base.p99_latency_seconds)
+          << scenario << " vs " << results[static_cast<size_t>(s)].label;
+    }
+  }
+
+  // --- the golden pin ---------------------------------------------------
+  std::vector<MetricsDigest> fresh;
+  for (const GridCellResult& r : results) {
+    fresh.push_back(DigestFromReport(r.label, r.report));
+    EXPECT_TRUE(fresh.back().serving);
+  }
+  const std::string path = GoldenPath(scenario);
+  if (UpdateMode()) {
+    ASSERT_TRUE(SaveDigests(fresh, path).ok());
+    GTEST_SKIP() << "goldens updated: " << path;
+  }
+  const auto golden = LoadDigests(path);
+  ASSERT_TRUE(golden.ok()) << "missing golden " << path
+                           << " — run with FLEXMOE_UPDATE_GOLDENS=1";
+  ASSERT_EQ(golden->size(), fresh.size()) << path;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    const Status match = CompareDigests((*golden)[i], fresh[i], 1e-9);
+    EXPECT_TRUE(match.ok()) << match.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServingCatalog, ServingGoldenTest,
+                         testing::Values("bursty", "diurnal", "multi-tenant"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// Serving digests round-trip through the text format exactly.
+TEST(ServingDigestTest, FormatParseRoundTrip) {
+  MetricsDigest d;
+  d.label = "serve/bursty/flexmoe";
+  d.system = "FlexMoE";
+  d.workload = "bursty";
+  d.num_gpus = 16;
+  d.steps = 60;
+  d.trace_hash = 0xfeedfacecafebeefULL;
+  d.mean_step_seconds = 0.004321;
+  d.serving = true;
+  d.requests_completed = 18231;
+  d.batches = 60;
+  d.failed_batches = 2;
+  d.tokens_recirculated = 123456;
+  d.slo_attainment = 0.98765432109876543;
+  d.p50_latency_seconds = 0.0071234567890123456;
+  d.p99_latency_seconds = 0.021987654321098765;
+  d.mean_latency_seconds = 0.0098765432109876543;
+  const auto parsed = ParseDigest(FormatDigest(d));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->serving);
+  EXPECT_TRUE(CompareDigests(d, *parsed, 0.0).ok());
+  EXPECT_EQ(parsed->p99_latency_seconds, d.p99_latency_seconds);
+  EXPECT_EQ(parsed->failed_batches, d.failed_batches);
+
+  // Drift in any serving field is caught.
+  MetricsDigest drifted = *parsed;
+  drifted.slo_attainment -= 1e-6;
+  EXPECT_FALSE(CompareDigests(d, drifted, 1e-9).ok());
+  drifted = *parsed;
+  drifted.failed_batches += 1;
+  EXPECT_FALSE(CompareDigests(d, drifted, 1e-9).ok());
+
+  // A training digest never compares equal to a serving one.
+  MetricsDigest training = d;
+  training.serving = false;
+  EXPECT_FALSE(CompareDigests(d, training, 1e-9).ok());
+}
+
+}  // namespace
+}  // namespace flexmoe

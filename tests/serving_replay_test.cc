@@ -1,0 +1,84 @@
+// The serving replay contract: a serving run recorded with record_path and
+// replayed with replay_path (same scenario options, so the arrival stream
+// regenerates identically) must produce byte-identical serving metrics for
+// every system — the serving twin of trace_replay_test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/golden.h"
+
+namespace flexmoe {
+namespace {
+
+ExperimentOptions SmallServing(const std::string& system) {
+  ExperimentOptions o = ServingGoldenCell("bursty", system);
+  o.measure_steps = 30;
+  o.warmup_steps = 5;
+  return o;
+}
+
+TEST(ServingReplayTest, AllSystemsByteIdenticalUnderReplay) {
+  const std::string trace_path =
+      testing::TempDir() + "/serving_replay.trace";
+  {
+    ExperimentOptions rec = SmallServing("flexmoe");
+    rec.workload.record_path = trace_path;
+    ASSERT_TRUE(RunExperiment(rec).ok());
+  }
+  for (const std::string system :
+       {"flexmoe", "deepspeed", "fastermoe", "swipe"}) {
+    const auto live = RunExperiment(SmallServing(system));
+    ASSERT_TRUE(live.ok()) << system;
+
+    ExperimentOptions replay_opts = SmallServing(system);
+    replay_opts.workload.replay_path = trace_path;
+    const auto replayed = RunExperiment(replay_opts);
+    ASSERT_TRUE(replayed.ok()) << system;
+
+    // Identical token stream...
+    EXPECT_EQ(live->trace_hash, replayed->trace_hash) << system;
+    // ...and byte-identical serving outcomes (== on doubles).
+    const ServingReport& a = live->serve;
+    const ServingReport& b = replayed->serve;
+    EXPECT_EQ(a.requests_arrived, b.requests_arrived) << system;
+    EXPECT_EQ(a.requests_completed, b.requests_completed) << system;
+    EXPECT_EQ(a.tokens_completed, b.tokens_completed) << system;
+    EXPECT_EQ(a.batches, b.batches) << system;
+    EXPECT_EQ(a.failed_batches, b.failed_batches) << system;
+    EXPECT_EQ(a.tokens_recirculated, b.tokens_recirculated) << system;
+    EXPECT_EQ(a.slo_violations, b.slo_violations) << system;
+    EXPECT_EQ(a.slo_attainment, b.slo_attainment) << system;
+    EXPECT_EQ(a.mean_latency_seconds, b.mean_latency_seconds) << system;
+    EXPECT_EQ(a.p50_latency_seconds, b.p50_latency_seconds) << system;
+    EXPECT_EQ(a.p99_latency_seconds, b.p99_latency_seconds) << system;
+    EXPECT_EQ(a.max_latency_seconds, b.max_latency_seconds) << system;
+    EXPECT_EQ(a.mean_batch_seconds, b.mean_batch_seconds) << system;
+    EXPECT_EQ(a.span_seconds, b.span_seconds) << system;
+    EXPECT_EQ(a.served_tokens_per_sec, b.served_tokens_per_sec) << system;
+    // Per-batch timelines too, not just aggregates.
+    ASSERT_EQ(live->stats.num_steps(), replayed->stats.num_steps()) << system;
+    for (int64_t s = 0; s < live->stats.num_steps(); ++s) {
+      ASSERT_EQ(live->stats.steps()[static_cast<size_t>(s)].step_seconds,
+                replayed->stats.steps()[static_cast<size_t>(s)].step_seconds)
+          << system << " batch " << s;
+    }
+  }
+}
+
+TEST(ServingReplayTest, ServingRunsAreDeterministic) {
+  // Two identical live serving runs are byte-identical — the foundation
+  // the golden digests stand on.
+  const auto a = RunExperiment(SmallServing("flexmoe"));
+  const auto b = RunExperiment(SmallServing("flexmoe"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->trace_hash, b->trace_hash);
+  EXPECT_EQ(a->serve.p99_latency_seconds, b->serve.p99_latency_seconds);
+  EXPECT_EQ(a->serve.slo_attainment, b->serve.slo_attainment);
+  EXPECT_EQ(a->serve.requests_completed, b->serve.requests_completed);
+}
+
+}  // namespace
+}  // namespace flexmoe
