@@ -6,6 +6,10 @@
 //   --legacy-gate    route sampling through the pre-optimization gate
 //   --workload NAME  workload scenario from the catalog (default:
 //                    pretrain-steady; see gate/logit_process.h)
+//   --size-mix NAME  serving request-size mix: fixed | heavy | both
+//                    (default both; see gate/request_source.h)
+//   --admission P    serving admission policy for sized cells: edf | sjf
+//                    (default edf; see core/serve_executor.h)
 
 #ifndef FLEXMOE_BENCH_BENCH_COMMON_H_
 #define FLEXMOE_BENCH_BENCH_COMMON_H_
@@ -56,6 +60,16 @@ inline const char* WorkloadName(int argc, char** argv) {
   return FlagValue(argc, argv, "--workload", "pretrain-steady");
 }
 
+/// Serving request-size mix: "--size-mix fixed|heavy|both", default both.
+inline const char* SizeMixName(int argc, char** argv) {
+  return FlagValue(argc, argv, "--size-mix", "both");
+}
+
+/// Serving admission policy: "--admission edf|sjf", default edf.
+inline const char* AdmissionPolicy(int argc, char** argv) {
+  return FlagValue(argc, argv, "--admission", "edf");
+}
+
 /// The flag set every grid bench shares, parsed once (previously each
 /// bench's main() re-assembled the same four calls).
 struct CommonFlags {
@@ -63,6 +77,8 @@ struct CommonFlags {
   int threads = 0;       ///< grid-runner workers; 0 = hardware
   bool legacy_gate = false;
   const char* workload = "pretrain-steady";
+  const char* size_mix = "both";  ///< serving benches only
+  const char* admission = "edf";  ///< serving benches only
 };
 
 inline CommonFlags ParseCommonFlags(int argc, char** argv) {
@@ -71,6 +87,8 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv) {
   flags.threads = GridThreads(argc, argv);
   flags.legacy_gate = LegacyGate(argc, argv);
   flags.workload = WorkloadName(argc, argv);
+  flags.size_mix = SizeMixName(argc, argv);
+  flags.admission = AdmissionPolicy(argc, argv);
   return flags;
 }
 

@@ -4,13 +4,24 @@
 // skewed, time-varying load a static layout either recirculates overflow
 // (DeepSpeed capacity, SWIPE's cap) or re-broadcasts shadows every batch
 // (FasterMoE), inflating tail latency — FlexMoE re-places experts once and
-// serves balanced batches. The differential is asserted where skew creates
-// real queueing: in the bursty and multi-tenant regimes FlexMoE must have
-// STRICTLY higher SLO attainment and no worse p99 latency than every
-// static baseline; the remaining scenarios print for context.
+// serves balanced batches.
+//
+// Two suites run by default (--size-mix selects one):
+//  * FIXED sizes — the legacy single-size stream; the differential is SLO
+//    attainment (honest, arrived-denominated) and p99 where skew creates
+//    real queueing: in the bursty and multi-tenant regimes FlexMoE must
+//    attain STRICTLY more with no worse p99 than every static baseline.
+//  * HEAVY sizes — the chat/batch-inference mix with deadline-aware
+//    shedding (ServingSizeMixCell): request sizes span the batch token
+//    cap, so admission chunks and sheds; the differential is GOODPUT
+//    (SLO-met tokens/sec over arrived traffic), strict in the same two
+//    regimes. Every cell also audits the admission ledger: arrived ==
+//    completed + shed + queued, i.e. nothing is silently dropped.
 //
 // Flags (bench_common.h): --quick --threads N --legacy-gate
 //   --workload NAME   run only one scenario
+//   --size-mix NAME   fixed | heavy | both (default both)
+//   --admission P     edf | sjf for the heavy suite (default edf)
 //   --digests PATH    write per-cell serving digests (golden record mode)
 
 #include <cstdio>
@@ -35,25 +46,125 @@ bool IsStrictScenario(const std::string& s) {
   return s == "bursty" || s == "multi-tenant";
 }
 
+void StretchClocks(ExperimentOptions* o) {
+  // Full scale: twice the horizon; scenario clocks stretch with it so
+  // each regime still expresses several times per run.
+  o->measure_steps = 120;
+  o->warmup_steps = 20;
+  o->workload.scenario.shift_step = 60;
+  o->workload.scenario.diurnal_period = 40.0;
+  o->workload.scenario.tenant_block_steps = 20;
+}
+
 ExperimentOptions ServingCell(const std::string& scenario,
-                              const std::string& system, bool quick) {
-  ExperimentOptions o = ServingGoldenCell(scenario, system);
-  if (!quick) {
-    // Full scale: twice the horizon; scenario clocks stretch with it so
-    // each regime still expresses several times per run.
-    o.measure_steps = 120;
-    o.warmup_steps = 20;
-    o.workload.scenario.shift_step = 60;
-    o.workload.scenario.diurnal_period = 40.0;
-    o.workload.scenario.tenant_block_steps = 20;
-  }
+                              const std::string& system, bool heavy,
+                              const std::string& admission, bool quick) {
+  ExperimentOptions o = heavy ? ServingSizeMixCell(scenario, system, admission)
+                              : ServingGoldenCell(scenario, system);
+  if (!quick) StretchClocks(&o);
   return o;
+}
+
+/// The conservation audit every cell must pass: nothing that arrived was
+/// silently dropped — it completed, was counted shed, or is still queued.
+bool LedgerHolds(const ServingReport& r) {
+  return r.requests_arrived ==
+             r.requests_completed + r.requests_shed +
+                 r.requests_queued_at_end &&
+         r.tokens_arrived == r.tokens_completed + r.tokens_shed +
+                                 r.tokens_queued_at_end;
+}
+
+/// Runs one suite (fixed or heavy sizes) over `scenarios`; returns the
+/// number of strict-scenario differential violations.
+int RunSuite(const std::vector<std::string>& scenarios, bool heavy,
+             const bench::CommonFlags& flags,
+             std::vector<MetricsDigest>* digests) {
+  std::vector<GridCell> cells;
+  for (const std::string& scenario : scenarios) {
+    for (const char* system : kSystems) {
+      GridCell cell;
+      cell.label = StrFormat("serve%s/%s/%s", heavy ? "-sized" : "",
+                             scenario.c_str(), system);
+      cell.options =
+          ServingCell(scenario, system, heavy, flags.admission, flags.quick);
+      cell.options.legacy_gate = flags.legacy_gate;
+      cells.push_back(std::move(cell));
+    }
+  }
+  const std::vector<GridCellResult> results =
+      RunExperimentGrid(cells, flags.threads);
+
+  std::printf("=== %s sizes (%s admission) ===\n",
+              heavy ? "heavy-tailed" : "fixed",
+              heavy ? flags.admission : "edf");
+  int violations = 0;
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const GridCellResult* row = results.data() + 4 * i;
+    for (int s = 0; s < 4; ++s) {
+      FLEXMOE_CHECK_MSG(row[s].status.ok(), row[s].status.ToString());
+      FLEXMOE_CHECK_MSG(LedgerHolds(row[s].report.serve),
+                        StrFormat("%s: admission ledger does not conserve",
+                                  row[s].label.c_str()));
+      digests->push_back(DigestFromReport(row[s].label, row[s].report));
+    }
+    const ServingReport& flex = row[3].report.serve;
+
+    Table table({"system", "attain %", "goodput Mtok/s", "shed", "p50 (ms)",
+                 "p99 (ms)", "recirc Mtok", "served Mtok/s"});
+    for (int s = 0; s < 4; ++s) {
+      const ServingReport& r = row[s].report.serve;
+      table.AddRow({row[s].report.system,
+                    StrFormat("%.1f", 100.0 * r.slo_attainment),
+                    StrFormat("%.2f", r.goodput_tokens_per_sec / 1e6),
+                    StrFormat("%lld", static_cast<long long>(r.requests_shed)),
+                    StrFormat("%.2f", r.p50_latency_seconds * 1e3),
+                    StrFormat("%.2f", r.p99_latency_seconds * 1e3),
+                    StrFormat("%.2f",
+                              static_cast<double>(r.tokens_recirculated) / 1e6),
+                    StrFormat("%.2f", r.served_tokens_per_sec / 1e6)});
+    }
+    std::printf("--- %s ---\n%s", scenarios[i].c_str(),
+                table.ToAscii().c_str());
+
+    bool ok = true;
+    for (int s = 0; s < 3; ++s) {
+      const ServingReport& base = row[s].report.serve;
+      if (heavy) {
+        // The sized suite's claim is goodput over arrived traffic.
+        if (flex.goodput_tokens_per_sec <= base.goodput_tokens_per_sec) {
+          ok = false;
+        }
+      } else {
+        if (flex.slo_attainment <= base.slo_attainment) ok = false;
+        if (flex.p99_latency_seconds > base.p99_latency_seconds) ok = false;
+      }
+    }
+    if (IsStrictScenario(scenarios[i])) {
+      std::printf("  differential: %s\n\n", ok ? "FlexMoE wins" : "VIOLATED");
+      if (!ok) ++violations;
+    } else {
+      std::printf("  differential (informational): %s\n\n",
+                  ok ? "FlexMoE wins" : "not strict here");
+    }
+  }
+  return violations;
 }
 
 int Run(int argc, char** argv) {
   const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
   const char* only = bench::FlagValue(argc, argv, "--workload", "");
   const char* digests_path = bench::FlagValue(argc, argv, "--digests", "");
+  const std::string mix = flags.size_mix;
+  if (mix != "fixed" && mix != "heavy" && mix != "both") {
+    std::fprintf(stderr, "unknown --size-mix '%s'\n", mix.c_str());
+    return 2;
+  }
+  const std::string admission = flags.admission;
+  if (admission != "edf" && admission != "sjf") {
+    std::fprintf(stderr, "unknown --admission '%s'\n", admission.c_str());
+    return 2;
+  }
 
   bench::PrintHeader("Serving SLO suite — all systems x serving scenarios",
                      "dynamic placement must win the tail where skew queues");
@@ -69,58 +180,13 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<GridCell> cells;
-  for (const std::string& scenario : scenarios) {
-    for (const char* system : kSystems) {
-      GridCell cell;
-      cell.label = StrFormat("serve/%s/%s", scenario.c_str(), system);
-      cell.options = ServingCell(scenario, system, flags.quick);
-      cell.options.legacy_gate = flags.legacy_gate;
-      cells.push_back(std::move(cell));
-    }
-  }
-  const std::vector<GridCellResult> results =
-      RunExperimentGrid(cells, flags.threads);
-
   std::vector<MetricsDigest> digests;
   int violations = 0;
-  for (size_t i = 0; i < scenarios.size(); ++i) {
-    const GridCellResult* row = results.data() + 4 * i;
-    for (int s = 0; s < 4; ++s) {
-      FLEXMOE_CHECK_MSG(row[s].status.ok(), row[s].status.ToString());
-      digests.push_back(DigestFromReport(row[s].label, row[s].report));
-    }
-    const ServingReport& flex = row[3].report.serve;
-
-    Table table({"system", "attain %", "p50 (ms)", "p99 (ms)", "batch (ms)",
-                 "recirc Mtok", "served Mtok/s"});
-    for (int s = 0; s < 4; ++s) {
-      const ServingReport& r = row[s].report.serve;
-      table.AddRow({row[s].report.system,
-                    StrFormat("%.1f", 100.0 * r.slo_attainment),
-                    StrFormat("%.2f", r.p50_latency_seconds * 1e3),
-                    StrFormat("%.2f", r.p99_latency_seconds * 1e3),
-                    StrFormat("%.2f", r.mean_batch_seconds * 1e3),
-                    StrFormat("%.2f",
-                              static_cast<double>(r.tokens_recirculated) / 1e6),
-                    StrFormat("%.2f", r.served_tokens_per_sec / 1e6)});
-    }
-    std::printf("--- %s ---\n%s", scenarios[i].c_str(),
-                table.ToAscii().c_str());
-
-    bool ok = true;
-    for (int s = 0; s < 3; ++s) {
-      const ServingReport& base = row[s].report.serve;
-      if (flex.slo_attainment <= base.slo_attainment) ok = false;
-      if (flex.p99_latency_seconds > base.p99_latency_seconds) ok = false;
-    }
-    if (IsStrictScenario(scenarios[i])) {
-      std::printf("  differential: %s\n\n", ok ? "FlexMoE wins" : "VIOLATED");
-      if (!ok) ++violations;
-    } else {
-      std::printf("  differential (informational): %s\n\n",
-                  ok ? "FlexMoE wins" : "not strict here");
-    }
+  if (mix != "heavy") {
+    violations += RunSuite(scenarios, /*heavy=*/false, flags, &digests);
+  }
+  if (mix != "fixed") {
+    violations += RunSuite(scenarios, /*heavy=*/true, flags, &digests);
   }
 
   if (digests_path[0] != '\0') {
@@ -130,13 +196,14 @@ int Run(int argc, char** argv) {
   }
   if (violations > 0) {
     std::fprintf(stderr,
-                 "FAIL: serving differential violated in %d scenario(s)\n",
+                 "FAIL: serving differential violated in %d suite-scenario"
+                 " pair(s)\n",
                  violations);
     return 1;
   }
   std::printf(
-      "bursty + multi-tenant: FlexMoE beats every static baseline on SLO "
-      "attainment with no worse p99.\n");
+      "bursty + multi-tenant: FlexMoE beats every static baseline — "
+      "attainment/p99 at fixed sizes, goodput under the heavy-tailed mix.\n");
   return 0;
 }
 

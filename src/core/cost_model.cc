@@ -1,7 +1,9 @@
 #include "core/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "moe/transformer.h"
 #include "util/status.h"
 
 namespace flexmoe {
@@ -109,6 +111,48 @@ LayerCostEstimate CostModel::EstimateLayer(const Assignment& assignment,
 double CostModel::EstimateLayerSeconds(const Assignment& assignment,
                                        const Placement& placement) const {
   return EstimateLayer(assignment, placement).total_seconds;
+}
+
+double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
+                                        const ModelConfig& model,
+                                        int num_gpus, int64_t tokens) {
+  FLEXMOE_CHECK(num_gpus > 0);
+  if (tokens <= 0) return 0.0;
+  const double assignments =
+      static_cast<double>(tokens) * static_cast<double>(model.top_k);
+  const double per_gpu = assignments / static_cast<double>(num_gpus);
+  const double fwd_flops = model.expert_fwd_flops_per_token();
+
+  // Expert compute: a balanced layout puts per_gpu assignments on every
+  // device, so the Eq. 5 outer max degenerates to any one GPU's share.
+  const double compute_per_layer = profile.ComputeSeconds(per_gpu, fwd_flops);
+
+  // All-to-All: under the uniform pattern each destination receives
+  // per_gpu tokens spread evenly over the sources. Two crossings per layer
+  // (dispatch + combine) — the forward half of Eq. 8's 4x — and the
+  // bottleneck destination sets the phase time.
+  const double per_pair_bytes =
+      per_gpu / static_cast<double>(num_gpus) * model.token_bytes();
+  double worst_a2a = 0.0;
+  for (GpuId dst = 0; dst < num_gpus; ++dst) {
+    double seconds = 0.0;
+    double max_lat = 0.0;
+    for (GpuId src = 0; src < num_gpus; ++src) {
+      seconds += per_pair_bytes / profile.BandwidthBytesPerSec(src, dst);
+      max_lat = std::max(max_lat, profile.LatencySeconds(src, dst));
+    }
+    worst_a2a = std::max(worst_a2a, 2.0 * (seconds + 2.0 * max_lat));
+  }
+
+  // Non-MoE forward share: the same fwd/fwdbwd scaling the forward
+  // executor applies (StepExecutor::ExecuteForward).
+  const double fwd_fraction =
+      fwd_flops / model.expert_fwdbwd_flops_per_token();
+  const double non_moe = NonMoEComputeSeconds(model, profile) * fwd_fraction;
+
+  return static_cast<double>(model.num_moe_layers) *
+             (compute_per_layer + worst_a2a) +
+         non_moe;
 }
 
 }  // namespace flexmoe

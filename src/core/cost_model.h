@@ -80,6 +80,19 @@ class CostModel {
   ExpertShape shape_;
 };
 
+/// \brief Contention-free forward-latency estimate for a serving
+/// microbatch of `tokens` admitted tokens: per-GPU expert compute at the
+/// forward FLOP share under perfectly balanced routing, dispatch+combine
+/// All-to-All (two crossings — the forward half of Eq. 8), and the non-MoE
+/// forward share. Balanced routing and zero stream contention make this a
+/// floor on what the discrete-event executors measure, which is exactly
+/// what the ServeExecutor's deadline-aware shedding needs: a request whose
+/// deadline precedes even this estimate is provably unreachable
+/// (DESIGN.md Section 8).
+double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
+                                        const ModelConfig& model,
+                                        int num_gpus, int64_t tokens);
+
 }  // namespace flexmoe
 
 #endif  // FLEXMOE_CORE_COST_MODEL_H_

@@ -26,7 +26,12 @@ Status ServingOptions::Validate() const {
   if (max_batch_tokens < 0) {
     return Status::InvalidArgument("serving.max_batch_tokens must be >= 0");
   }
-  return Status::OK();
+  if (admission_policy != "edf" && admission_policy != "sjf") {
+    return Status::InvalidArgument(StrFormat(
+        "serving.admission_policy '%s' unknown (want edf|sjf)",
+        admission_policy.c_str()));
+  }
+  return size_mix.Validate();
 }
 
 Assignment ScaleAssignmentTo(const Assignment& src, int64_t target_total) {
@@ -50,11 +55,16 @@ Assignment ScaleAssignmentTo(const Assignment& src, int64_t target_total) {
     for (int g = 0; g < src.num_gpus(); ++g) {
       const int64_t count = row[g];
       if (count <= 0) continue;
-      // count, target_total <= ~2^31 in practice; the product fits int64
-      // for every shape the harness builds (tokens_per_gpu * gpus * top_k).
-      const int64_t numer = count * target_total;
-      const int64_t floor_share = numer / src_total;
-      const int64_t rem = numer % src_total;
+      // The per-cell product can exceed int64 for large traces rescaled to
+      // large batches (count and target_total can each approach 2^33), so
+      // it is taken in 128-bit arithmetic; the quotient is <= target_total
+      // and the remainder < src_total, both of which fit int64.
+      const __int128 numer =
+          static_cast<__int128>(count) * static_cast<__int128>(target_total);
+      const int64_t floor_share =
+          static_cast<int64_t>(numer / static_cast<__int128>(src_total));
+      const int64_t rem =
+          static_cast<int64_t>(numer % static_cast<__int128>(src_total));
       if (floor_share > 0) out.set(e, g, floor_share);
       assigned += floor_share;
       if (rem > 0) remainders.push_back({rem, e, g});
@@ -88,44 +98,109 @@ double NearestRankQuantile(const std::vector<double>& sorted_ascending,
   return sorted_ascending[rank - 1];
 }
 
+/// A request waiting in the admission queue; `remaining` shrinks as
+/// cap-sized chunks of an oversized request execute.
+struct QueuedRequest {
+  ServeRequest req;
+  int64_t remaining = 0;
+};
+
+/// One admitted entry of the batch being formed.
+struct AdmittedChunk {
+  ServeRequest req;
+  int64_t chunk = 0;             ///< tokens executing in this batch
+  int64_t remaining_before = 0;  ///< remaining at admission (>= chunk)
+};
+
+/// Rounds of the form-a-batch loop in which every queued request was shed
+/// before giving up: a pure safety valve against a configuration whose
+/// every request is hopeless at birth (SLO below the best-case latency of
+/// the smallest request), which would otherwise never form a batch.
+constexpr int64_t kMaxShedOnlyRounds = 1 << 20;
+
 }  // namespace
 
 ServeExecutor::ServeExecutor(MoESystem* system, TraceSource* source,
                              RequestSource* requests,
                              const ServingOptions& options,
-                             int64_t max_batch_tokens, int top_k)
+                             int64_t max_batch_tokens, int top_k,
+                             LatencyEstimator estimator)
     : system_(system),
       source_(source),
       requests_(requests),
       options_(options),
       max_batch_tokens_(max_batch_tokens),
-      top_k_(top_k) {
+      top_k_(top_k),
+      estimator_(std::move(estimator)) {
   FLEXMOE_CHECK(system != nullptr && source != nullptr && requests != nullptr);
-  FLEXMOE_CHECK(max_batch_tokens > 0);
-  FLEXMOE_CHECK(top_k > 0);
+}
+
+double ServeExecutor::BestCaseServiceSeconds(int64_t remaining) const {
+  if (remaining <= 0) return 0.0;
+  // An oversized request drains as full-cap chunks plus a tail chunk, one
+  // batch each; a fitting request is one estimator call. The estimator is
+  // the cost model's contention-free forward time, so this is the floor of
+  // any actual service — shedding on it rejects only hopeless requests.
+  // The full-chunk estimate is a run constant (cached: the shed check runs
+  // once per popped request, and an outage backlog runs to millions).
+  const int64_t full = remaining / max_batch_tokens_;
+  const int64_t tail = remaining % max_batch_tokens_;
+  double seconds = static_cast<double>(full) * cap_chunk_seconds_;
+  if (tail > 0) seconds += estimator_(tail);
+  return seconds;
 }
 
 Result<ServingReport> ServeExecutor::Run(int num_batches) {
   if (num_batches <= 0) {
     return Status::InvalidArgument("num_batches must be > 0");
   }
+  // Resolved-sizing validation (the harness derives 0 into a real cap;
+  // a direct caller that forgot must get a status, not a crash).
+  if (max_batch_tokens_ <= 0) {
+    return Status::InvalidArgument(
+        "serving max_batch_tokens must be resolved to > 0 (0 is only a "
+        "derive-me placeholder at the experiment level)");
+  }
+  if (top_k_ <= 0) {
+    return Status::InvalidArgument("serving top_k must be > 0");
+  }
+  {
+    // Validate with the master switch forced on: an executor constructed
+    // at all IS serving, so a direct caller's bad policy/mix must not
+    // slip past Validate()'s disabled-mode early-out.
+    ServingOptions check = options_;
+    check.enabled = true;
+    FLEXMOE_RETURN_IF_ERROR(check.Validate());
+  }
+  if (options_.shed_unreachable && !estimator_) {
+    return Status::InvalidArgument(
+        "shed_unreachable requires a forward-latency estimator");
+  }
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  const bool sjf = options_.admission_policy == "sjf";
+  const bool shedding = options_.shed_unreachable;
+  cap_chunk_seconds_ = shedding ? estimator_(max_batch_tokens_) : 0.0;
 
   ServingReport report;
-  // EDF priority queue: after an outage the backlog can run to millions
-  // of requests, so admission must not re-sort the whole queue per batch.
-  const auto edf_after = [](const ServeRequest& a, const ServeRequest& b) {
-    if (a.deadline_seconds != b.deadline_seconds) {
-      return a.deadline_seconds > b.deadline_seconds;
+  // Priority queue in admission order: after an outage the backlog can run
+  // to millions of requests, so admission must not re-sort the whole queue
+  // per batch. EDF orders by (deadline, arrival, id); SJF by remaining
+  // size first with the same tie-break, so draining order stays a pure
+  // function of the stream.
+  const auto admit_after = [sjf](const QueuedRequest& a,
+                                 const QueuedRequest& b) {
+    if (sjf && a.remaining != b.remaining) return a.remaining > b.remaining;
+    if (a.req.deadline_seconds != b.req.deadline_seconds) {
+      return a.req.deadline_seconds > b.req.deadline_seconds;
     }
-    if (a.arrival_seconds != b.arrival_seconds) {
-      return a.arrival_seconds > b.arrival_seconds;
+    if (a.req.arrival_seconds != b.req.arrival_seconds) {
+      return a.req.arrival_seconds > b.req.arrival_seconds;
     }
-    return a.id > b.id;
+    return a.req.id > b.req.id;
   };
-  std::priority_queue<ServeRequest, std::vector<ServeRequest>,
-                      decltype(edf_after)>
-      queue(edf_after);
+  std::priority_queue<QueuedRequest, std::vector<QueuedRequest>,
+                      decltype(admit_after)>
+      queue(admit_after);
   std::vector<double> latencies;
   double engine_idle = 0.0;
   double first_launch = -1.0;
@@ -138,7 +213,7 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
       ServeRequest req = requests_->Next();
       report.requests_arrived += 1;
       report.tokens_arrived += req.tokens;
-      queue.push(req);
+      queue.push({req, req.tokens});
     }
   };
 
@@ -149,46 +224,92 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
 
     pull_arrivals_upto(engine_idle);
     record.backlog_at_idle = static_cast<int>(queue.size());
-    double launch;
-    if (!queue.empty()) {
-      // Work-conserving: the backlog already waited out the previous
-      // batch's execution — that was its batching window.
-      launch = engine_idle;
-    } else {
-      // Idle engine: the window opens at the first arrival and the batch
-      // collects everything landing within it.
-      const double t0 = std::max(engine_idle, requests_->PeekArrival());
-      launch = t0 + options_.batch_window_seconds;
-      pull_arrivals_upto(launch);
-    }
 
-    // EDF admission under the token cap; at least one request always
-    // enters (requests are sized far below the cap by construction).
-    std::vector<ServeRequest> admitted;
+    // Form a non-empty batch. A round either admits something, or shed
+    // every queued request and loops to wait for new arrivals.
+    std::vector<AdmittedChunk> admitted;
     int64_t admitted_tokens = 0;
     record.max_admitted_deadline = -kInf;
-    while (!queue.empty()) {
-      const ServeRequest& req = queue.top();
-      if (!admitted.empty() &&
-          admitted_tokens + req.tokens > max_batch_tokens_) {
+    record.max_admitted_remaining = 0;
+    double launch = engine_idle;
+    int64_t shed_only_rounds = 0;
+    while (true) {
+      if (!queue.empty()) {
+        // Work-conserving: the backlog already waited out the previous
+        // batch's execution — that was its batching window.
+        launch = engine_idle;
+      } else {
+        // Idle engine: the window opens at the first arrival and the
+        // batch collects everything landing within it.
+        const double t0 = std::max(engine_idle, requests_->PeekArrival());
+        launch = t0 + options_.batch_window_seconds;
+        pull_arrivals_upto(launch);
+      }
+
+      // Admission under the token cap, in policy order.
+      while (!queue.empty()) {
+        const QueuedRequest& top = queue.top();
+        if (shedding && launch + BestCaseServiceSeconds(top.remaining) >
+                            top.req.deadline_seconds) {
+          // The deadline precedes even a best-case completion: reject the
+          // request (counted, never executed) instead of serving it dead.
+          report.requests_shed += 1;
+          report.tokens_shed += top.remaining;
+          record.shed += 1;
+          queue.pop();
+          continue;
+        }
+        const int64_t space = max_batch_tokens_ - admitted_tokens;
+        if (top.remaining <= space) {
+          record.max_admitted_deadline =
+              std::max(record.max_admitted_deadline, top.req.deadline_seconds);
+          record.max_admitted_remaining =
+              std::max(record.max_admitted_remaining, top.remaining);
+          admitted.push_back({top.req, top.remaining, top.remaining});
+          admitted_tokens += top.remaining;
+          queue.pop();
+          continue;
+        }
+        if (admitted.empty()) {
+          // Oversized head fronting an empty batch: admit a cap-sized solo
+          // chunk so the request drains across consecutive batches instead
+          // of deadlocking the engine (the remainder re-enters the queue
+          // after execution, deadline and arrival intact).
+          const QueuedRequest head = queue.top();
+          queue.pop();
+          record.max_admitted_deadline = std::max(record.max_admitted_deadline,
+                                                  head.req.deadline_seconds);
+          record.max_admitted_remaining =
+              std::max(record.max_admitted_remaining, head.remaining);
+          record.chunked += 1;
+          report.chunked_admissions += 1;
+          admitted.push_back({head.req, space, head.remaining});
+          admitted_tokens += space;  // batch is now exactly full
+        }
         break;
       }
-      admitted_tokens += req.tokens;
-      record.max_admitted_deadline =
-          std::max(record.max_admitted_deadline, req.deadline_seconds);
-      admitted.push_back(req);
-      queue.pop();
+      if (!admitted.empty()) break;
+      if (++shed_only_rounds > kMaxShedOnlyRounds) {
+        return Status::InvalidArgument(StrFormat(
+            "shedding rejected every request for %lld consecutive rounds at "
+            "serving batch %d — the SLO is below the best-case latency of "
+            "the whole size mix",
+            static_cast<long long>(shed_only_rounds), b));
+      }
     }
-    FLEXMOE_CHECK(!admitted.empty());
 
     record.launch = launch;
     record.tokens = admitted_tokens;
     record.num_requests = static_cast<int>(admitted.size());
     record.left_waiting = static_cast<int>(queue.size());
-    // The heap top is the earliest remaining deadline — exactly the EDF
-    // invariant witness.
+    // The heap top is the first remaining request in admission order —
+    // under EDF the earliest waiting deadline, under SJF the smallest
+    // waiting remainder: exactly the active policy's invariant witness.
     record.min_waiting_deadline =
-        queue.empty() ? kInf : queue.top().deadline_seconds;
+        queue.empty() ? kInf : queue.top().req.deadline_seconds;
+    record.min_waiting_remaining =
+        queue.empty() ? std::numeric_limits<int64_t>::max()
+                      : queue.top().remaining;
 
     // Shape the microbatch's routing from the next source step, rescaled
     // to the admitted volume (tokens -> top_k assignments each).
@@ -217,24 +338,51 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
 
     if (metrics.tokens_dropped > 0) {
       // A fault hit this batch: its responses are lost, but the admitted
-      // requests are not — the whole batch re-enters the queue (original
+      // requests are not — every chunk re-enters the queue (original
       // arrivals and deadlines intact) and re-executes later.
       record.failed = true;
       report.failed_batches += 1;
-      for (const ServeRequest& req : admitted) queue.push(req);
+      for (const AdmittedChunk& entry : admitted) {
+        queue.push({entry.req, entry.remaining_before});
+      }
     } else {
-      for (const ServeRequest& req : admitted) {
-        const double latency = end - req.arrival_seconds;
+      for (const AdmittedChunk& entry : admitted) {
+        report.tokens_completed += entry.chunk;
+        const int64_t remaining_after = entry.remaining_before - entry.chunk;
+        if (remaining_after > 0) {
+          // Partial chunk of an oversized request: the remainder waits for
+          // the next batch; the request completes when its last chunk does.
+          queue.push({entry.req, remaining_after});
+          continue;
+        }
+        const double latency = end - entry.req.arrival_seconds;
         latencies.push_back(latency);
         report.requests_completed += 1;
-        report.tokens_completed += req.tokens;
-        if (end > req.deadline_seconds) report.slo_violations += 1;
+        if (end > entry.req.deadline_seconds) {
+          report.requests_completed_late += 1;
+        } else {
+          report.tokens_completed_within_slo += entry.req.tokens;
+        }
       }
     }
     log_.push_back(record);
   }
 
-  report.requests_queued_at_end = static_cast<int64_t>(queue.size());
+  // Horizon-end accounting over the surviving backlog: a queued request
+  // whose deadline already passed can never meet it — it counts as a
+  // violation instead of silently inflating attainment (the survivor-bias
+  // fix), while still-feasible queued requests are censored, not violated.
+  const double horizon = last_end;
+  while (!queue.empty()) {
+    const QueuedRequest& left = queue.top();
+    report.requests_queued_at_end += 1;
+    report.tokens_queued_at_end += left.remaining;
+    if (left.req.deadline_seconds <= horizon) {
+      report.requests_queued_past_deadline += 1;
+    }
+    queue.pop();
+  }
+
   if (!latencies.empty()) {
     double sum = 0.0;
     for (const double v : latencies) sum += v;
@@ -245,11 +393,16 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
     report.p99_latency_seconds = NearestRankQuantile(latencies, 0.99);
     report.max_latency_seconds = latencies.back();
   }
+  report.slo_violations = report.requests_completed_late +
+                          report.requests_shed +
+                          report.requests_queued_past_deadline;
+  const int64_t decided = report.requests_completed + report.requests_shed +
+                          report.requests_queued_past_deadline;
   report.slo_attainment =
-      report.requests_completed > 0
+      decided > 0
           ? static_cast<double>(report.requests_completed -
-                                report.slo_violations) /
-                static_cast<double>(report.requests_completed)
+                                report.requests_completed_late) /
+                static_cast<double>(decided)
           : 1.0;
   report.mean_batch_seconds =
       batch_seconds_sum / static_cast<double>(report.batches);
@@ -259,6 +412,11 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
   report.served_tokens_per_sec =
       report.span_seconds > 0.0
           ? static_cast<double>(report.tokens_completed) / report.span_seconds
+          : 0.0;
+  report.goodput_tokens_per_sec =
+      report.span_seconds > 0.0
+          ? static_cast<double>(report.tokens_completed_within_slo) /
+                report.span_seconds
           : 0.0;
   return report;
 }

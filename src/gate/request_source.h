@@ -6,10 +6,19 @@
 // multi-tenant regimes shape WHEN traffic lands, while the TraceSource
 // shapes WHERE the gate routes it.
 //
-// Determinism contract: arrivals are a pure function of the options (rate
-// windows are consumed strictly in order, each drawing from the source's
-// own Rng), so a serving run and its replay see identical request streams
-// for a fixed seed.
+// Request SIZES come from a configurable mix (SizeMixOptions): the legacy
+// "fixed" mix gives every request exactly tokens_per_request (and draws
+// nothing from the Rng, so pre-mix streams replay byte-identically), while
+// the "heavy" mix draws a two-class chat/batch-inference size per request
+// — a lognormal body with a Pareto tail — whose class share is conditioned
+// on the same scenario that modulates the rate.
+//
+// Determinism contract: arrivals and sizes are a pure function of the
+// options (rate windows are consumed strictly in order, each drawing from
+// the source's own Rng), so a serving run and its replay see identical
+// request streams for a fixed seed. The full stream state checkpoints and
+// restores byte-identically (SaveCheckpoint/RestoreCheckpoint), like the
+// trace generator's.
 
 #ifndef FLEXMOE_GATE_REQUEST_SOURCE_H_
 #define FLEXMOE_GATE_REQUEST_SOURCE_H_
@@ -32,6 +41,34 @@ struct ServeRequest {
   int64_t tokens = 0;
 };
 
+/// \brief Request-size distribution. All size parameters are multiples of
+/// `tokens_per_request`, so one mix definition scales with the workload.
+struct SizeMixOptions {
+  /// "fixed"  every request is exactly tokens_per_request; no Rng draws,
+  ///          byte-identical to the pre-mix stream.
+  /// "heavy"  two-class mix per request: a CHAT turn (lognormal, median
+  ///          chat_median_factor x tokens_per_request, log-sigma
+  ///          chat_log_sigma) with probability chat_fraction, else a
+  ///          BATCH-INFERENCE job (Pareto(batch_pareto_alpha) with scale
+  ///          batch_scale_factor x tokens_per_request — the heavy tail).
+  ///          Defaults keep the mix mean near tokens_per_request while the
+  ///          tail reaches max_factor x tokens_per_request, so sized
+  ///          streams stress the serving token cap without changing the
+  ///          offered load of an equivalent fixed-size cell.
+  std::string name = "fixed";
+  double chat_fraction = 0.85;
+  double chat_median_factor = 0.5;
+  double chat_log_sigma = 0.6;
+  double batch_scale_factor = 1.1;
+  double batch_pareto_alpha = 1.5;
+  /// Hard per-request clamp: max_factor x tokens_per_request.
+  double max_factor = 64.0;
+
+  bool fixed() const { return name == "fixed"; }
+
+  Status Validate() const;
+};
+
 /// \brief Arrival-process configuration.
 struct RequestSourceOptions {
   /// Mean arrival rate (requests/second) before scenario modulation.
@@ -51,6 +88,8 @@ struct RequestSourceOptions {
   ///   diurnal     sinusoidal rate, period diurnal_period steps
   ///   multi-tenant  tenant time slices with distinct per-tenant rates
   ScenarioOptions scenario;
+  /// Per-request token sizes (see SizeMixOptions).
+  SizeMixOptions size_mix;
   uint64_t seed = 42;
 
   Status Validate() const;
@@ -71,16 +110,36 @@ class RequestSource {
   /// for windows the stream already generated; exposed for tests.
   double WindowMultiplier(int64_t window) const;
 
+  /// Largest per-request size the mix can emit (the clamp), in tokens.
+  int64_t MaxRequestTokens() const;
+
   const RequestSourceOptions& options() const { return options_; }
+
+  /// Serializes the complete stream state (options fingerprint, Rng words,
+  /// window/burst cursors, buffered requests) so a serving run can pause
+  /// and resume the arrival stream byte-identically — the request-side
+  /// twin of TraceGenerator::SaveCheckpoint.
+  std::string SaveCheckpoint() const;
+
+  /// Restores a SaveCheckpoint payload onto a source built from identical
+  /// options; rejects mismatched fingerprints and corrupt payloads.
+  Status RestoreCheckpoint(const std::string& bytes);
 
  private:
   explicit RequestSource(const RequestSourceOptions& options);
+
+  /// The numeric scenario/size-mix parameters folded into the checkpoint
+  /// fingerprint (names alone would accept a diverging restore).
+  std::vector<double> FingerprintParams() const;
 
   /// Generates windows until at least one arrival is buffered.
   void FillBuffer();
   /// The rate multiplier of window `w`; advances the burst state, so it
   /// must be called once per window in order.
   double NextWindowMultiplier(int64_t w);
+  /// Draws one request's token count for window `w` (whose rate
+  /// multiplier was `mult`); consumes Rng draws only for non-fixed mixes.
+  int64_t NextRequestTokens(int64_t w, double mult);
 
   RequestSourceOptions options_;
   Rng rng_;

@@ -6,6 +6,7 @@
 #include "baselines/fastermoe.h"
 #include "baselines/swipe.h"
 #include "collective/profiler.h"
+#include "core/cost_model.h"
 #include "util/string_util.h"
 
 namespace flexmoe {
@@ -184,6 +185,7 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
     ro.slo_seconds = options.serving.slo_seconds;
     ro.step_seconds = options.serving.batch_window_seconds;
     ro.scenario = options.workload.scenario;
+    ro.size_mix = options.serving.size_mix;
     // Salted so the arrival stream is independent of the routing stream
     // even though both derive from the experiment seed.
     constexpr uint64_t kServingSeedSalt = 0x5e12f1c3a7b98d41ULL;
@@ -194,8 +196,16 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
         options.serving.max_batch_tokens > 0
             ? options.serving.max_batch_tokens
             : options.model.tokens_per_gpu * options.num_gpus;
+    // Deadline-aware shedding tests against the cost model's contention-
+    // free forward estimate (core/cost_model.h).
+    ServeExecutor::LatencyEstimator estimator =
+        [&profile, &options](int64_t tokens) {
+          return EstimateForwardMicrobatchSeconds(profile, options.model,
+                                                  options.num_gpus, tokens);
+        };
     ServeExecutor serve(system.get(), source.get(), &requests,
-                        options.serving, max_batch, options.model.top_k);
+                        options.serving, max_batch, options.model.top_k,
+                        std::move(estimator));
     FLEXMOE_ASSIGN_OR_RETURN(serve_report,
                              serve.Run(options.measure_steps));
     trace_hash = serve.trace_hash();

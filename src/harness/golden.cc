@@ -61,6 +61,26 @@ ExperimentOptions ServingGoldenCell(const std::string& scenario,
   return o;
 }
 
+ExperimentOptions ServingSizeMixCell(const std::string& scenario,
+                                     const std::string& system,
+                                     const std::string& admission_policy) {
+  ExperimentOptions o = ServingGoldenCell(scenario, system);
+  // Heavy-tailed chat/batch sizes around a 4x larger base request, at a
+  // quarter of the rate: the OFFERED token load matches the fixed-size
+  // cell (the mix mean sits near tokens_per_request), while the Pareto
+  // tail reaches 64 x 1024 = 65536 tokens — twice the 32768 batch cap —
+  // so oversized requests exercise the chunked admission path in every
+  // run. Shedding is on: a backlogged system rejects hopeless requests
+  // instead of serving them dead, and the differential is measured on
+  // goodput over arrived traffic.
+  o.serving.tokens_per_request = 1024;
+  o.serving.arrival_rate_rps = 7500.0;
+  o.serving.size_mix.name = "heavy";
+  o.serving.shed_unreachable = true;
+  o.serving.admission_policy = admission_policy;
+  return o;
+}
+
 MetricsDigest DigestFromReport(const std::string& label,
                                const ExperimentReport& report) {
   MetricsDigest d;
@@ -89,6 +109,11 @@ MetricsDigest DigestFromReport(const std::string& label,
     d.p50_latency_seconds = report.serve.p50_latency_seconds;
     d.p99_latency_seconds = report.serve.p99_latency_seconds;
     d.mean_latency_seconds = report.serve.mean_latency_seconds;
+    d.requests_arrived = report.serve.requests_arrived;
+    d.requests_shed = report.serve.requests_shed;
+    d.requests_queued_past_deadline =
+        report.serve.requests_queued_past_deadline;
+    d.goodput_tokens_per_sec = report.serve.goodput_tokens_per_sec;
   }
   return d;
 }
@@ -110,13 +135,17 @@ std::string FormatDigest(const MetricsDigest& d) {
   if (d.serving) {
     line += StrFormat(
         " mode=serve req=%lld batches=%lld retries=%lld recirc=%lld "
-        "attain=%.17g p50=%.17g p99=%.17g lat=%.17g",
+        "attain=%.17g p50=%.17g p99=%.17g lat=%.17g arrived=%lld shed=%lld "
+        "qpd=%lld goodput=%.17g",
         static_cast<long long>(d.requests_completed),
         static_cast<long long>(d.batches),
         static_cast<long long>(d.failed_batches),
         static_cast<long long>(d.tokens_recirculated), d.slo_attainment,
         d.p50_latency_seconds, d.p99_latency_seconds,
-        d.mean_latency_seconds);
+        d.mean_latency_seconds, static_cast<long long>(d.requests_arrived),
+        static_cast<long long>(d.requests_shed),
+        static_cast<long long>(d.requests_queued_past_deadline),
+        d.goodput_tokens_per_sec);
   }
   return line;
 }
@@ -186,6 +215,14 @@ Result<MetricsDigest> ParseDigest(const std::string& line) {
       d.p99_latency_seconds = std::atof(value.c_str());
     } else if (key == "lat") {
       d.mean_latency_seconds = std::atof(value.c_str());
+    } else if (key == "arrived") {
+      d.requests_arrived = std::atoll(value.c_str());
+    } else if (key == "shed") {
+      d.requests_shed = std::atoll(value.c_str());
+    } else if (key == "qpd") {
+      d.requests_queued_past_deadline = std::atoll(value.c_str());
+    } else if (key == "goodput") {
+      d.goodput_tokens_per_sec = std::atof(value.c_str());
     } else {
       return Status::InvalidArgument(
           StrFormat("unknown digest key '%s'", key.c_str()));
@@ -314,10 +351,18 @@ Status CompareDigests(const MetricsDigest& golden, const MetricsDigest& fresh,
     if (golden.requests_completed != fresh.requests_completed ||
         golden.batches != fresh.batches ||
         golden.failed_batches != fresh.failed_batches ||
-        golden.tokens_recirculated != fresh.tokens_recirculated) {
+        golden.tokens_recirculated != fresh.tokens_recirculated ||
+        golden.requests_arrived != fresh.requests_arrived ||
+        golden.requests_shed != fresh.requests_shed ||
+        golden.requests_queued_past_deadline !=
+            fresh.requests_queued_past_deadline) {
       return Status::Internal(StrFormat(
           "serving digest counts drifted for %s", golden.label.c_str()));
     }
+    FLEXMOE_RETURN_IF_ERROR(CheckClose("goodput",
+                                       golden.goodput_tokens_per_sec,
+                                       fresh.goodput_tokens_per_sec,
+                                       rel_tol));
     FLEXMOE_RETURN_IF_ERROR(CheckClose("attain", golden.slo_attainment,
                                        fresh.slo_attainment, rel_tol));
     FLEXMOE_RETURN_IF_ERROR(CheckClose("p50", golden.p50_latency_seconds,

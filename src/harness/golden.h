@@ -50,6 +50,12 @@ struct MetricsDigest {
   double p50_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
   double mean_latency_seconds = 0.0;
+  /// Honest-accounting extension (DESIGN.md Section 8.7): the arrived
+  /// denominator, the shed/backlog violation counts, and goodput.
+  int64_t requests_arrived = 0;
+  int64_t requests_shed = 0;
+  int64_t requests_queued_past_deadline = 0;
+  double goodput_tokens_per_sec = 0.0;
 };
 
 /// \brief Summarizes a report under the given cell label.
@@ -72,6 +78,19 @@ ExperimentOptions WorkloadGoldenCell(const std::string& scenario,
 /// and failure_injection_test's failure_during_serving case.
 ExperimentOptions ServingGoldenCell(const std::string& scenario,
                                     const std::string& system);
+
+/// \brief The ServingGoldenCell cluster under the heavy-tailed request-
+/// size mix with deadline-aware shedding enabled — the honest-accounting
+/// configuration (DESIGN.md Section 8.7). Request sizes span chat turns to
+/// batch-inference jobs larger than the batch token cap (so the chunked
+/// admission path runs), the offered token load matches the fixed-size
+/// cell's, and hopeless requests are shed instead of served dead. Pinned
+/// per (scenario x system) in tests/goldens/serving_sizemix_<scenario>
+/// .golden; `admission_policy` selects EDF (default) or SJF.
+ExperimentOptions ServingSizeMixCell(const std::string& scenario,
+                                     const std::string& system,
+                                     const std::string& admission_policy
+                                         = "edf");
 
 /// \brief One-line "key=value ..." rendering (the serialized form).
 std::string FormatDigest(const MetricsDigest& digest);

@@ -46,16 +46,14 @@ inline void PutDoubleVec(const std::vector<double>& v, std::string* out) {
   }
 }
 
-/// Reads a vector written by PutDoubleVec; its size must equal the
-/// expected one (checkpoints never resize state).
+/// Reads a vector written by PutDoubleVec at whatever size it recorded
+/// (for state whose length is itself part of the checkpoint, e.g. the
+/// request source's window history).
 inline Status GetDoubleVec(const char** cursor, const char* end,
-                           size_t expected_size, std::vector<double>* v) {
+                           std::vector<double>* v) {
   uint64_t n = 0;
   FLEXMOE_RETURN_IF_ERROR(GetPod(cursor, end, &n));
-  if (n != expected_size) {
-    return Status::InvalidArgument("checkpoint vector size mismatch");
-  }
-  if (end - *cursor < static_cast<ptrdiff_t>(n * sizeof(double))) {
+  if (n > static_cast<uint64_t>(end - *cursor) / sizeof(double)) {
     return Status::InvalidArgument("checkpoint truncated");
   }
   v->resize(static_cast<size_t>(n));
@@ -63,6 +61,20 @@ inline Status GetDoubleVec(const char** cursor, const char* end,
     std::memcpy(v->data(), *cursor, static_cast<size_t>(n) * sizeof(double));
     *cursor += n * sizeof(double);
   }
+  return Status::OK();
+}
+
+/// Reads a vector written by PutDoubleVec; its size must equal the
+/// expected one (checkpoints never resize state). `v` is untouched on
+/// any error — restore targets are often live state.
+inline Status GetDoubleVec(const char** cursor, const char* end,
+                           size_t expected_size, std::vector<double>* v) {
+  std::vector<double> read;
+  FLEXMOE_RETURN_IF_ERROR(GetDoubleVec(cursor, end, &read));
+  if (read.size() != expected_size) {
+    return Status::InvalidArgument("checkpoint vector size mismatch");
+  }
+  *v = std::move(read);
   return Status::OK();
 }
 

@@ -321,14 +321,14 @@ TEST(ServingFailureTest, FailStopDuringServingDropsNoAdmittedRequests) {
     EXPECT_GE(s.failed_batches, 1) << system;
     EXPECT_EQ(report->faults_applied, 1) << system;
     // ...yet no admitted request was dropped: everything that arrived is
-    // either completed or still queued, and the retried batch's requests
-    // completed with their retry latency.
+    // either completed, counted shed, or still queued, and the retried
+    // batch's requests completed with their retry latency.
     EXPECT_EQ(s.requests_arrived,
-              s.requests_completed + s.requests_queued_at_end)
+              s.requests_completed + s.requests_shed +
+                  s.requests_queued_at_end)
         << system;
     EXPECT_EQ(s.tokens_arrived,
-              s.tokens_completed + s.requests_queued_at_end *
-                                       o.serving.tokens_per_request)
+              s.tokens_completed + s.tokens_shed + s.tokens_queued_at_end)
         << system;
     EXPECT_GT(s.requests_completed, 0) << system;
     fresh.push_back(DigestFromReport(

@@ -1,13 +1,18 @@
 // Golden-run differential harness for the serving path. For each serving
-// scenario, one quick cell per system (the canonical ServingGoldenCell)
-// runs through the experiment grid; the test asserts
+// scenario — and for both request-size regimes (the fixed-size cell and
+// the heavy-tailed size mix with deadline-aware shedding) — one quick cell
+// per system runs through the experiment grid; the test asserts
 //
 //  1. the DIFFERENTIAL where skew creates real queueing (bursty and
-//     multi-tenant): FlexMoE's SLO attainment is STRICTLY higher than
-//     every static baseline's, with no worse p99 latency; and
+//     multi-tenant): at fixed sizes FlexMoE's SLO attainment is STRICTLY
+//     higher than every static baseline's with no worse p99 latency;
+//     under the size mix FlexMoE's GOODPUT (SLO-met tokens/sec over
+//     arrived traffic) is strictly higher; and
 //  2. the GOLDEN pin: each cell's serving digest matches the committed
-//     digest in tests/goldens/serving_<scenario>.golden — trace hash,
-//     request/batch/retry counts exactly, latency metrics to 1e-9.
+//     digest in tests/goldens/serving_<scenario>.golden (fixed) or
+//     serving_sizemix_<scenario>.golden (sized) — trace hash,
+//     request/batch/retry/shed counts exactly, latency and goodput
+//     metrics to 1e-9.
 //
 // Regenerate after an intentional behavior change with
 //   FLEXMOE_UPDATE_GOLDENS=1 ./serving_golden_test
@@ -17,6 +22,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "harness/golden.h"
@@ -28,9 +34,9 @@ namespace {
 constexpr const char* kSystems[4] = {"deepspeed", "fastermoe", "swipe",
                                      "flexmoe"};
 
-std::string GoldenPath(const std::string& scenario) {
+std::string GoldenPath(const std::string& scenario, bool sized) {
   return std::string(FLEXMOE_TEST_SOURCE_DIR) + "/goldens/serving_" +
-         scenario + ".golden";
+         (sized ? "sizemix_" : "") + scenario + ".golden";
 }
 
 bool UpdateMode() {
@@ -38,15 +44,20 @@ bool UpdateMode() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-class ServingGoldenTest : public testing::TestWithParam<const char*> {};
+using ServingGoldenParam = std::tuple<const char*, bool>;
+
+class ServingGoldenTest : public testing::TestWithParam<ServingGoldenParam> {};
 
 TEST_P(ServingGoldenTest, FlexMoEWinsAndMatchesGolden) {
-  const std::string scenario = GetParam();
+  const std::string scenario = std::get<0>(GetParam());
+  const bool sized = std::get<1>(GetParam());
   std::vector<GridCell> cells;
   for (const char* system : kSystems) {
     GridCell cell;
-    cell.label = "serve/" + scenario + "/" + system;
-    cell.options = ServingGoldenCell(scenario, system);
+    cell.label = std::string("serve") + (sized ? "-sized" : "") + "/" +
+                 scenario + "/" + system;
+    cell.options = sized ? ServingSizeMixCell(scenario, system)
+                         : ServingGoldenCell(scenario, system);
     cells.push_back(std::move(cell));
   }
   const std::vector<GridCellResult> results = RunExperimentGrid(cells);
@@ -54,6 +65,15 @@ TEST_P(ServingGoldenTest, FlexMoEWinsAndMatchesGolden) {
   for (const GridCellResult& r : results) {
     ASSERT_TRUE(r.status.ok()) << r.label << ": " << r.status.ToString();
     ASSERT_TRUE(r.report.serving) << r.label;
+    // The admission ledger conserves in every cell: nothing silently
+    // dropped at any request size.
+    const ServingReport& s = r.report.serve;
+    EXPECT_EQ(s.requests_arrived, s.requests_completed + s.requests_shed +
+                                      s.requests_queued_at_end)
+        << r.label;
+    EXPECT_EQ(s.tokens_arrived,
+              s.tokens_completed + s.tokens_shed + s.tokens_queued_at_end)
+        << r.label;
   }
 
   // All four systems consumed the identical token stream.
@@ -67,10 +87,15 @@ TEST_P(ServingGoldenTest, FlexMoEWinsAndMatchesGolden) {
   if (scenario == "bursty" || scenario == "multi-tenant") {
     for (int s = 0; s < 3; ++s) {
       const ServingReport& base = results[static_cast<size_t>(s)].report.serve;
-      EXPECT_GT(flex.slo_attainment, base.slo_attainment)
-          << scenario << " vs " << results[static_cast<size_t>(s)].label;
-      EXPECT_LE(flex.p99_latency_seconds, base.p99_latency_seconds)
-          << scenario << " vs " << results[static_cast<size_t>(s)].label;
+      if (sized) {
+        EXPECT_GT(flex.goodput_tokens_per_sec, base.goodput_tokens_per_sec)
+            << scenario << " vs " << results[static_cast<size_t>(s)].label;
+      } else {
+        EXPECT_GT(flex.slo_attainment, base.slo_attainment)
+            << scenario << " vs " << results[static_cast<size_t>(s)].label;
+        EXPECT_LE(flex.p99_latency_seconds, base.p99_latency_seconds)
+            << scenario << " vs " << results[static_cast<size_t>(s)].label;
+      }
     }
   }
 
@@ -80,7 +105,7 @@ TEST_P(ServingGoldenTest, FlexMoEWinsAndMatchesGolden) {
     fresh.push_back(DigestFromReport(r.label, r.report));
     EXPECT_TRUE(fresh.back().serving);
   }
-  const std::string path = GoldenPath(scenario);
+  const std::string path = GoldenPath(scenario, sized);
   if (UpdateMode()) {
     ASSERT_TRUE(SaveDigests(fresh, path).ok());
     GTEST_SKIP() << "goldens updated: " << path;
@@ -95,15 +120,17 @@ TEST_P(ServingGoldenTest, FlexMoEWinsAndMatchesGolden) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(ServingCatalog, ServingGoldenTest,
-                         testing::Values("bursty", "diurnal", "multi-tenant"),
-                         [](const testing::TestParamInfo<const char*>& info) {
-                           std::string name = info.param;
-                           for (char& c : name) {
-                             if (c == '-') c = '_';
-                           }
-                           return name;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    ServingCatalog, ServingGoldenTest,
+    testing::Combine(testing::Values("bursty", "diurnal", "multi-tenant"),
+                     testing::Bool()),
+    [](const testing::TestParamInfo<ServingGoldenParam>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + (std::get<1>(info.param) ? "_sized" : "_fixed");
+    });
 
 // Serving digests round-trip through the text format exactly.
 TEST(ServingDigestTest, FormatParseRoundTrip) {
@@ -124,12 +151,21 @@ TEST(ServingDigestTest, FormatParseRoundTrip) {
   d.p50_latency_seconds = 0.0071234567890123456;
   d.p99_latency_seconds = 0.021987654321098765;
   d.mean_latency_seconds = 0.0098765432109876543;
+  d.requests_arrived = 21222;
+  d.requests_shed = 1234;
+  d.requests_queued_past_deadline = 987;
+  d.goodput_tokens_per_sec = 4321987.6543210987;
   const auto parsed = ParseDigest(FormatDigest(d));
   ASSERT_TRUE(parsed.ok());
   EXPECT_TRUE(parsed->serving);
   EXPECT_TRUE(CompareDigests(d, *parsed, 0.0).ok());
   EXPECT_EQ(parsed->p99_latency_seconds, d.p99_latency_seconds);
   EXPECT_EQ(parsed->failed_batches, d.failed_batches);
+  EXPECT_EQ(parsed->requests_arrived, d.requests_arrived);
+  EXPECT_EQ(parsed->requests_shed, d.requests_shed);
+  EXPECT_EQ(parsed->requests_queued_past_deadline,
+            d.requests_queued_past_deadline);
+  EXPECT_EQ(parsed->goodput_tokens_per_sec, d.goodput_tokens_per_sec);
 
   // Drift in any serving field is caught.
   MetricsDigest drifted = *parsed;
@@ -137,6 +173,15 @@ TEST(ServingDigestTest, FormatParseRoundTrip) {
   EXPECT_FALSE(CompareDigests(d, drifted, 1e-9).ok());
   drifted = *parsed;
   drifted.failed_batches += 1;
+  EXPECT_FALSE(CompareDigests(d, drifted, 1e-9).ok());
+  drifted = *parsed;
+  drifted.requests_shed += 1;
+  EXPECT_FALSE(CompareDigests(d, drifted, 1e-9).ok());
+  drifted = *parsed;
+  drifted.goodput_tokens_per_sec *= 1.001;
+  EXPECT_FALSE(CompareDigests(d, drifted, 1e-9).ok());
+  drifted = *parsed;
+  drifted.requests_queued_past_deadline -= 1;
   EXPECT_FALSE(CompareDigests(d, drifted, 1e-9).ok());
 
   // A training digest never compares equal to a serving one.
