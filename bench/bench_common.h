@@ -10,6 +10,11 @@
 //                    (default both; see gate/request_source.h)
 //   --admission P    serving admission policy for sized cells: edf | sjf
 //                    (default edf; see core/serve_executor.h)
+//   --trace-out F    export a Chrome trace-event JSON of the headline run
+//   --metrics-out F  export the metrics-registry JSON snapshot
+//   --decisions-out F  export the policy decision audit JSONL
+//                    (any of the three enables observability for the runs
+//                    the bench designates; see src/obs/)
 
 #ifndef FLEXMOE_BENCH_BENCH_COMMON_H_
 #define FLEXMOE_BENCH_BENCH_COMMON_H_
@@ -79,6 +84,17 @@ struct CommonFlags {
   const char* workload = "pretrain-steady";
   const char* size_mix = "both";  ///< serving benches only
   const char* admission = "edf";  ///< serving benches only
+  /// Observability export paths ("" = not requested). Any non-empty path
+  /// means the bench should run its designated headline cell with
+  /// observability enabled and export the artifacts.
+  const char* trace_out = "";
+  const char* metrics_out = "";
+  const char* decisions_out = "";
+
+  bool ObservabilityRequested() const {
+    return trace_out[0] != '\0' || metrics_out[0] != '\0' ||
+           decisions_out[0] != '\0';
+  }
 };
 
 inline CommonFlags ParseCommonFlags(int argc, char** argv) {
@@ -89,6 +105,9 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv) {
   flags.workload = WorkloadName(argc, argv);
   flags.size_mix = SizeMixName(argc, argv);
   flags.admission = AdmissionPolicy(argc, argv);
+  flags.trace_out = FlagValue(argc, argv, "--trace-out", "");
+  flags.metrics_out = FlagValue(argc, argv, "--metrics-out", "");
+  flags.decisions_out = FlagValue(argc, argv, "--decisions-out", "");
   return flags;
 }
 

@@ -28,10 +28,12 @@
 #include "bench/bench_common.h"
 #include "core/balance.h"
 #include "core/cost_model.h"
+#include "core/flexmoe.h"
 #include "core/policy_maker.h"
 #include "core/router.h"
 #include "gate/trace_generator.h"
 #include "harness/grid_runner.h"
+#include "obs/observability.h"
 #include "placement/op_queue.h"
 #include "util/string_util.h"
 
@@ -167,6 +169,40 @@ double GridCellsPerSec(bool quick, int threads) {
   return static_cast<double>(cells.size()) / elapsed;
 }
 
+/// Full FlexMoE RunStep throughput over a pre-generated assignment stream
+/// (gate cost excluded), optionally with a DISABLED observability handle
+/// installed — the configuration every instrumented hot-path branch sees
+/// in a normal, untraced run.
+double FlexRunStepsPerSec(bool quick, bool install_disabled_obs) {
+  Topology topo = *Topology::Create(AzureA100Options(8));
+  HardwareProfile profile(&topo, GpuSpec{});
+  FlexMoEOptions o;
+  o.model = GptMoES();
+  o.model.num_experts = 16;
+  o.model.num_moe_layers = 2;
+  o.model.tokens_per_gpu = 2048;
+  o.num_gpus = 8;
+  auto sys = *FlexMoESystem::Create(o, &topo, &profile);
+  obs::Observability obs(obs::ObservabilityOptions{});  // enabled = false
+  if (install_disabled_obs) sys->SetObservability(&obs);
+
+  TraceGeneratorOptions t;
+  t.num_experts = o.model.num_experts;
+  t.num_moe_layers = o.model.num_moe_layers;
+  t.num_gpus = o.num_gpus;
+  t.tokens_per_gpu = o.model.tokens_per_gpu;
+  t.seed = 7;
+  TraceGenerator gen = *TraceGenerator::Create(t);
+  std::vector<std::vector<Assignment>> steps;
+  for (int i = 0; i < 8; ++i) steps.push_back(gen.Step());
+
+  size_t i = 0;
+  return Throughput(quick ? 0.2 : 0.5, 1.0, [&] {
+    sys->RunStep(steps[i % steps.size()]);
+    ++i;
+  });
+}
+
 bool WriteJson(const std::string& path, const std::vector<MetricRow>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -240,6 +276,31 @@ int Run(bool quick, int threads, const std::string& out_path,
                      pm.MakeSchedulingPlan(env.assignment, env.placement);
                    }),
         "plans/s");
+    // Candidate throughput: the same deterministic plan scores the same
+    // candidate set every call, so one probe gives the per-plan Eq. 5
+    // evaluation count and the loop measures evaluations/sec.
+    PlanSearchStats stats;
+    pm.MakeSchedulingPlan(env.assignment, env.placement, &stats);
+    add("policy_candidate_evals_per_plan",
+        static_cast<double>(stats.candidates_evaluated), "evals");
+    add("policy_candidate_evals_per_sec",
+        Throughput(budget, static_cast<double>(stats.candidates_evaluated),
+                   [&] {
+                     pm.MakeSchedulingPlan(env.assignment, env.placement);
+                   }),
+        "evals/s");
+  }
+
+  // --- Policy maker at large G (the roadmap's large-EP regime) -----------
+  {
+    Env env(128, 128);
+    PolicyMaker pm(&env.cost, PolicyMakerOptions{});
+    add("policy_maker_plans_per_sec_g128",
+        Throughput(quick ? 0.2 : 0.5, 1.0,
+                   [&] {
+                     pm.MakeSchedulingPlan(env.assignment, env.placement);
+                   }),
+        "plans/s");
   }
 
   // --- Placement op queue ------------------------------------------------
@@ -254,6 +315,24 @@ int Run(bool quick, int threads, const std::string& out_path,
                    while (!q.empty()) q.PopBatch();
                  }),
       "passes/s");
+
+  // --- Observability overhead guard --------------------------------------
+  // A disabled handle costs one predictable null-check branch per
+  // instrumentation site; the instrumented RunStep must stay within
+  // measurement noise of running with no handle at all. 0.7x is far below
+  // any plausible jitter on this sub-millisecond step, so tripping it
+  // means the disabled path grew real work.
+  {
+    const double base = FlexRunStepsPerSec(quick, /*install_disabled_obs=*/false);
+    const double disabled = FlexRunStepsPerSec(quick, /*install_disabled_obs=*/true);
+    const double ratio = disabled / base;
+    add("flexmoe_run_steps_per_sec", base, "steps/s");
+    add("flexmoe_run_steps_per_sec_obs_disabled", disabled, "steps/s");
+    add("obs_disabled_overhead_ratio", ratio, "x");
+    FLEXMOE_CHECK_MSG(
+        ratio >= 0.7,
+        StrFormat("disabled-observability RunStep ratio %.2fx < 0.70x", ratio));
+  }
 
   // --- End-to-end grid ---------------------------------------------------
   add("end_to_end_cells_per_sec", GridCellsPerSec(quick, threads), "cells/s");

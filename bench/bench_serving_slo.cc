@@ -23,6 +23,11 @@
 //   --size-mix NAME   fixed | heavy | both (default both)
 //   --admission P     edf | sjf for the heavy suite (default edf)
 //   --digests PATH    write per-cell serving digests (golden record mode)
+//   --trace-out / --metrics-out / --decisions-out
+//                     additionally run the traced headline cell
+//                     (multi-tenant x flexmoe, fixed sizes) with
+//                     observability on, export the artifacts, and print
+//                     the policy-adoption lag behind each tenant switch
 
 #include <cstdio>
 #include <string>
@@ -31,6 +36,7 @@
 #include "bench/bench_common.h"
 #include "harness/golden.h"
 #include "harness/grid_runner.h"
+#include "obs/decision_log.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -151,6 +157,81 @@ int RunSuite(const std::vector<std::string>& scenarios, bool heavy,
   return violations;
 }
 
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string contents;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  return contents;
+}
+
+/// The traced headline run behind --trace-out / --metrics-out /
+/// --decisions-out: the multi-tenant FlexMoE serving cell with
+/// observability enabled. The decision audit turns "the planner lags
+/// tenant switches" into a number: every tenant-block boundary is a
+/// switch step, and PolicyAdoptionLags reports how many batches passed
+/// before a plan was adopted.
+int RunTracedHeadline(const bench::CommonFlags& flags) {
+  ExperimentOptions o = ServingCell("multi-tenant", "flexmoe",
+                                    /*heavy=*/false, flags.admission,
+                                    flags.quick);
+  o.legacy_gate = flags.legacy_gate;
+  o.observability.enabled = true;
+  o.observability.trace_out = flags.trace_out;
+  o.observability.metrics_out = flags.metrics_out;
+  o.observability.decisions_out = flags.decisions_out;
+
+  std::printf("=== traced headline: serve/multi-tenant/flexmoe ===\n");
+  const Result<ExperimentReport> run = RunExperiment(o);
+  FLEXMOE_CHECK_MSG(run.ok(), run.status().ToString());
+  const ServingReport& r = run->serve;
+  std::printf("attain %.1f%%  p99 %.2f ms  shed %lld  (%d batches)\n",
+              100.0 * r.slo_attainment, r.p99_latency_seconds * 1e3,
+              static_cast<long long>(r.requests_shed), o.measure_steps);
+  if (flags.trace_out[0] != '\0') {
+    std::printf("wrote Chrome trace to %s\n", flags.trace_out);
+  }
+  if (flags.metrics_out[0] != '\0') {
+    std::printf("wrote metrics snapshot to %s\n", flags.metrics_out);
+  }
+  if (flags.decisions_out[0] == '\0') return 0;
+  std::printf("wrote decision audit to %s\n", flags.decisions_out);
+
+  // Policy lag behind tenant switches, from the exported audit. Serving
+  // runs exactly measure_steps microbatches (no warmup prefix), so the
+  // hot tenant rotates at every multiple of tenant_block_steps.
+  const Result<std::string> jsonl = ReadWholeFile(flags.decisions_out);
+  FLEXMOE_CHECK_MSG(jsonl.ok(), jsonl.status().ToString());
+  const Result<std::vector<obs::PolicyDecisionRecord>> records =
+      obs::ParseDecisionLog(*jsonl);
+  FLEXMOE_CHECK_MSG(records.ok(), records.status().ToString());
+  std::vector<int64_t> switches;
+  const int block = o.workload.scenario.tenant_block_steps;
+  for (int s = block; s < o.measure_steps; s += block) {
+    switches.push_back(s);
+  }
+  const std::vector<int64_t> lags =
+      obs::PolicyAdoptionLags(*records, switches);
+  std::printf("policy adoption lag per tenant switch (batches):\n");
+  for (size_t i = 0; i < switches.size(); ++i) {
+    if (lags[i] < 0) {
+      std::printf("  switch @%lld: no plan adopted before next switch\n",
+                  static_cast<long long>(switches[i]));
+    } else {
+      std::printf("  switch @%lld: %lld\n",
+                  static_cast<long long>(switches[i]),
+                  static_cast<long long>(lags[i]));
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
   const char* only = bench::FlagValue(argc, argv, "--workload", "");
@@ -178,6 +259,11 @@ int Run(int argc, char** argv) {
   if (scenarios.empty()) {
     std::fprintf(stderr, "unknown --workload '%s'\n", only);
     return 2;
+  }
+
+  if (flags.ObservabilityRequested()) {
+    const int rc = RunTracedHeadline(flags);
+    if (rc != 0) return rc;
   }
 
   std::vector<MetricsDigest> digests;

@@ -9,24 +9,73 @@
 #include "core/metrics.h"
 #include "core/step_executor.h"
 #include "elastic/elastic_controller.h"
+#include "obs/observability.h"
 
 namespace flexmoe {
 
+/// \brief Wires one observability handle through a static baseline's
+/// members: executor phase spans, controller fault counters, and the
+/// tracer's GPU-lane metadata.
+inline void InstallBaselineObservability(obs::Observability* obs,
+                                         int num_gpus,
+                                         StepExecutor* step_executor,
+                                         ElasticController* elastic) {
+  step_executor->set_observability(obs);
+  elastic->SetObservability(obs);
+  if (obs::Tracer* tr = obs::TracerOf(obs); tr != nullptr) {
+    tr->set_num_gpus(num_gpus);
+  }
+}
+
 /// \brief Fires the fault boundary for a static system: repairs
 /// `placement` (restart + failover) and blocks every stream for the
-/// recovery time. No-op without an installed plan.
+/// recovery time. No-op without an installed plan. With `obs` enabled,
+/// fault events and the recovery block appear on the control lane.
 inline ElasticController::StepReport StaticFaultBoundary(
     ElasticController* elastic, int64_t step, Placement* placement,
     double expert_state_bytes, ClusterState* cluster,
-    StepExecutor* step_executor) {
+    StepExecutor* step_executor, obs::Observability* obs = nullptr) {
   ElasticController::StepReport report;
   if (!elastic->active()) return report;
   report = elastic->OnStepBoundary(step, {placement}, nullptr,
                                    expert_state_bytes);
+  const double boundary = step_executor->Frontier();
+  if (obs::Tracer* tr = obs::TracerOf(obs); tr != nullptr) {
+    for (const FaultEvent& e : report.events) {
+      tr->Instant("fault_event", "recovery", obs::kControlLane, boundary,
+                  "gpu", static_cast<double>(e.gpu));
+    }
+    if (report.recovery_seconds > 0.0) {
+      tr->Span("recovery_block", "recovery", obs::kControlLane, boundary,
+               boundary + report.recovery_seconds, "faults",
+               static_cast<double>(report.events.size()));
+    }
+  }
   if (report.recovery_seconds > 0.0) {
-    cluster->BlockAll(step_executor->Frontier(), report.recovery_seconds);
+    cluster->BlockAll(boundary, report.recovery_seconds);
   }
   return report;
+}
+
+/// \brief Per-step registry counters shared by the baseline systems
+/// (FlexMoE records the same keys, plus its policy counters).
+inline void RecordStepObservability(obs::Observability* obs, bool serving,
+                                    const StepMetrics& metrics) {
+  obs::MetricsRegistry* m = obs::MetricsOf(obs);
+  if (m == nullptr) return;
+  m->Add(serving ? "serve.microbatches" : "train.steps");
+  m->Add("tokens.total", metrics.tokens_total);
+  if (metrics.tokens_dropped > 0) {
+    m->Add("tokens.dropped", metrics.tokens_dropped);
+  }
+  if (metrics.tokens_recirculated > 0) {
+    m->Add("tokens.recirculated", metrics.tokens_recirculated);
+  }
+  if (metrics.faults_applied > 0) {
+    m->Add("faults.applied", metrics.faults_applied);
+  }
+  m->Observe("step.seconds", metrics.step_seconds);
+  m->Observe("step.balance_ratio", metrics.balance_ratio);
 }
 
 /// \brief Fills the fault fields of a static system's StepMetrics.

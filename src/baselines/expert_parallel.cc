@@ -73,6 +73,12 @@ Status ExpertParallelSystem::InstallFaultPlan(const FaultPlan& plan) {
   return elastic_.InstallPlan(plan);
 }
 
+void ExpertParallelSystem::SetObservability(obs::Observability* obs) {
+  obs_ = obs;
+  InstallBaselineObservability(obs, options_.num_gpus, &step_executor_,
+                               &elastic_);
+}
+
 StepMetrics ExpertParallelSystem::RunStep(
     const std::vector<Assignment>& layer_assignments) {
   return RunStepImpl(layer_assignments, /*serving=*/false);
@@ -94,7 +100,7 @@ StepMetrics ExpertParallelSystem::RunStepImpl(
   const ElasticController::StepReport fault_report =
       StaticFaultBoundary(&elastic_, step_, &placement_,
                           options_.model.expert_state_bytes(), &cluster_,
-                          &step_executor_);
+                          &step_executor_, obs_);
   int64_t fault_dropped = 0;
   const bool adjust = elastic_.NeedsAssignmentAdjustment();
 
@@ -154,6 +160,7 @@ StepMetrics ExpertParallelSystem::RunStepImpl(
       elastic_.active() ? elastic_.health().num_alive() : 0);
   metrics.tokens_recirculated = recirculated;
   FillFaultMetrics(elastic_, fault_report, placement_, &metrics);
+  RecordStepObservability(obs_, serving, metrics);
   ++step_;
   stats_.Add(metrics);
   return metrics;

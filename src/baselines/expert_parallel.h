@@ -50,6 +50,7 @@ class ExpertParallelSystem : public MoESystem {
   const ClusterHealth* cluster_health() const override {
     return &elastic_.health();
   }
+  void SetObservability(obs::Observability* obs) override;
 
   /// The fixed expert-parallel placement (identical for all layers).
   const Placement& placement() const { return placement_; }
@@ -71,6 +72,7 @@ class ExpertParallelSystem : public MoESystem {
   StepExecutor step_executor_;
   TrainingStats stats_;
   int64_t step_ = 0;
+  obs::Observability* obs_ = nullptr;
 };
 
 /// \brief Builds the canonical one-home-GPU-per-expert placement (exactly

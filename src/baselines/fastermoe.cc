@@ -57,6 +57,12 @@ Status FasterMoESystem::InstallFaultPlan(const FaultPlan& plan) {
   return elastic_.InstallPlan(plan);
 }
 
+void FasterMoESystem::SetObservability(obs::Observability* obs) {
+  obs_ = obs;
+  InstallBaselineObservability(obs, options_.num_gpus, &step_executor_,
+                               &elastic_);
+}
+
 std::vector<int> FasterMoESystem::SelectShadows(
     const Assignment& assignment, bool serving) const {
   const int num_experts = assignment.num_experts();
@@ -134,7 +140,7 @@ StepMetrics FasterMoESystem::RunStepImpl(
   const ElasticController::StepReport fault_report =
       StaticFaultBoundary(&elastic_, step_, &placement_,
                           options_.model.expert_state_bytes(), &cluster_,
-                          &step_executor_);
+                          &step_executor_, obs_);
   int64_t fault_dropped = 0;
   const bool adjust = elastic_.NeedsAssignmentAdjustment();
 
@@ -217,6 +223,7 @@ StepMetrics FasterMoESystem::RunStepImpl(
       total, fault_dropped,
       elastic_.active() ? elastic_.health().num_alive() : 0);
   FillFaultMetrics(elastic_, fault_report, placement_, &metrics);
+  RecordStepObservability(obs_, serving, metrics);
   ++step_;
   stats_.Add(metrics);
   return metrics;

@@ -54,6 +54,7 @@ class FasterMoESystem : public MoESystem {
   const ClusterHealth* cluster_health() const override {
     return &elastic_.health();
   }
+  void SetObservability(obs::Observability* obs) override;
 
   /// Experts shadowed in the most recent step (per layer), for tests.
   const std::vector<std::vector<int>>& last_shadows() const {
@@ -84,6 +85,7 @@ class FasterMoESystem : public MoESystem {
   TrainingStats stats_;
   std::vector<std::vector<int>> last_shadows_;
   int64_t step_ = 0;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace flexmoe

@@ -132,6 +132,12 @@ Status SwipeSystem::InstallFaultPlan(const FaultPlan& plan) {
   return elastic_.InstallPlan(plan);
 }
 
+void SwipeSystem::SetObservability(obs::Observability* obs) {
+  obs_ = obs;
+  InstallBaselineObservability(obs, options_.num_gpus, &step_executor_,
+                               &elastic_);
+}
+
 StepMetrics SwipeSystem::RunStep(
     const std::vector<Assignment>& layer_assignments) {
   return RunStepImpl(layer_assignments, /*serving=*/false);
@@ -153,7 +159,7 @@ StepMetrics SwipeSystem::RunStepImpl(
   const ElasticController::StepReport fault_report =
       StaticFaultBoundary(&elastic_, step_, &placement_,
                           options_.model.expert_state_bytes(), &cluster_,
-                          &step_executor_);
+                          &step_executor_, obs_);
   int64_t fault_dropped = 0;
 
   int64_t total = 0, reassigned = 0, recirculated = 0;
@@ -214,6 +220,7 @@ StepMetrics SwipeSystem::RunStepImpl(
       elastic_.active() ? elastic_.health().num_alive() : 0);
   metrics.tokens_recirculated = recirculated;
   FillFaultMetrics(elastic_, fault_report, placement_, &metrics);
+  RecordStepObservability(obs_, serving, metrics);
   ++step_;
   stats_.Add(metrics);
   return metrics;

@@ -57,6 +57,7 @@ class SwipeSystem : public MoESystem {
   const ClusterHealth* cluster_health() const override {
     return &elastic_.health();
   }
+  void SetObservability(obs::Observability* obs) override;
 
  private:
   SwipeSystem(const SwipeOptions& options, const Topology* topo,
@@ -74,6 +75,7 @@ class SwipeSystem : public MoESystem {
   StepExecutor step_executor_;
   TrainingStats stats_;
   int64_t step_ = 0;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace flexmoe

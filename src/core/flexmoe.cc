@@ -84,6 +84,15 @@ Status FlexMoESystem::InstallFaultPlan(const FaultPlan& plan) {
   return elastic_.InstallPlan(plan);
 }
 
+void FlexMoESystem::SetObservability(obs::Observability* obs) {
+  obs_ = obs;
+  step_executor_.set_observability(obs);
+  elastic_.SetObservability(obs);
+  if (obs::Tracer* tr = obs::TracerOf(obs); tr != nullptr) {
+    tr->set_num_gpus(options_.num_gpus);
+  }
+}
+
 const Placement& FlexMoESystem::live_placement(int layer) const {
   FLEXMOE_CHECK(layer >= 0 && layer < static_cast<int>(live_.size()));
   return live_[static_cast<size_t>(layer)];
@@ -181,6 +190,17 @@ StepMetrics FlexMoESystem::RunStepImpl(
   if (blocking > 0.0) {
     cluster_.BlockAll(boundary, blocking);
     metrics.adjust_block_seconds = blocking;
+  }
+  if (obs::Tracer* tr = obs::TracerOf(obs_); tr != nullptr) {
+    for (const FaultEvent& e : fault_report.events) {
+      tr->Instant("fault_event", "recovery", obs::kControlLane, boundary,
+                  "gpu", static_cast<double>(e.gpu));
+    }
+    if (blocking > 0.0) {
+      tr->Span("recovery_block", "recovery", obs::kControlLane, boundary,
+               boundary + blocking, "faults",
+               static_cast<double>(fault_report.events.size()));
+    }
   }
 
   // 1b. (training only) Pre-warm NCCL groups for the live placements —
@@ -286,6 +306,59 @@ StepMetrics FlexMoESystem::RunStepImpl(
     if (!decision.ops.empty()) {
       executor.Enqueue(decision.ops);
     }
+    // Audit trail: one record per scheduler invocation (steps skipped by
+    // the backoff produce none — the gap IS part of the measured policy
+    // lag).
+    if (obs::DecisionLog* dl = obs::DecisionsOf(obs_); dl != nullptr) {
+      obs::PolicyDecisionRecord rec;
+      rec.step = step_;
+      rec.layer = l;
+      rec.trigger_metric = decision.metric_before;
+      rec.threshold = scheduler_.options().metric == TriggerMetric::kMaxRatio
+                          ? scheduler_.options().threshold
+                          : scheduler_.options().variance_threshold;
+      rec.forced = force_trigger;
+      rec.triggered = decision.triggered;
+      rec.candidates_evaluated = decision.candidates_evaluated;
+      rec.plan_rounds = decision.plan_rounds;
+      rec.migrations = decision.migrations;
+      rec.evacuations = decision.evacuations;
+      rec.ops_emitted = static_cast<int>(decision.ops.size());
+      rec.est_score_before = decision.est_score_before;
+      rec.est_score_after = decision.est_score_after;
+      rec.metric_after = decision.metric_after;
+      rec.realized_balance = metrics.balance_ratio;
+      for (const ModOp& op : decision.ops) {
+        if (!rec.ops.empty()) rec.ops += ';';
+        rec.ops += op.ToString();
+      }
+      dl->Add(std::move(rec));
+    }
+    if (obs::Tracer* tr = obs::TracerOf(obs_);
+        tr != nullptr && decision.triggered) {
+      tr->Instant("policy_decision", "policy", obs::kPolicyLane, timing.end,
+                  "ops", static_cast<double>(decision.ops.size()));
+    }
+    if (obs::MetricsRegistry* m = obs::MetricsOf(obs_); m != nullptr) {
+      m->Add("policy.invocations");
+      if (decision.triggered) m->Add("policy.triggers");
+      if (decision.candidates_evaluated > 0) {
+        m->Add("policy.candidates_evaluated", decision.candidates_evaluated);
+      }
+      if (decision.plan_rounds > 0) {
+        m->Add("policy.plan_rounds", decision.plan_rounds);
+      }
+      if (!decision.ops.empty()) {
+        m->Add("policy.ops_enqueued",
+               static_cast<int64_t>(decision.ops.size()));
+      }
+      if (decision.migrations > 0) {
+        m->Add("policy.migrations", decision.migrations);
+      }
+      if (decision.evacuations > 0) {
+        m->Add("policy.evacuations", decision.evacuations);
+      }
+    }
     // Backoff: a trigger that found no beneficial modification means the
     // placement is at its feasibility floor for this workload; searching
     // again next step would find the same answer.
@@ -296,6 +369,19 @@ StepMetrics FlexMoESystem::RunStepImpl(
     } else {
       backoff = 1;
     }
+  }
+
+  if (obs::MetricsRegistry* m = obs::MetricsOf(obs_); m != nullptr) {
+    m->Add(serving ? "serve.microbatches" : "train.steps");
+    m->Add("tokens.total", metrics.tokens_total);
+    if (metrics.tokens_dropped > 0) {
+      m->Add("tokens.dropped", metrics.tokens_dropped);
+    }
+    if (metrics.faults_applied > 0) {
+      m->Add("faults.applied", metrics.faults_applied);
+    }
+    m->Observe("step.seconds", metrics.step_seconds);
+    m->Observe("step.balance_ratio", metrics.balance_ratio);
   }
 
   ++step_;

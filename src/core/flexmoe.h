@@ -58,6 +58,7 @@ class FlexMoESystem : public MoESystem {
   const ClusterHealth* cluster_health() const override {
     return &elastic_.health();
   }
+  void SetObservability(obs::Observability* obs) override;
 
   const Placement& live_placement(int layer) const;
   const Placement& target_placement(int layer) const;
@@ -103,6 +104,7 @@ class FlexMoESystem : public MoESystem {
 
   TrainingStats stats_;
   int64_t step_ = 0;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace flexmoe

@@ -67,13 +67,19 @@ double PlanScore(const LayerCostEstimate& est) {
 }  // namespace
 
 std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
-    const Assignment& assignment, const Placement& placement) const {
+    const Assignment& assignment, const Placement& placement,
+    PlanSearchStats* stats) const {
+  PlanSearchStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = PlanSearchStats();
   const RoutedAssignment routed =
       FlexibleRouter::Route(assignment, placement);
   const bool include_sync = !options_.serve_objective;
   const LayerCostEstimate est0 =
       cost_model_->EstimateLayer(routed, placement, include_sync);
   const double score0 = PlanScore(est0);
+  stats->score_before = score0;
+  stats->best_score = score0;
   const std::vector<double> caps = VExpertCapacities(assignment, placement);
   const std::vector<int64_t> gpu_loads = routed.PerGpuComputeTokens();
 
@@ -197,6 +203,7 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
                                            &scratch_routed);
           const double score = PlanScore(cost_model_->EstimateLayer(
               scratch_routed, after_shrink, include_sync));
+          ++stats->candidates_evaluated;
           FLEXMOE_CHECK(after_shrink.RemoveVExpert(hot, dst).ok());
           if (score < best_score) {
             best_score = score;
@@ -209,6 +216,7 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
       }
     }
   }
+  if (best_dst >= 0) stats->best_score = best_score;
   if (best_dst < 0) return {};
   if (best_score >= score0 * (1.0 - options_.min_improvement_frac)) return {};
 
@@ -238,6 +246,7 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
   }
 
   // Dependency order: the Shrink may free the very slot the Expand uses.
+  stats->accepted = true;
   return {MakeShrink(best_cold, best_shrink),
           MakeExpand(best_hot, copy_src, best_dst)};
 }

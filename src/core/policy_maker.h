@@ -55,6 +55,20 @@ struct PolicyMakerOptions {
   Status Validate() const;
 };
 
+/// \brief What one MakeSchedulingPlan search did — the audit trail behind
+/// a policy decision (DESIGN.md Section 9).
+struct PlanSearchStats {
+  /// Candidate placements scored through the cost model (Eq. 5).
+  int64_t candidates_evaluated = 0;
+  /// 8-norm plan score of the incumbent placement.
+  double score_before = 0.0;
+  /// Best candidate score found (== score_before when nothing was scored).
+  double best_score = 0.0;
+  /// True iff the returned plan is non-empty (the best candidate cleared
+  /// the min_improvement_frac threshold).
+  bool accepted = false;
+};
+
 /// \brief Implements Algorithm 2 plus background migration planning.
 class PolicyMaker {
  public:
@@ -67,9 +81,11 @@ class PolicyMaker {
 
   /// One Expand/Shrink round (Algorithm 2). Returns ops in dependency order
   /// (Shrink first when it frees the slot the Expand consumes); empty if no
-  /// beneficial modification exists.
+  /// beneficial modification exists. `stats` (nullable) receives the
+  /// search's audit record.
   std::vector<ModOp> MakeSchedulingPlan(const Assignment& assignment,
-                                        const Placement& placement) const;
+                                        const Placement& placement,
+                                        PlanSearchStats* stats = nullptr) const;
 
   /// Background migration planning (Algorithm 1 line 9): up to `max_moves`
   /// vExpert swaps that lower the total estimated synchronization cost by

@@ -131,9 +131,16 @@ SchedulerDecision Scheduler::OnStep(int64_t step,
         metric <= stop_threshold) {
       break;
     }
+    PlanSearchStats stats;
     const std::vector<ModOp> plan =
-        policy_maker_->MakeSchedulingPlan(assignment, *target);
+        policy_maker_->MakeSchedulingPlan(assignment, *target, &stats);
+    decision.candidates_evaluated += stats.candidates_evaluated;
+    if (round == 0) {
+      decision.est_score_before = stats.score_before;
+      decision.est_score_after = stats.score_before;
+    }
     if (plan.empty()) break;  // Algorithm 1 lines 5-6
+    decision.est_score_after = stats.best_score;
     for (const ModOp& op : plan) {
       FLEXMOE_CHECK(ApplyOp(op, target).ok());
       decision.ops.push_back(op);

@@ -58,6 +58,15 @@ struct SchedulerDecision {
   int evacuations = 0;           ///< migrate-away ops off degraded devices
   double metric_before = 0.0;
   double metric_after = 0.0;
+  /// Candidate placements scored through the cost model across all plan
+  /// rounds (the policy decision audit's search cost).
+  int64_t candidates_evaluated = 0;
+  /// Eq. 5 plan score of the incumbent placement at the first plan round
+  /// (0 when the trigger never reached the plan loop).
+  double est_score_before = 0.0;
+  /// Best plan score after the last accepted round (== est_score_before
+  /// when no plan was accepted).
+  double est_score_after = 0.0;
   /// Ops in dependency order, ready for the PlacementExecutor.
   std::vector<ModOp> ops;
 };

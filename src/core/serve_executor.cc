@@ -327,6 +327,28 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
 
     const StepMetrics metrics = system_->ServeMicrobatch(scaled);
     const double end = launch + metrics.step_seconds;
+    if (obs::Tracer* tr = obs::TracerOf(obs_); tr != nullptr) {
+      // Serving-lane timeline: the admission window (idle engine waiting
+      // for the batch to form) followed by the batch's execution, plus a
+      // backlog counter track sampled at each launch.
+      if (launch > engine_idle) {
+        tr->Span("batch_window", "serving", obs::kServingLane, engine_idle,
+                 launch, "batch", static_cast<double>(b));
+      }
+      tr->Span("serve_batch", "serving", obs::kServingLane, launch, end,
+               "tokens", static_cast<double>(admitted_tokens), "requests",
+               static_cast<double>(admitted.size()));
+      tr->Counter("serve_backlog", obs::kServingLane, launch, "requests",
+                  static_cast<double>(record.left_waiting));
+      if (record.shed > 0) {
+        tr->Instant("requests_shed", "serving", obs::kServingLane, launch,
+                    "count", static_cast<double>(record.shed));
+      }
+      if (metrics.tokens_dropped > 0) {
+        tr->Instant("batch_failed", "serving", obs::kServingLane, end,
+                    "batch", static_cast<double>(b));
+      }
+    }
     engine_idle = end;
     record.end = end;
     if (first_launch < 0.0) first_launch = launch;
@@ -357,6 +379,9 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
         }
         const double latency = end - entry.req.arrival_seconds;
         latencies.push_back(latency);
+        if (obs::MetricsRegistry* m = obs::MetricsOf(obs_); m != nullptr) {
+          m->Observe("serve.latency_seconds", latency);
+        }
         report.requests_completed += 1;
         if (end > entry.req.deadline_seconds) {
           report.requests_completed_late += 1;
@@ -418,6 +443,23 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
           ? static_cast<double>(report.tokens_completed_within_slo) /
                 report.span_seconds
           : 0.0;
+  if (obs::MetricsRegistry* m = obs::MetricsOf(obs_); m != nullptr) {
+    m->Add("serve.batches", report.batches);
+    m->Add("serve.requests_arrived", report.requests_arrived);
+    m->Add("serve.requests_completed", report.requests_completed);
+    if (report.requests_shed > 0) {
+      m->Add("serve.requests_shed", report.requests_shed);
+    }
+    if (report.failed_batches > 0) {
+      m->Add("serve.failed_batches", report.failed_batches);
+    }
+    if (report.chunked_admissions > 0) {
+      m->Add("serve.chunked_admissions", report.chunked_admissions);
+    }
+    m->Add("serve.tokens_completed", report.tokens_completed);
+    m->Set("serve.slo_attainment", report.slo_attainment);
+    m->Set("serve.goodput_tokens_per_sec", report.goodput_tokens_per_sec);
+  }
   return report;
 }
 

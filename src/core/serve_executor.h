@@ -41,6 +41,7 @@
 #include "core/system.h"
 #include "gate/request_source.h"
 #include "gate/trace_source.h"
+#include "obs/observability.h"
 
 namespace flexmoe {
 
@@ -192,6 +193,15 @@ class ServeExecutor {
 
   const std::vector<ServeBatchRecord>& batch_log() const { return log_; }
 
+  /// Installs the per-run observability handle (nullable; also forwarded
+  /// to the system under test). Batch formation and execution emit spans
+  /// on the serving lane, backlog is sampled as a counter track, and
+  /// per-request latencies feed a registry histogram.
+  void set_observability(obs::Observability* obs) {
+    obs_ = obs;
+    system_->SetObservability(obs);
+  }
+
  private:
   /// Best-case completion seconds for `remaining` tokens launched now:
   /// full-cap chunks plus the tail, each at the estimator's latency.
@@ -209,6 +219,7 @@ class ServeExecutor {
   double cap_chunk_seconds_ = 0.0;
   uint64_t trace_hash_ = kTraceHashSeed;
   std::vector<ServeBatchRecord> log_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace flexmoe

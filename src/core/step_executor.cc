@@ -7,6 +7,24 @@
 
 namespace flexmoe {
 
+namespace {
+
+/// Emits one span per GPU the collective kept busy past `start` (untouched
+/// GPUs keep their start time in per_gpu_finish and emit nothing).
+void TracePerGpuSpans(obs::Tracer* tr, const char* name, const char* category,
+                      double start, const CollectiveResult& result,
+                      int layer) {
+  if (tr == nullptr) return;
+  for (size_t g = 0; g < result.per_gpu_finish.size(); ++g) {
+    if (result.per_gpu_finish[g] > start) {
+      tr->Span(name, category, static_cast<int>(g), start,
+               result.per_gpu_finish[g], "layer", static_cast<double>(layer));
+    }
+  }
+}
+
+}  // namespace
+
 StepExecutor::StepExecutor(ClusterState* cluster,
                            const HardwareProfile* profile,
                            const ModelConfig& model)
@@ -76,13 +94,17 @@ const ByteMatrix& StepExecutor::DispatchBytes(const RoutedAssignment& routed,
 
 double StepExecutor::RunExpertCompute(
     const RoutedAssignment& routed, double flops_per_token,
-    const std::vector<double>& per_gpu_earliest, StepTiming* timing) {
+    const std::vector<double>& per_gpu_earliest, StepTiming* timing,
+    const char* span_name, int layer) {
+  obs::Tracer* tr = trace();
   double finish = 0.0;
   for (GpuId g = 0; g < routed.num_gpus; ++g) {
     // Tokens landing on a dead device (possible only in degraded mode,
     // when no live replica exists) are simply not computed.
     if (!Alive(g)) continue;
-    double gpu_finish = per_gpu_earliest[static_cast<size_t>(g)];
+    const double gpu_start = per_gpu_earliest[static_cast<size_t>(g)];
+    double gpu_finish = gpu_start;
+    int64_t gpu_tokens = 0;
     const double effective_flops = flops_per_token * ComputeScale(g);
     for (int e = 0; e < routed.num_experts; ++e) {
       const int64_t tokens = routed.expert_gpu_tokens(e, g);
@@ -93,6 +115,12 @@ double StepExecutor::RunExpertCompute(
                                gpu_finish);
       timing->per_gpu_expert_compute[static_cast<size_t>(g)] +=
           gpu_finish - before;
+      gpu_tokens += tokens;
+    }
+    if (tr != nullptr && gpu_finish > gpu_start) {
+      tr->Span(span_name, "compute", g, gpu_start, gpu_finish, "layer",
+               static_cast<double>(layer), "tokens",
+               static_cast<double>(gpu_tokens));
     }
     finish = std::max(finish, gpu_finish);
   }
@@ -102,9 +130,15 @@ double StepExecutor::RunExpertCompute(
 double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
                                       const std::vector<GpuId>& alive,
                                       double frontier, StepTiming* timing) {
+  obs::Tracer* tr = trace();
   const double fwd_flops = model_.expert_fwd_flops_per_token();
-  for (const LayerWork& work : layers) {
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const LayerWork& work = layers[l];
     FLEXMOE_CHECK(work.routed != nullptr);
+    const int layer = static_cast<int>(l);
+    // Entries past the model's MoE layers are recirculation passes (the
+    // serving path's second pass for overflow/re-routed tokens).
+    const bool recirc = layer >= model_.num_moe_layers;
     // Shadow-parameter broadcasts (baseline FasterMoE) precede the layer.
     for (const ShadowBroadcast& bc : work.broadcasts) {
       if (!Alive(bc.root) || alive.size() < 2) continue;
@@ -112,6 +146,10 @@ double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
           ExecBroadcast(cluster_, *profile_,
                         bc.bytes * GroupBandwidthScale(alive), bc.root, alive,
                         frontier);
+      if (tr != nullptr) {
+        tr->Span("shadow_bcast", "sync", bc.root, frontier, r.finish, "layer",
+                 static_cast<double>(layer));
+      }
       timing->sync_seconds += r.finish - frontier;
       frontier = r.finish;
     }
@@ -119,15 +157,22 @@ double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
     const double phase0 = frontier;
     const CollectiveResult dispatch = ExecAllToAll(
         cluster_, *profile_, DispatchBytes(*work.routed, false), frontier);
+    TracePerGpuSpans(tr, recirc ? "recirc_dispatch" : "dispatch",
+                     recirc ? "recirculation" : "a2a", phase0, dispatch,
+                     layer);
     timing->a2a_seconds += dispatch.finish - phase0;
 
     const double compute_finish = RunExpertCompute(
-        *work.routed, fwd_flops, dispatch.per_gpu_finish, timing);
+        *work.routed, fwd_flops, dispatch.per_gpu_finish, timing,
+        recirc ? "recirc_expert_compute" : "expert_compute", layer);
     timing->compute_seconds += std::max(0.0, compute_finish - dispatch.finish);
 
     const CollectiveResult combine = ExecAllToAll(
         cluster_, *profile_, DispatchBytes(*work.routed, true),
         compute_finish);
+    TracePerGpuSpans(tr, recirc ? "recirc_combine" : "combine",
+                     recirc ? "recirculation" : "a2a", compute_finish,
+                     combine, layer);
     timing->a2a_seconds += combine.finish - compute_finish;
     frontier = combine.finish;
   }
@@ -160,11 +205,19 @@ StepTiming StepExecutor::ExecuteForward(const std::vector<LayerWork>& layers) {
       const double start = cluster_->compute(g).Reserve(frontier, scaled);
       phase_finish = std::max(phase_finish, start + scaled);
     }
+    if (obs::Tracer* tr = trace(); tr != nullptr) {
+      tr->Span("non_moe", "compute", obs::kControlLane, frontier,
+               phase_finish);
+    }
     timing.non_moe_seconds += phase_finish - frontier;
     frontier = phase_finish;
   }
 
   timing.end = frontier;
+  if (obs::Tracer* tr = trace(); tr != nullptr) {
+    tr->Span("forward_pass", "step", obs::kControlLane, timing.start,
+             timing.end, "layers", static_cast<double>(layers.size()));
+  }
   return timing;
 }
 
@@ -197,6 +250,10 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
       const double start = cluster_->compute(g).Reserve(frontier, scaled);
       phase_finish = std::max(phase_finish, start + scaled);
     }
+    if (obs::Tracer* tr = trace(); tr != nullptr) {
+      tr->Span("non_moe", "compute", obs::kControlLane, frontier,
+               phase_finish);
+    }
     timing.non_moe_seconds += phase_finish - frontier;
     frontier = phase_finish;
   }
@@ -208,15 +265,19 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
   // overlap of DDP, applied per expert. The step only stretches if syncs
   // outlast the backward pass.
   double sync_finish = frontier;
+  obs::Tracer* tr = trace();
   for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
     const LayerWork& work = *it;
+    const int layer = static_cast<int>(layers.rend() - it) - 1;
     const double phase0 = frontier;
     const CollectiveResult dispatch = ExecAllToAll(
         cluster_, *profile_, DispatchBytes(*work.routed, false), frontier);
+    TracePerGpuSpans(tr, "grad_dispatch", "a2a", phase0, dispatch, layer);
     timing.a2a_seconds += dispatch.finish - phase0;
 
-    const double compute_finish = RunExpertCompute(
-        *work.routed, bwd_flops, dispatch.per_gpu_finish, &timing);
+    const double compute_finish =
+        RunExpertCompute(*work.routed, bwd_flops, dispatch.per_gpu_finish,
+                         &timing, "expert_compute_bwd", layer);
     timing.compute_seconds += std::max(0.0, compute_finish - dispatch.finish);
 
     // Launch this layer's expert syncs, ordered by logical id (== expert
@@ -256,6 +317,11 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
       const CollectiveResult r = ExecRingAllReduce(
           cluster_, *profile_, op.bytes * GroupBandwidthScale(op.group),
           op.group, earliest);
+      if (tr != nullptr && !op.group.empty()) {
+        tr->Span("expert_sync", "sync", op.group.front(), earliest, r.finish,
+                 "expert", static_cast<double>(op.logical_id), "gpus",
+                 static_cast<double>(op.group.size()));
+      }
       sync_finish = std::max(sync_finish, r.finish);
       timing.sync_busy_seconds += r.finish - earliest;
     }
@@ -263,6 +329,8 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
     const CollectiveResult combine = ExecAllToAll(
         cluster_, *profile_, DispatchBytes(*work.routed, true),
         compute_finish);
+    TracePerGpuSpans(tr, "grad_combine", "a2a", compute_finish, combine,
+                     layer);
     timing.a2a_seconds += combine.finish - compute_finish;
     frontier = combine.finish;
   }
@@ -280,11 +348,19 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
         model_.non_moe_params() * model_.grad_bytes *
             GroupBandwidthScale(alive),
         alive, frontier);
+    if (tr != nullptr) {
+      tr->Span("dp_sync", "sync", alive.front(), frontier, dp.finish, "gpus",
+               static_cast<double>(alive.size()));
+    }
     timing.dp_sync_seconds += dp.finish - frontier;
     frontier = dp.finish;
   }
 
   timing.end = frontier;
+  if (tr != nullptr) {
+    tr->Span("train_step", "step", obs::kControlLane, timing.start, timing.end,
+             "layers", static_cast<double>(layers.size()));
+  }
   return timing;
 }
 

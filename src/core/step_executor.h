@@ -22,6 +22,7 @@
 #include "core/router.h"
 #include "elastic/cluster_health.h"
 #include "moe/model_config.h"
+#include "obs/observability.h"
 #include "placement/placement.h"
 
 namespace flexmoe {
@@ -96,7 +97,14 @@ class StepExecutor {
   void set_cluster_health(const ClusterHealth* health) { health_ = health; }
   const ClusterHealth* cluster_health() const { return health_; }
 
+  /// Installs the per-run observability handle (nullable). With tracing
+  /// enabled, every step phase emits per-GPU spans — dispatch/combine A2A,
+  /// expert compute (forward, backward, recirculation), expert sync, DP
+  /// sync — stamped with the engine's sim times.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
+
  private:
+  obs::Tracer* trace() const { return obs::TracerOf(obs_); }
   bool Alive(GpuId g) const { return health_ == nullptr || health_->alive(g); }
   double ComputeScale(GpuId g) const {
     return health_ == nullptr ? 1.0 : health_->compute_multiplier(g);
@@ -113,11 +121,13 @@ class StepExecutor {
                                   bool transpose) const;
 
   /// Runs expert compute for one layer with the given FLOPs/token; returns
-  /// the phase finish time.
+  /// the phase finish time. `span_name` labels the per-GPU trace spans
+  /// (must be a string literal); `layer` is their arg.
   double RunExpertCompute(const RoutedAssignment& routed,
                           double flops_per_token,
                           const std::vector<double>& per_gpu_earliest,
-                          StepTiming* timing);
+                          StepTiming* timing, const char* span_name,
+                          int layer);
 
   /// The forward pass over `layers` — [shadow broadcasts] -> dispatch A2A
   /// -> expert compute at forward FLOPs -> combine A2A, per layer —
@@ -132,6 +142,7 @@ class StepExecutor {
   const HardwareProfile* profile_;
   ModelConfig model_;
   const ClusterHealth* health_ = nullptr;
+  obs::Observability* obs_ = nullptr;
   /// Per-call scratch owned by the executor (see DESIGN.md "Performance
   /// architecture"); mutable because DispatchBytes is logically const.
   mutable ByteMatrix dispatch_bytes_scratch_;

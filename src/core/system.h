@@ -18,6 +18,10 @@
 
 namespace flexmoe {
 
+namespace obs {
+class Observability;
+}  // namespace obs
+
 /// \brief Abstract distributed MoE training system.
 class MoESystem {
  public:
@@ -60,6 +64,12 @@ class MoESystem {
   /// The dynamic-membership view, or nullptr when fault injection was
   /// never installed.
   virtual const ClusterHealth* cluster_health() const { return nullptr; }
+
+  /// Installs the per-run observability handle (nullable; default: none).
+  /// `obs` must outlive the system. Systems forward it to their executors
+  /// and elastic controller; a disabled or null handle costs one branch
+  /// per instrumented phase (DESIGN.md Section 9).
+  virtual void SetObservability(obs::Observability* obs) { (void)obs; }
 };
 
 }  // namespace flexmoe

@@ -39,6 +39,23 @@ Status ElasticController::InstallPlan(const FaultPlan& plan) {
   return Status::OK();
 }
 
+void ElasticController::RecordReport(const StepReport& report) {
+  obs::MetricsRegistry* m = obs::MetricsOf(obs_);
+  if (m == nullptr || report.events.empty()) return;
+  m->Add("elastic.fault_events", static_cast<int64_t>(report.events.size()));
+  if (report.membership_changed) m->Add("elastic.membership_changes");
+  if (report.perf_changed) m->Add("elastic.perf_changes");
+  if (report.experts_restored > 0) {
+    m->Add("elastic.experts_restored", report.experts_restored);
+  }
+  if (report.orphaned_experts > 0) {
+    m->Add("elastic.orphaned_experts", report.orphaned_experts);
+  }
+  if (report.recovery_seconds > 0.0) {
+    m->Observe("elastic.recovery_seconds", report.recovery_seconds);
+  }
+}
+
 ElasticController::StepReport ElasticController::OnStepBoundary(
     int64_t step, const std::vector<Placement*>& placements,
     NcclGroupCache* group_cache, double expert_state_bytes) {
@@ -81,7 +98,10 @@ ElasticController::StepReport ElasticController::OnStepBoundary(
       group_cache->EvictGroupsContaining(e.gpu);
     }
   }
-  if (!report.membership_changed) return report;
+  if (!report.membership_changed) {
+    RecordReport(report);
+    return report;
+  }
 
   if (options_.elastic) {
     // A join brings empty slots, not state: any tombstone replica parked
@@ -134,6 +154,7 @@ ElasticController::StepReport ElasticController::OnStepBoundary(
       *placements[i] = *repaired;
     }
   }
+  RecordReport(report);
   return report;
 }
 

@@ -27,6 +27,7 @@
 #include "elastic/fault_plan.h"
 #include "elastic/fault_scheduler.h"
 #include "elastic/recovery.h"
+#include "obs/observability.h"
 #include "topology/profile.h"
 
 namespace flexmoe {
@@ -103,7 +104,16 @@ class ElasticController {
     return scheduler_ == nullptr ? 0 : scheduler_->skipped_events();
   }
 
+  /// Installs the per-run observability handle (nullable): fault events,
+  /// membership changes, restored/orphaned experts, and recovery time go
+  /// into the metrics registry. The controller has no sim clock, so the
+  /// owning system emits the recovery trace spans.
+  void SetObservability(obs::Observability* obs) { obs_ = obs; }
+
  private:
+  /// Counts `report` in the metrics registry (no-op without a handle).
+  void RecordReport(const StepReport& report);
+
   int num_gpus_;
   const Topology* topo_;
   ElasticControllerOptions options_;
@@ -112,6 +122,7 @@ class ElasticController {
   std::vector<Placement> baseline_;  ///< pre-fault layouts (static repair)
   bool baseline_captured_ = false;
   std::vector<GpuId> newly_failed_;  ///< fail-stops at the current boundary
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace flexmoe

@@ -31,6 +31,7 @@ Status ExperimentOptions::Validate() const {
   FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
   FLEXMOE_RETURN_IF_ERROR(workload.scenario.Validate());
   FLEXMOE_RETURN_IF_ERROR(serving.Validate());
+  FLEXMOE_RETURN_IF_ERROR(observability.Validate());
   return Status::OK();
 }
 
@@ -169,6 +170,12 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
   FLEXMOE_ASSIGN_OR_RETURN(std::unique_ptr<MoESystem> system,
                            BuildSystem(options, &topo, &profile));
 
+  // Per-run observability handle (DESIGN.md Section 9). Created even when
+  // disabled so call sites exercise the real disabled branch; the system
+  // only records through it when `enabled`.
+  obs::Observability observability(options.observability);
+  system->SetObservability(&observability);
+
   if (options.faults.scenario != "none") {
     const FaultPlanOptions resolved = ResolveFaultOptions(options);
     FLEXMOE_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::Generate(resolved));
@@ -206,6 +213,7 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
     ServeExecutor serve(system.get(), source.get(), &requests,
                         options.serving, max_batch, options.model.top_k,
                         std::move(estimator));
+    serve.set_observability(&observability);
     FLEXMOE_ASSIGN_OR_RETURN(serve_report,
                              serve.Run(options.measure_steps));
     trace_hash = serve.trace_hash();
@@ -219,6 +227,7 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
   if (!options.workload.record_path.empty()) {
     FLEXMOE_RETURN_IF_ERROR(recorded.Save(options.workload.record_path));
   }
+  FLEXMOE_RETURN_IF_ERROR(observability.ExportArtifacts());
 
   ExperimentReport report;
   report.system = system->name();

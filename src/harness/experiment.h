@@ -19,6 +19,7 @@
 #include "gate/trace_generator.h"
 #include "gate/trace_source.h"
 #include "moe/model_config.h"
+#include "obs/observability.h"
 #include "quality/targets.h"
 
 namespace flexmoe {
@@ -82,6 +83,13 @@ struct ExperimentOptions {
   /// from the model/num_gpus). Overrides win over `workload.scenario`.
   TraceGeneratorOptions trace;
   bool use_trace_overrides = false;
+
+  /// Observability (DESIGN.md Section 9): when `observability.enabled`,
+  /// the run records sim-time spans, registry counters, and policy
+  /// decision records, and exports any artifact whose output path is set
+  /// (bench flags --trace-out / --metrics-out / --decisions-out). The
+  /// exports are byte-deterministic for a fixed seed.
+  obs::ObservabilityOptions observability;
 
   /// Fault scenario (elastic-cluster subsystem). `faults.scenario` of
   /// "none" runs a static, healthy cluster; any other scenario builds a

@@ -46,6 +46,17 @@ Table TimeToQualityTable(
 }
 
 std::string ReportLine(const ExperimentReport& r) {
+  if (r.serving) {
+    return StrFormat(
+        "%-10s %-11s %2d GPUs | %lld batches | attain %5.1f%% | "
+        "goodput %8.0f tok/s | p50 %s | p99 %s | shed %lld",
+        r.system.c_str(), r.model.c_str(), r.num_gpus,
+        static_cast<long long>(r.serve.batches),
+        100.0 * r.serve.slo_attainment, r.serve.goodput_tokens_per_sec,
+        HumanTime(r.serve.p50_latency_seconds).c_str(),
+        HumanTime(r.serve.p99_latency_seconds).c_str(),
+        static_cast<long long>(r.serve.requests_shed));
+  }
   return StrFormat(
       "%-10s %-11s %2d GPUs | step %-9s | thpt %8.0f tok/s | "
       "tok_eff %.3f | exp_eff %.3f | util %.3f | balance %.2f | "

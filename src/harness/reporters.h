@@ -21,7 +21,9 @@ std::string FormatSpeedup(double factor);
 Table TimeToQualityTable(
     const std::vector<std::vector<ExperimentReport>>& rows_by_model);
 
-/// \brief One-line summary of a report.
+/// \brief One-line summary of a report. Serving-mode reports summarize
+/// the SLO readouts (attainment, goodput, tail latencies, shed count)
+/// instead of the training throughput fields.
 std::string ReportLine(const ExperimentReport& r);
 
 /// \brief ASCII line plot of one series (crude; for trend figures like

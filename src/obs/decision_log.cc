@@ -1,0 +1,134 @@
+#include "obs/decision_log.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace flexmoe {
+namespace obs {
+
+std::string FormatDecisionRecord(const PolicyDecisionRecord& r) {
+  return StrFormat(
+      "{\"step\":%lld,\"layer\":%d,\"trigger_metric\":%.9g,"
+      "\"threshold\":%.9g,\"forced\":%d,\"triggered\":%d,"
+      "\"candidates_evaluated\":%lld,\"plan_rounds\":%d,\"migrations\":%d,"
+      "\"evacuations\":%d,\"ops_emitted\":%d,\"est_score_before\":%.9g,"
+      "\"est_score_after\":%.9g,\"metric_after\":%.9g,"
+      "\"realized_balance\":%.9g,\"ops\":\"%s\"}",
+      static_cast<long long>(r.step), r.layer, r.trigger_metric, r.threshold,
+      r.forced ? 1 : 0, r.triggered ? 1 : 0,
+      static_cast<long long>(r.candidates_evaluated), r.plan_rounds,
+      r.migrations, r.evacuations, r.ops_emitted, r.est_score_before,
+      r.est_score_after, r.metric_after, r.realized_balance, r.ops.c_str());
+}
+
+std::string DecisionLog::ToJsonl() const {
+  std::string out;
+  out.reserve(records_.size() * 192);
+  for (const PolicyDecisionRecord& r : records_) {
+    out.append(FormatDecisionRecord(r));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+/// Extracts the numeric value following "\"key\":" in `line`; false when
+/// the key is absent.
+bool FindNumber(const std::string& line, const char* key, double* out) {
+  const std::string needle = StrFormat("\"%s\":", key);
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+bool FindString(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = StrFormat("\"%s\":\"", key);
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const size_t begin = pos + needle.size();
+  const size_t close = line.find('"', begin);
+  if (close == std::string::npos) return false;
+  *out = line.substr(begin, close - begin);
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<PolicyDecisionRecord>> ParseDecisionLog(
+    const std::string& jsonl) {
+  std::vector<PolicyDecisionRecord> records;
+  size_t line_no = 0;
+  for (const std::string& line : Split(jsonl, '\n')) {
+    ++line_no;
+    if (line.empty()) continue;
+    PolicyDecisionRecord r;
+    double v = 0.0;
+    const auto need = [&](const char* key, double* slot) {
+      if (!FindNumber(line, key, slot)) {
+        return Status::InvalidArgument(StrFormat(
+            "decision log line %zu: missing field '%s'", line_no, key));
+      }
+      return Status::OK();
+    };
+    FLEXMOE_RETURN_IF_ERROR(need("step", &v));
+    r.step = static_cast<int64_t>(v);
+    FLEXMOE_RETURN_IF_ERROR(need("layer", &v));
+    r.layer = static_cast<int>(v);
+    FLEXMOE_RETURN_IF_ERROR(need("trigger_metric", &r.trigger_metric));
+    FLEXMOE_RETURN_IF_ERROR(need("threshold", &r.threshold));
+    FLEXMOE_RETURN_IF_ERROR(need("forced", &v));
+    r.forced = v != 0.0;
+    FLEXMOE_RETURN_IF_ERROR(need("triggered", &v));
+    r.triggered = v != 0.0;
+    FLEXMOE_RETURN_IF_ERROR(need("candidates_evaluated", &v));
+    r.candidates_evaluated = static_cast<int64_t>(v);
+    FLEXMOE_RETURN_IF_ERROR(need("plan_rounds", &v));
+    r.plan_rounds = static_cast<int>(v);
+    FLEXMOE_RETURN_IF_ERROR(need("migrations", &v));
+    r.migrations = static_cast<int>(v);
+    FLEXMOE_RETURN_IF_ERROR(need("evacuations", &v));
+    r.evacuations = static_cast<int>(v);
+    FLEXMOE_RETURN_IF_ERROR(need("ops_emitted", &v));
+    r.ops_emitted = static_cast<int>(v);
+    FLEXMOE_RETURN_IF_ERROR(need("est_score_before", &r.est_score_before));
+    FLEXMOE_RETURN_IF_ERROR(need("est_score_after", &r.est_score_after));
+    FLEXMOE_RETURN_IF_ERROR(need("metric_after", &r.metric_after));
+    FLEXMOE_RETURN_IF_ERROR(need("realized_balance", &r.realized_balance));
+    FindString(line, "ops", &r.ops);  // optional; empty when no plan
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<int64_t> PolicyAdoptionLags(
+    const std::vector<PolicyDecisionRecord>& records,
+    const std::vector<int64_t>& switch_steps) {
+  std::vector<int64_t> lags;
+  lags.reserve(switch_steps.size());
+  for (size_t i = 0; i < switch_steps.size(); ++i) {
+    const int64_t s = switch_steps[i];
+    const int64_t next = i + 1 < switch_steps.size()
+                             ? switch_steps[i + 1]
+                             : std::numeric_limits<int64_t>::max();
+    int64_t adopted = -1;
+    for (const PolicyDecisionRecord& r : records) {
+      if (r.step < s || r.step >= next) continue;
+      if (!r.triggered || r.ops_emitted <= 0) continue;
+      adopted = adopted < 0 ? r.step : std::min(adopted, r.step);
+    }
+    lags.push_back(adopted < 0 ? -1 : adopted - s);
+  }
+  return lags;
+}
+
+}  // namespace obs
+}  // namespace flexmoe

@@ -1,0 +1,67 @@
+#include "obs/observability.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace flexmoe {
+namespace obs {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  const size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return Status::Internal(StrFormat("short write to '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ObservabilityOptions::Validate() const {
+  if (!enabled) {
+    if (!trace_out.empty() || !metrics_out.empty() || !decisions_out.empty()) {
+      return Status::InvalidArgument(
+          "observability output paths set but observability.enabled is "
+          "false");
+    }
+    return Status::OK();
+  }
+  if (trace_capacity <= 0) {
+    return Status::InvalidArgument("observability.trace_capacity must be > 0");
+  }
+  return Status::OK();
+}
+
+Observability::Observability(const ObservabilityOptions& options)
+    : options_(options),
+      tracer_(options.trace_capacity > 0
+                  ? static_cast<size_t>(options.trace_capacity)
+                  : Tracer::kDefaultCapacity) {
+  FLEXMOE_CHECK(options.Validate().ok());
+}
+
+Status Observability::ExportArtifacts() const {
+  if (!options_.trace_out.empty()) {
+    FLEXMOE_RETURN_IF_ERROR(WriteFile(options_.trace_out, TraceJson()));
+  }
+  if (!options_.metrics_out.empty()) {
+    FLEXMOE_RETURN_IF_ERROR(WriteFile(options_.metrics_out, MetricsJson()));
+  }
+  if (!options_.decisions_out.empty()) {
+    FLEXMOE_RETURN_IF_ERROR(
+        WriteFile(options_.decisions_out, DecisionsJsonl()));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace flexmoe

@@ -1,8 +1,15 @@
 #include "sim/engine.h"
 
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace flexmoe {
+
+void SimEngine::TraceFire(double t) {
+  if (tracer_ != nullptr) {
+    tracer_->Instant("sim_callback", "sim", obs::kSimLane, t);
+  }
+}
 
 void SimEngine::ScheduleAt(double t, std::function<void()> fn) {
   FLEXMOE_CHECK_MSG(t >= now_, "cannot schedule in the past");
@@ -18,6 +25,7 @@ void SimEngine::Run() {
   while (!queue_.empty()) {
     Event e = queue_.Pop();
     now_ = e.time;
+    TraceFire(now_);
     e.fn();
   }
 }
@@ -27,6 +35,7 @@ void SimEngine::RunUntil(double t) {
   while (!queue_.empty() && queue_.PeekTime() <= t) {
     Event e = queue_.Pop();
     now_ = e.time;
+    TraceFire(now_);
     e.fn();
   }
   now_ = t;

@@ -12,6 +12,10 @@
 
 namespace flexmoe {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 /// \brief Deterministic discrete-event simulation engine.
 class SimEngine {
  public:
@@ -40,9 +44,17 @@ class SimEngine {
 
   size_t pending_events() const { return queue_.size(); }
 
+  /// Installs a span tracer (nullable): every callback firing emits an
+  /// instant event on the sim lane at its virtual time. `tracer` must
+  /// outlive the engine's runs.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
+  void TraceFire(double t);
+
   EventQueue queue_;
   double now_ = 0.0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace flexmoe

@@ -1,12 +1,21 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace flexmoe {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+std::once_flag g_env_once;
+
+// Sink registry: guarded by a mutex — logging is diagnostic-path only, so
+// a lock per emitted (not per suppressed) message is fine.
+std::mutex g_sink_mu;
+LogSink g_sink;  // empty = default stderr sink
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,14 +30,55 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// FLEXMOE_LOG_LEVEL is consulted once, lazily, from both SetLogLevel and
+// GetLogLevel: an explicit SetLogLevel call therefore always lands after
+// the environment default and wins.
+void InitLevelFromEnv() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("FLEXMOE_LOG_LEVEL");
+    LogLevel level;
+    if (env != nullptr && ParseLogLevel(env, &level)) {
+      g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+    }
+  });
+}
 }  // namespace
 
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void SetLogLevel(LogLevel level) {
+  InitLevelFromEnv();
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  InitLevelFromEnv();
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
 }
 
 namespace internal {
@@ -44,11 +94,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) <
-      g_min_level.load(std::memory_order_relaxed)) {
+  if (static_cast<int>(level_) < static_cast<int>(GetLogLevel())) {
     return;
   }
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(level_, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace internal

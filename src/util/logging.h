@@ -1,9 +1,16 @@
 // Minimal leveled logger. Intended for diagnostics from long experiment runs;
 // benches print their results through util/table.h instead.
+//
+// The minimum level defaults to Warning and can be set two ways: the
+// FLEXMOE_LOG_LEVEL environment variable (debug|info|warn|error, read once
+// at first use) or SetLogLevel(), which always wins over the environment.
+// Output goes to a pluggable sink (default: one line to stderr) so tests
+// and embedders can capture or redirect diagnostics.
 
 #ifndef FLEXMOE_UTIL_LOGGING_H_
 #define FLEXMOE_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,8 +19,22 @@ namespace flexmoe {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// \brief Process-wide minimum level; messages below it are dropped.
+/// Overrides any FLEXMOE_LOG_LEVEL environment setting.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// \brief Parses "debug" / "info" / "warn" / "warning" / "error"
+/// (case-insensitive). Returns false (leaving `level` untouched) on
+/// anything else — including empty or unset values.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+/// \brief Receives every emitted message: the level and the formatted line
+/// ("[WARN file.cc:12] text", no trailing newline).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// \brief Replaces the process-wide sink; nullptr restores the default
+/// stderr sink. Returns nothing; the previous sink is discarded.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 
@@ -46,6 +67,13 @@ class NullLog {
   }
 };
 
+/// Lower precedence than << : lets the ternary in FLEXMOE_LOG yield void
+/// on both arms while the enabled arm still streams into the LogMessage.
+class LogVoidify {
+ public:
+  void operator&(const LogMessage&) {}
+};
+
 }  // namespace internal
 }  // namespace flexmoe
 
@@ -53,8 +81,9 @@ class NullLog {
   (static_cast<int>(::flexmoe::LogLevel::k##level) <            \
    static_cast<int>(::flexmoe::GetLogLevel()))                  \
       ? (void)0                                                 \
-      : (void)::flexmoe::internal::LogMessage(                  \
-            ::flexmoe::LogLevel::k##level, __FILE__, __LINE__)
+      : ::flexmoe::internal::LogVoidify() &                     \
+            ::flexmoe::internal::LogMessage(                    \
+                ::flexmoe::LogLevel::k##level, __FILE__, __LINE__)
 
 #define FLEXMOE_LOG_DEBUG ::flexmoe::internal::LogMessage(::flexmoe::LogLevel::kDebug, __FILE__, __LINE__)
 #define FLEXMOE_LOG_INFO ::flexmoe::internal::LogMessage(::flexmoe::LogLevel::kInfo, __FILE__, __LINE__)

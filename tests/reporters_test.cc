@@ -1,0 +1,119 @@
+// Tests for the bench-side reporting helpers (harness/reporters.*):
+// FormatSpeedup rounding, AsciiSeries edge shapes, AsciiCdf on empty and
+// unsorted input, and ReportLine's serving-mode rendering.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/reporters.h"
+
+namespace flexmoe {
+namespace {
+
+TEST(FormatSpeedupTest, RoundsToTwoDecimals) {
+  EXPECT_EQ(FormatSpeedup(1.0), "1.00x");
+  EXPECT_EQ(FormatSpeedup(1.724), "1.72x");
+  EXPECT_EQ(FormatSpeedup(1.726), "1.73x");
+  EXPECT_EQ(FormatSpeedup(0.999), "1.00x");
+  EXPECT_EQ(FormatSpeedup(0.0), "0.00x");
+  EXPECT_EQ(FormatSpeedup(12.3456), "12.35x");
+}
+
+TEST(AsciiSeriesTest, EmptyAndNonPositiveDimensionsYieldEmpty) {
+  EXPECT_EQ(AsciiSeries({}, 10, 4), "");
+  EXPECT_EQ(AsciiSeries({1.0, 2.0}, 0, 4), "");
+  EXPECT_EQ(AsciiSeries({1.0, 2.0}, 10, 0), "");
+}
+
+TEST(AsciiSeriesTest, ConstantSeriesRendersOnBottomRow) {
+  // hi == lo stretches the range to [lo, lo+1]: every point normalizes to
+  // the bottom row rather than dividing by zero.
+  const std::string plot = AsciiSeries({3.0, 3.0, 3.0, 3.0}, 8, 3);
+  const std::vector<std::string> rows = [&plot] {
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= plot.size(); ++i) {
+      if (i == plot.size() || plot[i] == '\n') {
+        out.push_back(plot.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (!out.empty() && out.back().empty()) out.pop_back();
+    return out;
+  }();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].find('*'), std::string::npos);
+  EXPECT_EQ(rows[1].find('*'), std::string::npos);
+  EXPECT_NE(rows[2].find('*'), std::string::npos);
+}
+
+TEST(AsciiSeriesTest, SingleValueFillsEveryColumn) {
+  const std::string plot = AsciiSeries({7.5}, 6, 2);
+  // One value, width 6: all six columns sample the same point.
+  int stars = 0;
+  for (char c : plot) stars += (c == '*');
+  EXPECT_EQ(stars, 6);
+}
+
+TEST(AsciiCdfTest, EmptyInputYieldsEmpty) { EXPECT_EQ(AsciiCdf({}, 20), ""); }
+
+TEST(AsciiCdfTest, RendersEveryEntryAndTotalLine) {
+  const std::string out = AsciiCdf({0.5, 0.8, 1.0}, 10);
+  EXPECT_NE(out.find("top- 1  50.0%"), std::string::npos);
+  EXPECT_NE(out.find("top- 2  80.0%"), std::string::npos);
+  EXPECT_NE(out.find("top- 3 100.0% (all)"), std::string::npos);
+  // 100% at width 10 = ten bars.
+  EXPECT_NE(out.find("|##########"), std::string::npos);
+}
+
+TEST(AsciiCdfTest, UnsortedInputStillRendersRowPerEntry) {
+  // A CDF should be nondecreasing; the renderer doesn't enforce it and
+  // must not crash or drop rows when handed unsorted values.
+  const std::string out = AsciiCdf({0.9, 0.2, 0.6}, 10);
+  EXPECT_NE(out.find("top- 1  90.0%"), std::string::npos);
+  EXPECT_NE(out.find("top- 2  20.0%"), std::string::npos);
+  EXPECT_NE(out.find("top- 3  60.0% (all)"), std::string::npos);
+}
+
+ExperimentReport BaseReport() {
+  ExperimentReport r;
+  r.system = "flexmoe";
+  r.model = "gpt-moe-s";
+  r.num_gpus = 16;
+  r.mean_step_seconds = 0.005;
+  r.throughput_tokens_per_sec = 1.0e6;
+  r.target_metric_name = "loss";
+  return r;
+}
+
+TEST(ReportLineTest, TrainingModeShowsThroughputFields) {
+  const std::string line = ReportLine(BaseReport());
+  EXPECT_NE(line.find("flexmoe"), std::string::npos);
+  EXPECT_NE(line.find("16 GPUs"), std::string::npos);
+  EXPECT_NE(line.find("thpt"), std::string::npos);
+  EXPECT_EQ(line.find("attain"), std::string::npos);
+}
+
+TEST(ReportLineTest, ServingModeShowsSloReadouts) {
+  ExperimentReport r = BaseReport();
+  r.serving = true;
+  r.serve.batches = 60;
+  r.serve.slo_attainment = 0.875;
+  r.serve.goodput_tokens_per_sec = 2.5e6;
+  r.serve.p50_latency_seconds = 0.012;
+  r.serve.p99_latency_seconds = 0.058;
+  r.serve.requests_shed = 42;
+  const std::string line = ReportLine(r);
+  EXPECT_NE(line.find("60 batches"), std::string::npos);
+  EXPECT_NE(line.find("attain  87.5%"), std::string::npos);
+  EXPECT_NE(line.find("goodput"), std::string::npos);
+  EXPECT_NE(line.find("shed 42"), std::string::npos);
+  // Serving lines must not carry the training readouts.
+  EXPECT_EQ(line.find("thpt"), std::string::npos);
+  EXPECT_EQ(line.find("tok_eff"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexmoe
