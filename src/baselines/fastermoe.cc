@@ -167,7 +167,7 @@ StepMetrics FasterMoESystem::RunStepImpl(
     r.num_experts = num_experts;
     r.num_gpus = num_gpus;
     r.expert_gpu_tokens.assign(num_experts, num_gpus, 0);
-    r.dispatch.assign(num_gpus, num_gpus, 0);
+    r.dispatch_to.assign(num_gpus, num_gpus, 0);
 
     std::vector<bool> is_shadowed(static_cast<size_t>(num_experts), false);
     for (int e : shadows) is_shadowed[static_cast<size_t>(e)] = true;

@@ -41,6 +41,7 @@ double CostModel::ComputeSeconds(int64_t tokens) const {
 }
 
 double CostModel::A2ASeconds(const RoutedAssignment& routed, GpuId dst) const {
+  if (profile_->hierarchical_a2a()) return A2ASecondsHierarchical(routed, dst);
   // Eq. 8: pure bandwidth serialization at the receiving port; chunked
   // flows overlap per-message latencies, so latency enters once per phase.
   double seconds = 0.0;
@@ -56,6 +57,57 @@ double CostModel::A2ASeconds(const RoutedAssignment& routed, GpuId dst) const {
   return 4.0 * (seconds + 2.0 * max_lat);
 }
 
+double CostModel::A2ASecondsHierarchical(const RoutedAssignment& routed,
+                                         GpuId dst) const {
+  // Per-node aggregated Eq. 8 (DESIGN.md Section 10): token counts fold
+  // per source node in integer arithmetic, then one bandwidth term per
+  // remote node (ascending), one intra-node term, and the loopback term —
+  // a fixed canonical order, so incremental maintenance reproduces this
+  // from-scratch evaluation bitwise.
+  const Topology& topo = profile_->topology();
+  const int num_nodes = topo.num_nodes();
+  const int gpus_per_node = topo.gpus_per_node();
+  const NodeId dst_node = topo.NodeOf(dst);
+  const int64_t local = routed.dispatch(dst, dst);
+  const bool aggregated = !routed.node_of.empty();
+
+  double seconds = 0.0;
+  double max_lat = 0.0;
+  int64_t intra = 0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    int64_t node_tokens;
+    if (aggregated) {
+      node_tokens = routed.node_dispatch(n, dst);
+    } else {
+      node_tokens = 0;
+      const GpuId first = n * gpus_per_node;
+      for (GpuId src = first; src < first + gpus_per_node; ++src) {
+        node_tokens += routed.dispatch(src, dst);
+      }
+    }
+    if (n == dst_node) {
+      intra = node_tokens - local;
+      continue;
+    }
+    if (node_tokens <= 0) continue;
+    const double bytes =
+        static_cast<double>(node_tokens) * shape_.token_bytes;
+    seconds += bytes / profile_->NodeBandwidthBytesPerSec(n, dst);
+    max_lat = std::max(max_lat, profile_->NodeLatencySeconds(n, dst));
+  }
+  if (intra > 0) {
+    const double bytes = static_cast<double>(intra) * shape_.token_bytes;
+    seconds += bytes / profile_->NodeBandwidthBytesPerSec(dst_node, dst);
+    max_lat = std::max(max_lat, profile_->NodeLatencySeconds(dst_node, dst));
+  }
+  if (local > 0) {
+    const double bytes = static_cast<double>(local) * shape_.token_bytes;
+    seconds += bytes / profile_->BandwidthBytesPerSec(dst, dst);
+    max_lat = std::max(max_lat, profile_->LatencySeconds(dst, dst));
+  }
+  return 4.0 * (seconds + 2.0 * max_lat);
+}
+
 double CostModel::SyncSeconds(const Placement& placement, int expert) const {
   const std::vector<GpuId> group = placement.HostGpus(expert);
   if (group.size() < 2) return 0.0;
@@ -65,16 +117,28 @@ double CostModel::SyncSeconds(const Placement& placement, int expert) const {
 LayerCostEstimate CostModel::EstimateLayer(const RoutedAssignment& routed,
                                            const Placement& placement,
                                            bool include_sync) const {
-  const int num_gpus = routed.num_gpus;
   LayerCostEstimate est;
+  EstimateLayerInto(routed, placement, include_sync, &est);
+  return est;
+}
+
+void CostModel::EstimateLayerInto(const RoutedAssignment& routed,
+                                  const Placement& placement,
+                                  bool include_sync,
+                                  LayerCostEstimate* out) const {
+  FLEXMOE_CHECK(out != nullptr);
+  const int num_gpus = routed.num_gpus;
+  LayerCostEstimate& est = *out;
   est.per_gpu_seconds.assign(static_cast<size_t>(num_gpus), 0.0);
   est.per_gpu_compute.assign(static_cast<size_t>(num_gpus), 0.0);
   est.per_gpu_a2a.assign(static_cast<size_t>(num_gpus), 0.0);
   est.per_gpu_sync.assign(static_cast<size_t>(num_gpus), 0.0);
 
   // Per-expert sync costs are shared by all hosts of the expert.
-  std::vector<double> sync_of_expert(static_cast<size_t>(routed.num_experts),
-                                     0.0);
+  // thread_local scratch: this sits in the planner/metric hot loops
+  // (scratch-ownership rules, DESIGN.md "Performance architecture").
+  static thread_local std::vector<double> sync_of_expert;
+  sync_of_expert.assign(static_cast<size_t>(routed.num_experts), 0.0);
   if (include_sync) {
     for (int e = 0; e < routed.num_experts; ++e) {
       sync_of_expert[static_cast<size_t>(e)] = SyncSeconds(placement, e);
@@ -99,7 +163,6 @@ LayerCostEstimate CostModel::EstimateLayer(const RoutedAssignment& routed,
   }
   est.total_seconds = *std::max_element(est.per_gpu_seconds.begin(),
                                         est.per_gpu_seconds.end());
-  return est;
 }
 
 LayerCostEstimate CostModel::EstimateLayer(const Assignment& assignment,
@@ -108,9 +171,23 @@ LayerCostEstimate CostModel::EstimateLayer(const Assignment& assignment,
                        placement);
 }
 
+LayerCostEstimate CostModel::EstimateLayer(const Assignment& assignment,
+                                           const Placement& placement,
+                                           RoutedAssignment* scratch) const {
+  FLEXMOE_CHECK(scratch != nullptr);
+  FlexibleRouter::RouteInto(assignment, placement, scratch);
+  return EstimateLayer(*scratch, placement);
+}
+
 double CostModel::EstimateLayerSeconds(const Assignment& assignment,
                                        const Placement& placement) const {
   return EstimateLayer(assignment, placement).total_seconds;
+}
+
+double CostModel::EstimateLayerSeconds(const Assignment& assignment,
+                                       const Placement& placement,
+                                       RoutedAssignment* scratch) const {
+  return EstimateLayer(assignment, placement, scratch).total_seconds;
 }
 
 double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
@@ -153,6 +230,30 @@ double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
   return static_cast<double>(model.num_moe_layers) *
              (compute_per_layer + worst_a2a) +
          non_moe;
+}
+
+ForwardFloorEstimator::ForwardFloorEstimator(const HardwareProfile* profile,
+                                             const ModelConfig& model,
+                                             int num_gpus)
+    : profile_(profile), model_(model), num_gpus_(num_gpus) {
+  FLEXMOE_CHECK(profile != nullptr);
+  FLEXMOE_CHECK(num_gpus > 0);
+}
+
+double ForwardFloorEstimator::Seconds(int64_t tokens) const {
+  // Fibonacci-hash the token count into the direct-mapped cache; on a
+  // collision the newer entry simply wins (the estimate itself is the
+  // source of truth, the cache only skips the O(G^2) A2A scan).
+  const size_t idx =
+      (static_cast<uint64_t>(tokens) * 0x9e3779b97f4a7c15ULL) >> 32 &
+      (kSlots - 1);
+  Slot& slot = slots_[idx];
+  if (slot.tokens != tokens) {
+    slot.tokens = tokens;
+    slot.seconds =
+        EstimateForwardMicrobatchSeconds(*profile_, model_, num_gpus_, tokens);
+  }
+  return slot.seconds;
 }
 
 }  // namespace flexmoe

@@ -55,6 +55,12 @@ class CostModel {
   double ComputeSeconds(int64_t tokens) const;
 
   /// Eq. 8 for one receiving GPU: 4 x sum over sources of bytes/Bw.
+  ///
+  /// With profile().hierarchical_a2a() set, cross-node traffic folds per
+  /// source node first (integer token sums — consumes the routing's
+  /// node_dispatch aggregates when present, identical otherwise), then one
+  /// bandwidth term per remote node, one intra-node term, and the loopback
+  /// term, in that canonical order. O(nodes) float terms instead of O(G).
   double A2ASeconds(const RoutedAssignment& routed, GpuId dst) const;
 
   /// Eq. 9 for one expert under `placement`.
@@ -67,15 +73,34 @@ class CostModel {
                                   const Placement& placement,
                                   bool include_sync = true) const;
 
+  /// EstimateLayer into caller-owned storage, reusing `out`'s vector
+  /// allocations — the allocation-free steady-state form.
+  void EstimateLayerInto(const RoutedAssignment& routed,
+                         const Placement& placement, bool include_sync,
+                         LayerCostEstimate* out) const;
+
   /// Convenience: routes `assignment` with FlexibleRouter, then estimates.
   LayerCostEstimate EstimateLayer(const Assignment& assignment,
                                   const Placement& placement) const;
 
+  /// Routes into the caller-owned `scratch` (reusing its allocations) and
+  /// estimates from it — what hot callers should use instead of the
+  /// re-routing convenience overload above.
+  LayerCostEstimate EstimateLayer(const Assignment& assignment,
+                                  const Placement& placement,
+                                  RoutedAssignment* scratch) const;
+
   /// Total estimated seconds (Eq. 5 outer max) for `assignment`.
   double EstimateLayerSeconds(const Assignment& assignment,
                               const Placement& placement) const;
+  double EstimateLayerSeconds(const Assignment& assignment,
+                              const Placement& placement,
+                              RoutedAssignment* scratch) const;
 
  private:
+  double A2ASecondsHierarchical(const RoutedAssignment& routed,
+                                GpuId dst) const;
+
   const HardwareProfile* profile_;
   ExpertShape shape_;
 };
@@ -92,6 +117,33 @@ class CostModel {
 double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
                                         const ModelConfig& model,
                                         int num_gpus, int64_t tokens);
+
+/// \brief Memoizing wrapper around EstimateForwardMicrobatchSeconds for
+/// the serving admission/shedding hot path. Admission probes the floor for
+/// every queued request every batch window, and the probed token counts
+/// come from a small working set (requests are chunked to cap-sized
+/// pieces, sizes repeat across windows), so a tiny direct-mapped cache
+/// makes the steady state O(1) and allocation-free while returning values
+/// bitwise identical to the direct call.
+class ForwardFloorEstimator {
+ public:
+  ForwardFloorEstimator(const HardwareProfile* profile,
+                        const ModelConfig& model, int num_gpus);
+
+  double Seconds(int64_t tokens) const;
+
+ private:
+  struct Slot {
+    int64_t tokens = -1;
+    double seconds = 0.0;
+  };
+  static constexpr size_t kSlots = 64;  // power of two (mask indexing)
+
+  const HardwareProfile* profile_;
+  ModelConfig model_;
+  int num_gpus_;
+  mutable Slot slots_[kSlots];
+};
 
 }  // namespace flexmoe
 

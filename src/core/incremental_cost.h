@@ -1,0 +1,219 @@
+// Incremental Eq. 5 cost maintenance (DESIGN.md Section 10).
+//
+// The Policy Maker's candidate search evaluates placements that differ from
+// the incumbent by one ModOp — one or two experts move. A from-scratch
+// Eq. 5 evaluation pays O(E*G + G^2) per candidate; LayerCostState caches
+// the per-GPU compute / All-to-All / sync partial sums and the routed token
+// matrix, and re-derives only the GPUs an op actually touches, so a
+// candidate costs O(|affected GPUs| * G) integer work plus an O(log G)
+// tournament update for the outer max. At the large-EP scale the ROADMAP
+// targets (G = E = 512-1024, one expert per GPU) an op touches a handful of
+// GPUs and candidate scoring drops from milliseconds to microseconds.
+//
+// Exactness argument (the PR 2 precedent, extended):
+//  * Routing deltas are integer: FlexibleRouter::AccumulateExpert(+1/-1)
+//    cancels exactly, so the cached token matrices equal a from-scratch
+//    Route of the current placement bitwise at every depth.
+//  * Per-GPU float sums are never delta-adjusted (FP addition is order-
+//    dependent and not reversible). An affected GPU's compute/a2a/sync
+//    terms are recomputed from scratch in the same canonical ascending-
+//    expert / ascending-source order CostModel::EstimateLayer uses, from
+//    bitwise-identical integer inputs — hence bitwise-identical sums.
+//  * max is associative and commutative for non-NaN doubles, so the
+//    tournament root equals std::max_element over the per-GPU totals.
+//  * Undo restores the op's saved integer rows (expert token rows plus the
+//    affected destinations' dispatch/node-dispatch rows) and re-applies the
+//    inverse placement mutation, then recomputes the affected floats;
+//    because every cached float is a pure function of the (restored)
+//    integer state, undo restores the initial state bitwise — without
+//    paying the two routing walks a re-derivation would cost.
+//
+// The invariants are pinned by tests/incremental_cost_test.cc (randomized
+// Apply/Undo sequences vs from-scratch EstimateLayer, exact comparison).
+
+#ifndef FLEXMOE_CORE_INCREMENTAL_COST_H_
+#define FLEXMOE_CORE_INCREMENTAL_COST_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "placement/primitives.h"
+
+namespace flexmoe {
+
+/// \brief Search score for a candidate placement: the 8-norm of per-GPU
+/// layer times. It upper-bounds and closely tracks the Eq. 5 max, but
+/// unlike the bare max it strictly rewards relieving ANY heavily loaded
+/// GPU (see PolicyMaker). Always evaluated left-to-right over all GPUs —
+/// the sum is order-dependent in FP, so it is deliberately not maintained
+/// incrementally; at 4 flops per GPU it is never the bottleneck.
+double Score8Norm(const std::vector<double>& per_gpu_seconds);
+
+/// \brief Cached Eq. 5 state for one (assignment, placement) pair with
+/// O(Δ)-cost ApplyOp / Undo.
+///
+/// The state owns a private Placement copy that it mutates in lock-step
+/// with the op stack; the Assignment is borrowed and must outlive every
+/// use between Reset calls. Not thread-safe; one instance per search loop
+/// (the scratch-ownership rules of DESIGN.md "Performance architecture").
+class LayerCostState {
+ public:
+  /// `include_sync` = false drops the Eq. 9 replica-sync term — the
+  /// serving objective (PolicyMakerOptions::serve_objective).
+  LayerCostState(const CostModel* cost_model, bool include_sync);
+
+  /// Full canonical rebuild against a new workload/placement. O(E*G + G^2).
+  void Reset(const Assignment& assignment, const Placement& placement);
+  bool initialized() const { return assignment_ != nullptr; }
+  bool include_sync() const { return include_sync_; }
+
+  /// Applies `op` if it is feasible on the current placement (the same
+  /// preconditions primitives::ApplyOp enforces); returns false and leaves
+  /// the state untouched otherwise. O(|affected GPUs| * G).
+  bool Apply(const ModOp& op);
+
+  /// Reverts the most recent successful Apply by restoring the integer
+  /// rows it saved (no routing walk). Bitwise restoration.
+  void Undo();
+
+  /// Open (not yet undone) Apply count since the last Reset.
+  int depth() const { return depth_; }
+
+  // --- Queries (all O(1) unless noted) -----------------------------------
+
+  /// Eq. 5 outer max over per-GPU totals (tournament root).
+  double TotalSeconds() const { return tourney_[1]; }
+
+  /// Score8Norm over the cached per-GPU totals. O(G).
+  double Score() const { return Score8Norm(per_gpu_total_); }
+
+  /// Materializes the cached state as a LayerCostEstimate (copies; use the
+  /// accessors below on hot paths). O(G).
+  LayerCostEstimate ToEstimate() const;
+
+  const Assignment& assignment() const { return *assignment_; }
+  const Placement& placement() const { return *placement_; }
+  const RoutedAssignment& routed() const { return routed_; }
+
+  const std::vector<double>& per_gpu_seconds() const { return per_gpu_total_; }
+
+  /// Tokens of expert computation landing on each GPU (integer loads; ==
+  /// routed().PerGpuComputeTokens() without the allocation).
+  const std::vector<int64_t>& per_gpu_compute_tokens() const {
+    return gpu_tokens_;
+  }
+
+  /// Per-vExpert capacity of each expert: I_e / n_e (Alg. 2 lines 3-5).
+  const std::vector<double>& vexpert_capacities() const { return caps_; }
+
+  /// Tokens entering `node` from other nodes (sum of cross-node dispatch
+  /// into the node's GPUs) — the cross-link load the topology-aware
+  /// expand tie-break minimizes (SNIPPETS.md Snippets 2-3).
+  int64_t cross_node_inflow(NodeId node) const {
+    return node_inflow_[static_cast<size_t>(node)];
+  }
+
+ private:
+  /// One saved integer row of the pre-op state, keyed by its expert / GPU
+  /// index. Snapshot slots are pooled (capacity survives Undo/Reset), so
+  /// steady-state Apply/Undo cycles are allocation-free.
+  struct RowSnapshot {
+    int key = -1;
+    std::vector<int64_t> data;
+  };
+
+  /// Everything Undo needs to revert one Apply: the op (for the inverse
+  /// placement mutation) plus every integer row the op can touch — the
+  /// changed experts' token rows and the affected destinations'
+  /// dispatch / node-dispatch rows. Floats are not saved; they are pure
+  /// functions of the integers and get recomputed on restore.
+  struct UndoRecord {
+    ModOp op;
+    int num_expert_rows = 0;
+    int num_dispatch_rows = 0;
+    int num_node_rows = 0;
+    std::vector<RowSnapshot> expert_rows;
+    std::vector<RowSnapshot> dispatch_rows;
+    std::vector<RowSnapshot> node_rows;
+  };
+
+  /// The feasibility prechecks of primitives::ApplyOp, side-effect free.
+  bool CheckFeasible(const ModOp& op) const;
+
+  /// The placement half of an op (replica add/remove bookkeeping only).
+  void MutatePlacement(const ModOp& op);
+
+  /// The op that exactly reverts `op` on the post-op placement.
+  static ModOp InverseOf(const ModOp& op);
+
+  /// Placement mutators that keep the per-GPU hosted-expert sets in sync.
+  void AddReplica(int expert, GpuId gpu);
+  void RemoveReplica(int expert, GpuId gpu);
+
+  /// Collects `expert`'s current host GPUs into the affected set.
+  void MarkHosts(int expert);
+
+  /// Adds one GPU to the affected set (no-op for out-of-range ids, so op
+  /// endpoints can be marked unconditionally).
+  void MarkGpu(GpuId gpu);
+
+  /// Copies `len` elements of `src` into the next pooled snapshot slot of
+  /// `rows`, bumping `*n`. Reuses slot capacity across Apply/Undo cycles.
+  static void SaveRow(std::vector<RowSnapshot>* rows, int* n, int key,
+                      const int64_t* src, int len);
+
+  /// Refreshes caps_ / sync_of_expert_ for one touched expert.
+  void RefreshExpert(int expert);
+
+  /// Canonically recomputes one GPU's partial sums, token totals, and
+  /// tournament leaf from the cached integer state. O(G).
+  void RefreshGpu(GpuId g);
+
+  const CostModel* cost_model_;
+  bool include_sync_;
+
+  const Assignment* assignment_ = nullptr;
+  std::optional<Placement> placement_;
+  RoutedAssignment routed_;
+
+  // Per-GPU partial sums (Eq. 5 terms) and their integer sources.
+  std::vector<double> per_gpu_compute_;
+  std::vector<double> per_gpu_a2a_;
+  std::vector<double> per_gpu_sync_;
+  std::vector<double> per_gpu_total_;
+  std::vector<int64_t> gpu_tokens_;
+
+  // Per-expert caches refreshed only for touched experts.
+  std::vector<double> sync_of_expert_;
+  std::vector<double> caps_;
+
+  /// Experts hosting >= 1 vExpert per GPU, ascending — the canonical
+  /// iteration order of EstimateLayer restricted to terms that can be
+  /// non-zero (tokens land only on hosts; sync accrues only on hosts).
+  std::vector<std::set<int>> gpu_experts_;
+
+  // Cross-node inbound token bookkeeping for the topology tie-break.
+  std::vector<int64_t> cross_in_;     ///< per destination GPU
+  std::vector<int64_t> node_inflow_;  ///< per destination node
+
+  /// Flat binary tournament over per-GPU totals: leaves at
+  /// [cap, cap + G) padded with -inf, root at index 1. A leaf update is
+  /// O(log G); the root IS the Eq. 5 max (max is truly associative).
+  std::vector<double> tourney_;
+  int tourney_cap_ = 0;
+
+  /// Undo stack with pooled snapshot storage: `depth_` records are live;
+  /// slots beyond keep their row capacities for reuse.
+  std::vector<UndoRecord> undo_records_;
+  int depth_ = 0;
+
+  // Scratch for the affected-GPU set (dedup via per-GPU marks).
+  std::vector<GpuId> affected_;
+  std::vector<char> affected_mark_;
+};
+
+}  // namespace flexmoe
+
+#endif  // FLEXMOE_CORE_INCREMENTAL_COST_H_

@@ -24,7 +24,9 @@ Status PolicyMakerOptions::Validate() const {
 
 PolicyMaker::PolicyMaker(const CostModel* cost_model,
                          const PolicyMakerOptions& options)
-    : cost_model_(cost_model), options_(options) {
+    : cost_model_(cost_model),
+      options_(options),
+      scratch_state_(cost_model, /*include_sync=*/!options.serve_objective) {
   FLEXMOE_CHECK(cost_model != nullptr);
   FLEXMOE_CHECK(options.Validate().ok());
 }
@@ -34,54 +36,31 @@ bool PolicyMaker::Expandable(GpuId g) const {
          health_->state(g) == DeviceState::kHealthy;
 }
 
-std::vector<double> PolicyMaker::VExpertCapacities(
-    const Assignment& assignment, const Placement& placement) const {
-  std::vector<double> caps(static_cast<size_t>(assignment.num_experts()));
-  for (int e = 0; e < assignment.num_experts(); ++e) {
-    caps[static_cast<size_t>(e)] =
-        static_cast<double>(assignment.ExpertTotal(e)) /
-        static_cast<double>(placement.VExperts(e));
-  }
-  return caps;
-}
-
-namespace {
-
-/// Search score for a candidate placement: the 8-norm of per-GPU times.
-/// It upper-bounds and closely tracks the Eq. 5 max, but unlike the bare
-/// max it strictly rewards relieving ANY heavily loaded GPU. That matters
-/// when two hot experts bottleneck different GPUs at nearly equal times:
-/// expanding either one leaves the max unchanged for one round, and a
-/// max-only objective would reject the move and stall, while the 8-norm
-/// lets the alternating moves through.
-double PlanScore(const LayerCostEstimate& est) {
-  double acc = 0.0;
-  for (double v : est.per_gpu_seconds) {
-    const double v2 = v * v;
-    const double v4 = v2 * v2;
-    acc += v4 * v4;
-  }
-  return std::pow(acc, 1.0 / 8.0);
-}
-
-}  // namespace
-
 std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
     const Assignment& assignment, const Placement& placement,
     PlanSearchStats* stats) const {
+  scratch_state_.Reset(assignment, placement);
+  return PlanOnState(&scratch_state_, stats);
+}
+
+std::vector<ModOp> PolicyMaker::PlanOnState(LayerCostState* state,
+                                            PlanSearchStats* stats) const {
   PlanSearchStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = PlanSearchStats();
-  const RoutedAssignment routed =
-      FlexibleRouter::Route(assignment, placement);
-  const bool include_sync = !options_.serve_objective;
-  const LayerCostEstimate est0 =
-      cost_model_->EstimateLayer(routed, placement, include_sync);
-  const double score0 = PlanScore(est0);
+  FLEXMOE_CHECK(state != nullptr && state->initialized());
+  FLEXMOE_CHECK(state->include_sync() == !options_.serve_objective);
+  const Assignment& assignment = state->assignment();
+  // Mutated (and restored) by every Apply/Undo below — reads that must
+  // see the incumbent placement happen only at entry depth.
+  const Placement& placement = state->placement();
+  const double score0 = state->Score();
   stats->score_before = score0;
   stats->best_score = score0;
-  const std::vector<double> caps = VExpertCapacities(assignment, placement);
-  const std::vector<int64_t> gpu_loads = routed.PerGpuComputeTokens();
+  // Snapshots: Apply rewrites the state's caches in place, while the
+  // candidate orderings below are defined against the incumbent.
+  const std::vector<double> caps = state->vexpert_capacities();
+  const std::vector<int64_t> gpu_loads = state->per_gpu_compute_tokens();
 
   // Hot candidates: the top-k experts by per-vExpert capacity (Alg. 2
   // line 6 takes only the argmax; evaluating a few near-ties avoids
@@ -112,26 +91,29 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
   }
   if (cold_candidates.empty()) return {};
 
-  // Candidate placements differ from `placement` only in experts `hot`
+  // Candidate placements differ from the incumbent only in experts `hot`
   // and `cold`, and every expert routes independently (Alg. 3 state is
-  // per-expert). Instead of a full O(E x G^2) re-route per candidate,
-  // subtract the two changed experts' contributions once per (hot, cold)
-  // pair and re-add them under the candidate placement — integer-exact,
-  // so scores (and therefore plans) are bit-identical to the full route.
-  RoutedAssignment scratch_routed;
-
+  // per-expert) — so the state's Apply/Undo evaluates a candidate in
+  // O(|affected GPUs| * G) with no placement or routing copies at all,
+  // integer-exact, hence bit-identical to a from-scratch route + Eq. 5.
+  const Topology& topo = cost_model_->profile().topology();
   for (int hi = 0; hi < hot_count; ++hi) {
     const int hot = order[static_cast<size_t>(hi)];
     if (assignment.ExpertTotal(hot) == 0) break;
 
+    // Nodes already hosting the hot expert: expanding there keeps the
+    // replica group node-local, whose AllReduce is an order of magnitude
+    // cheaper than a cross-node group (NVLink vs IB ring bottleneck).
+    // Depends only on `hot` (the state is back at entry depth here, and
+    // every candidate op below is undone), so it hoists out of the
+    // cold/shrink loops.
+    std::set<NodeId> hot_nodes;
+    for (GpuId h : placement.HostGpus(hot)) {
+      hot_nodes.insert(topo.NodeOf(h));
+    }
+
     for (int cold : cold_candidates) {
       if (cold == hot) continue;
-
-      RoutedAssignment minus = routed;
-      FlexibleRouter::AccumulateExpert(assignment, placement, cold, -1,
-                                       &minus);
-      FlexibleRouter::AccumulateExpert(assignment, placement, hot, -1,
-                                       &minus);
 
       // Shrink-host candidates: hosts of the cold expert, least-loaded
       // first (the freed slot usually becomes the hot expert's new home).
@@ -154,41 +136,50 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
         shrink_candidates.resize(kMaxShrinkCandidates);
       }
 
-      // Nodes already hosting the hot expert: expanding there keeps the
-      // replica group node-local, whose AllReduce is an order of magnitude
-      // cheaper than a cross-node group (NVLink vs IB ring bottleneck).
-      const Topology& topo = cost_model_->profile().topology();
-      std::set<NodeId> hot_nodes;
-      for (GpuId h : placement.HostGpus(hot)) {
-        hot_nodes.insert(topo.NodeOf(h));
-      }
-
       for (GpuId shrink_gpu : shrink_candidates) {
-        Placement after_shrink = placement;
-        if (!after_shrink.RemoveVExpert(cold, shrink_gpu).ok()) continue;
-
-        // The cold expert's routing under the shrunk placement is shared
-        // by every expand destination; add it back once.
-        RoutedAssignment shrunk_routed = minus;
-        FlexibleRouter::AccumulateExpert(assignment, after_shrink, cold, +1,
-                                         &shrunk_routed);
+        if (!state->Apply(MakeShrink(cold, shrink_gpu))) continue;
 
         // Expand destinations: GPUs with a free slot; node-local to the
-        // hot expert's replicas first, then cheapest loads.
+        // hot expert's replicas first, then cheapest loads. `placement`
+        // reflects the shrink here — exactly the after_shrink view.
         std::vector<GpuId> candidates;
         for (GpuId g = 0; g < placement.num_gpus(); ++g) {
-          if (after_shrink.FreeSlots(g) > 0 && Expandable(g)) {
+          if (placement.FreeSlots(g) > 0 && Expandable(g)) {
             candidates.push_back(g);
           }
         }
-        std::sort(candidates.begin(), candidates.end(),
-                  [&](GpuId a, GpuId b) {
-                    const bool la = hot_nodes.count(topo.NodeOf(a)) > 0;
-                    const bool lb = hot_nodes.count(topo.NodeOf(b)) > 0;
-                    if (la != lb) return la;
-                    return gpu_loads[static_cast<size_t>(a)] <
-                           gpu_loads[static_cast<size_t>(b)];
-                  });
+        if (options_.topology_aware_expansion) {
+          std::sort(candidates.begin(), candidates.end(),
+                    [&](GpuId a, GpuId b) {
+                      const bool la = hot_nodes.count(topo.NodeOf(a)) > 0;
+                      const bool lb = hot_nodes.count(topo.NodeOf(b)) > 0;
+                      if (la != lb) return la;
+                      // Prefer the node with the lightest cross-link
+                      // inbound load: the new replica will pull remote
+                      // tokens onto its node, so land it where the
+                      // inter-node links have headroom.
+                      const int64_t ia =
+                          state->cross_node_inflow(topo.NodeOf(a));
+                      const int64_t ib =
+                          state->cross_node_inflow(topo.NodeOf(b));
+                      if (ia != ib) return ia < ib;
+                      if (gpu_loads[static_cast<size_t>(a)] !=
+                          gpu_loads[static_cast<size_t>(b)]) {
+                        return gpu_loads[static_cast<size_t>(a)] <
+                               gpu_loads[static_cast<size_t>(b)];
+                      }
+                      return a < b;
+                    });
+        } else {
+          std::sort(candidates.begin(), candidates.end(),
+                    [&](GpuId a, GpuId b) {
+                      const bool la = hot_nodes.count(topo.NodeOf(a)) > 0;
+                      const bool lb = hot_nodes.count(topo.NodeOf(b)) > 0;
+                      if (la != lb) return la;
+                      return gpu_loads[static_cast<size_t>(a)] <
+                             gpu_loads[static_cast<size_t>(b)];
+                    });
+        }
         if (options_.max_expand_candidates > 0 &&
             static_cast<int>(candidates.size()) >
                 options_.max_expand_candidates) {
@@ -196,15 +187,11 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
               static_cast<size_t>(options_.max_expand_candidates));
         }
         for (GpuId dst : candidates) {
-          // Mutate-undo instead of copying the placement per candidate.
-          if (!after_shrink.AddVExpert(hot, dst).ok()) continue;
-          scratch_routed = shrunk_routed;
-          FlexibleRouter::AccumulateExpert(assignment, after_shrink, hot, +1,
-                                           &scratch_routed);
-          const double score = PlanScore(cost_model_->EstimateLayer(
-              scratch_routed, after_shrink, include_sync));
+          // Mutate-undo on the incremental state: O(Δ) per candidate.
+          if (!state->Apply(MakeExpand(hot, /*copy_from=*/-1, dst))) continue;
+          const double score = state->Score();
           ++stats->candidates_evaluated;
-          FLEXMOE_CHECK(after_shrink.RemoveVExpert(hot, dst).ok());
+          state->Undo();
           if (score < best_score) {
             best_score = score;
             best_hot = hot;
@@ -213,6 +200,7 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
             best_dst = dst;
           }
         }
+        state->Undo();  // the shrink — back to entry depth
       }
     }
   }
@@ -224,11 +212,12 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
   // the closest existing replica (same node preferred). Dead devices can
   // never be the source — their state is lost (an orphaned expert's only
   // replica on a dead device means no expand can be planned at all).
-  Placement after_shrink = placement;
-  FLEXMOE_CHECK(after_shrink.RemoveVExpert(best_cold, best_shrink).ok());
+  // Queried on the incumbent placement: the winning shrink touches only
+  // best_cold, and best_cold != best_hot, so best_hot's replicas are
+  // identical before and after the shrink.
   GpuId copy_src = -1;
-  if (after_shrink.VExpertsOn(best_hot, best_dst) == 0) {
-    std::vector<GpuId> hosts = after_shrink.HostGpus(best_hot);
+  if (placement.VExpertsOn(best_hot, best_dst) == 0) {
+    std::vector<GpuId> hosts = placement.HostGpus(best_hot);
     if (health_ != nullptr) {
       hosts.erase(std::remove_if(hosts.begin(), hosts.end(),
                                  [this](GpuId h) { return !health_->alive(h); }),
@@ -236,7 +225,6 @@ std::vector<ModOp> PolicyMaker::MakeSchedulingPlan(
     }
     if (hosts.empty()) return {};
     copy_src = hosts.front();
-    const Topology& topo = cost_model_->profile().topology();
     for (GpuId h : hosts) {
       if (topo.SameNode(h, best_dst)) {
         copy_src = h;
@@ -332,8 +320,32 @@ std::vector<ModOp> PolicyMaker::PlanMigrations(const Placement& placement,
   Placement current = placement;
   const Topology& topo = cost_model_->profile().topology();
 
+  // Per-expert Eq. 9 cache: a candidate Migrate touches exactly two
+  // experts, so its trial total substitutes two recomputed entries instead
+  // of re-deriving all E AllReduce groups per candidate. The total is
+  // always re-summed left-to-right over the full expert range, so every
+  // value equals a from-scratch TotalSyncSeconds of the same placement
+  // bitwise.
+  std::vector<double> sync(static_cast<size_t>(current.num_experts()), 0.0);
+  for (int e = 0; e < current.num_experts(); ++e) {
+    sync[static_cast<size_t>(e)] = cost_model_->SyncSeconds(current, e);
+  }
+  const auto total_substituting = [&](int e1, double s1, int e2, double s2) {
+    double total = 0.0;
+    for (int e = 0; e < current.num_experts(); ++e) {
+      if (e == e1) {
+        total += s1;
+      } else if (e == e2) {
+        total += s2;
+      } else {
+        total += sync[static_cast<size_t>(e)];
+      }
+    }
+    return total;
+  };
+
   for (int move = 0; move < max_moves; ++move) {
-    const double base = TotalSyncSeconds(current);
+    const double base = total_substituting(-1, 0.0, -1, 0.0);
     double best_gain = options_.min_migration_gain_sec;
     ModOp best_op;
     bool found = false;
@@ -362,10 +374,18 @@ std::vector<ModOp> PolicyMaker::PlanMigrations(const Placement& placement,
           // useful, because it dissolves `lonely` from the replica group.
           for (int partner : current.ExpertsOn(target)) {
             if (partner == e) continue;
-            Placement trial = current;
+            // Mutate-undo instead of copying the placement per candidate
+            // (an O(E x G) copy at large EP): apply, score the two touched
+            // experts, revert with the inverse swap.
             const ModOp op = MakeMigrate(e, lonely, partner, target);
-            if (!ApplyOp(op, &trial).ok()) continue;
-            const double gain = base - TotalSyncSeconds(trial);
+            if (!ApplyOp(op, &current).ok()) continue;
+            const double gain =
+                base - total_substituting(
+                           e, cost_model_->SyncSeconds(current, e), partner,
+                           cost_model_->SyncSeconds(current, partner));
+            FLEXMOE_CHECK(
+                ApplyOp(MakeMigrate(e, target, partner, lonely), &current)
+                    .ok());
             if (gain > best_gain) {
               best_gain = gain;
               best_op = op;
@@ -377,6 +397,10 @@ std::vector<ModOp> PolicyMaker::PlanMigrations(const Placement& placement,
     }
     if (!found) break;
     FLEXMOE_CHECK(ApplyOp(best_op, &current).ok());
+    sync[static_cast<size_t>(best_op.expert)] =
+        cost_model_->SyncSeconds(current, best_op.expert);
+    sync[static_cast<size_t>(best_op.partner_expert)] =
+        cost_model_->SyncSeconds(current, best_op.partner_expert);
     plan.push_back(best_op);
   }
   return plan;

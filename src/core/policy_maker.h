@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/incremental_cost.h"
 #include "elastic/cluster_health.h"
 #include "placement/primitives.h"
 
@@ -52,6 +53,15 @@ struct PolicyMakerOptions {
   /// every replica keeps paying sync.
   bool serve_objective = false;
 
+  /// Topology-aware expand-destination ordering (DESIGN.md Section 10):
+  /// among equally node-local candidates, prefer destinations on the node
+  /// with the lowest cross-node token inflow — minimizing the max
+  /// cross-link load instead of only the per-GPU compute load
+  /// (SNIPPETS.md Snippets 2-3). Off by default: candidate ordering (and
+  /// therefore the emitted plans) stays byte-identical to the pre-
+  /// hierarchical planner.
+  bool topology_aware_expansion = false;
+
   Status Validate() const;
 };
 
@@ -82,10 +92,19 @@ class PolicyMaker {
   /// One Expand/Shrink round (Algorithm 2). Returns ops in dependency order
   /// (Shrink first when it frees the slot the Expand consumes); empty if no
   /// beneficial modification exists. `stats` (nullable) receives the
-  /// search's audit record.
+  /// search's audit record. Resets the planner's private LayerCostState
+  /// and delegates to PlanOnState.
   std::vector<ModOp> MakeSchedulingPlan(const Assignment& assignment,
                                         const Placement& placement,
                                         PlanSearchStats* stats = nullptr) const;
+
+  /// MakeSchedulingPlan against an already-initialized incremental state —
+  /// the O(Δ) path. The caller owns `state` and keeps it live across plan
+  /// rounds by Apply-ing the accepted ops (see Scheduler::OnStep); the
+  /// search itself returns the state at its entry depth. `state` must have
+  /// been constructed with include_sync matching this planner's objective.
+  std::vector<ModOp> PlanOnState(LayerCostState* state,
+                                 PlanSearchStats* stats = nullptr) const;
 
   /// Background migration planning (Algorithm 1 line 9): up to `max_moves`
   /// vExpert swaps that lower the total estimated synchronization cost by
@@ -105,17 +124,19 @@ class PolicyMaker {
   /// Total Eq. 9 sync seconds across all experts (migration objective).
   double TotalSyncSeconds(const Placement& placement) const;
 
- private:
-  /// Per-vExpert capacity of each expert: I_e / n_e (Alg. 2 lines 3-5).
-  std::vector<double> VExpertCapacities(const Assignment& assignment,
-                                        const Placement& placement) const;
+  const CostModel* cost_model() const { return cost_model_; }
+  const PolicyMakerOptions& options() const { return options_; }
 
+ private:
   /// True when `g` may receive new vExperts.
   bool Expandable(GpuId g) const;
 
   const CostModel* cost_model_;
   PolicyMakerOptions options_;
   const ClusterHealth* health_ = nullptr;
+  /// Scratch state backing the convenience MakeSchedulingPlan overload
+  /// (reused across calls so steady-state planning reuses allocations).
+  mutable LayerCostState scratch_state_;
 };
 
 }  // namespace flexmoe

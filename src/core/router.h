@@ -31,12 +31,42 @@ struct RoutedAssignment {
   /// expert_gpu_tokens[e][g]: tokens of expert e computed on GPU g.
   Matrix<int64_t> expert_gpu_tokens;
 
-  /// dispatch[src][dst]: tokens moved from source GPU src to compute GPU
-  /// dst (src == dst entries are device-local).
-  Matrix<int64_t> dispatch;
+  /// dispatch_to[dst][src]: tokens moved from source GPU src to compute
+  /// GPU dst (src == dst entries are device-local). Stored destination-
+  /// major because both hot loops walk a fixed destination across all
+  /// sources: the router's spill writes (every spilling source sends to
+  /// one of the expert's few hosts) and Eq. 8's inbound fold. Source-major
+  /// storage made each of those a G-stride scatter — at G = 512 one fresh
+  /// cacheline+TLB line per source, the dominant cost of a re-route.
+  Matrix<int64_t> dispatch_to;
+
+  /// Convenience accessors in (src, dst) order.
+  int64_t dispatch(GpuId src, GpuId dst) const { return dispatch_to(dst, src); }
+  int64_t& dispatch(GpuId src, GpuId dst) { return dispatch_to(dst, src); }
+
+  /// Optional hierarchical aggregation (DESIGN.md Section 10): when
+  /// `node_of` is non-empty (size num_gpus), routing additionally
+  /// maintains node_dispatch_to[dst][n] == sum of dispatch(src, dst) over
+  /// the sources on node n. Pure integer bookkeeping, so it commutes
+  /// exactly with FlexibleRouter::AccumulateExpert — the aggregates always
+  /// equal a from-scratch fold of the dispatch matrix.
+  std::vector<int> node_of;
+  int num_nodes = 0;
+  Matrix<int64_t> node_dispatch_to;
+
+  int64_t node_dispatch(NodeId node, GpuId dst) const {
+    return node_dispatch_to(dst, node);
+  }
+
+  /// Turns per-node aggregation on for this routing. If a dispatch matrix
+  /// is already populated, the aggregates are rebuilt from it; otherwise
+  /// the next RouteInto sizes and fills them.
+  void EnableNodeAggregation(const Topology& topo);
+  void DisableNodeAggregation();
 
   /// Tokens of expert computation landing on each GPU.
   std::vector<int64_t> PerGpuComputeTokens() const;
+  void PerGpuComputeTokensInto(std::vector<int64_t>* out) const;
   std::vector<double> PerGpuComputeLoads() const;
 
   /// Total routed tokens (== I.Total() for lossless routing).
@@ -52,6 +82,13 @@ class FlexibleRouter {
   /// Routes `assignment` under `placement`. Requires matching shapes.
   static RoutedAssignment Route(const Assignment& assignment,
                                 const Placement& placement);
+
+  /// Routes into caller-owned scratch, reusing its matrix allocations —
+  /// the allocation-free steady-state form of Route (scratch-ownership
+  /// rules: DESIGN.md "Performance architecture"). Preserves `out`'s node
+  /// aggregation setting.
+  static void RouteInto(const Assignment& assignment,
+                        const Placement& placement, RoutedAssignment* out);
 
   /// Adds (`sign` = +1) or removes (`sign` = -1) expert `e`'s routing
   /// contribution to/from `out`. Each expert routes independently of the

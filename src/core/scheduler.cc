@@ -46,25 +46,44 @@ Status SchedulerOptions::Validate() const {
   return Status::OK();
 }
 
+namespace {
+
+const CostModel* CostModelOf(const PolicyMaker* policy_maker) {
+  FLEXMOE_CHECK(policy_maker != nullptr);
+  return policy_maker->cost_model();
+}
+
+}  // namespace
+
 Scheduler::Scheduler(const PolicyMaker* policy_maker,
                      const SchedulerOptions& options)
-    : policy_maker_(policy_maker), options_(options) {
-  FLEXMOE_CHECK(policy_maker != nullptr);
+    : policy_maker_(policy_maker),
+      options_(options),
+      plan_state_(CostModelOf(policy_maker),
+                  !policy_maker->options().serve_objective) {
   FLEXMOE_CHECK(options.Validate().ok());
+}
+
+double Scheduler::MetricFromTokens(
+    const std::vector<int64_t>& tokens) const {
+  loads_scratch_.resize(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    loads_scratch_[i] = static_cast<double>(tokens[i]);
+  }
+  switch (options_.metric) {
+    case TriggerMetric::kMaxRatio:
+      return BalanceRatio(loads_scratch_);
+    case TriggerMetric::kVariance:
+      return BalanceVariance(loads_scratch_);
+  }
+  return 0.0;
 }
 
 double Scheduler::MetricOf(const Assignment& assignment,
                            const Placement& placement) const {
-  const RoutedAssignment routed =
-      FlexibleRouter::Route(assignment, placement);
-  const std::vector<double> loads = routed.PerGpuComputeLoads();
-  switch (options_.metric) {
-    case TriggerMetric::kMaxRatio:
-      return BalanceRatio(loads);
-    case TriggerMetric::kVariance:
-      return BalanceVariance(loads);
-  }
-  return 0.0;
+  FlexibleRouter::RouteInto(assignment, placement, &metric_scratch_);
+  metric_scratch_.PerGpuComputeTokensInto(&tokens_scratch_);
+  return MetricFromTokens(tokens_scratch_);
 }
 
 bool Scheduler::ShouldTrigger(int64_t step, double metric_value) const {
@@ -126,14 +145,22 @@ SchedulerDecision Scheduler::OnStep(int64_t step,
                                     ? options_.threshold
                                     : options_.variance_threshold;
   double metric = decision.metric_before;
+  bool state_ready = false;
   for (int round = 0; round < options_.max_plan_iterations; ++round) {
     if (options_.policy == TriggerPolicy::kDynamic &&
         metric <= stop_threshold) {
       break;
     }
+    // One full O(E*G + G^2) rebuild per trigger (lazily, so a trigger that
+    // never reaches the plan loop pays nothing); every later round and
+    // candidate runs O(Δ) on the incremental state.
+    if (!state_ready) {
+      plan_state_.Reset(assignment, *target);
+      state_ready = true;
+    }
     PlanSearchStats stats;
     const std::vector<ModOp> plan =
-        policy_maker_->MakeSchedulingPlan(assignment, *target, &stats);
+        policy_maker_->PlanOnState(&plan_state_, &stats);
     decision.candidates_evaluated += stats.candidates_evaluated;
     if (round == 0) {
       decision.est_score_before = stats.score_before;
@@ -143,10 +170,13 @@ SchedulerDecision Scheduler::OnStep(int64_t step,
     decision.est_score_after = stats.best_score;
     for (const ModOp& op : plan) {
       FLEXMOE_CHECK(ApplyOp(op, target).ok());
+      FLEXMOE_CHECK(plan_state_.Apply(op));
       decision.ops.push_back(op);
     }
     ++decision.plan_rounds;
-    metric = MetricOf(assignment, *target);
+    // The state's integer loads ARE the loads a fresh route of the updated
+    // target would produce, so the round metric needs no re-route.
+    metric = MetricFromTokens(plan_state_.per_gpu_compute_tokens());
   }
   decision.metric_after = metric;
 

@@ -102,9 +102,19 @@ class Scheduler {
  private:
   bool ShouldTrigger(int64_t step, double metric_value) const;
 
+  /// The trigger metric over integer per-GPU compute loads.
+  double MetricFromTokens(const std::vector<int64_t>& tokens) const;
+
   const PolicyMaker* policy_maker_;
   SchedulerOptions options_;
   const ClusterHealth* health_ = nullptr;
+  /// Scratch for MetricOf (allocation-free steady state) and the
+  /// incremental planning state the plan loop amortizes its Reset over —
+  /// one Reset per trigger, O(Δ) per candidate afterwards.
+  mutable RoutedAssignment metric_scratch_;
+  mutable std::vector<int64_t> tokens_scratch_;
+  mutable std::vector<double> loads_scratch_;
+  LayerCostState plan_state_;
   /// Last health version observed by OnStep, and the step on which the
   /// change was seen — every layer's OnStep call for that step triggers.
   int64_t last_health_version_ = 0;

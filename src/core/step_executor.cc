@@ -68,15 +68,15 @@ const ByteMatrix& StepExecutor::DispatchBytes(const RoutedAssignment& routed,
   dispatch_bytes_scratch_.assign(routed.num_gpus, routed.num_gpus, 0.0);
   ByteMatrix& bytes = dispatch_bytes_scratch_;
   const double token_bytes = model_.token_bytes();
-  for (int s = 0; s < routed.num_gpus; ++s) {
-    if (!Alive(s)) continue;
-    const int64_t* row = routed.dispatch.row(s);
-    for (int d = 0; d < routed.num_gpus; ++d) {
-      const int64_t tokens = row[d];
+  for (int d = 0; d < routed.num_gpus; ++d) {
+    if (!Alive(d)) continue;
+    const int64_t* row = routed.dispatch_to.row(d);
+    for (int s = 0; s < routed.num_gpus; ++s) {
+      const int64_t tokens = row[s];
       if (tokens <= 0) continue;
       // Dead endpoints move nothing; a straggler endpoint stretches its
       // messages by the bandwidth multiplier (modeled as extra bytes).
-      if (!Alive(d)) continue;
+      if (!Alive(s)) continue;
       double payload = static_cast<double>(tokens) * token_bytes;
       if (health_ != nullptr) {
         payload *= std::max(health_->bandwidth_multiplier(s),

@@ -146,6 +146,32 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
       StrFormat("unknown system '%s'", options.system.c_str()));
 }
 
+ExperimentOptions LargeEPOptions(int num_gpus) {
+  ExperimentOptions options;
+  options.num_gpus = num_gpus;
+  // One expert per GPU: the pure expert-parallel regime where the planner's
+  // candidate sets and the A2A fan-in both scale with G. Keep the GPT-MoE-S
+  // widths so per-expert cost stays realistic, but shrink the layer stack
+  // and per-GPU batch — the preset probes planning scalability, not
+  // end-to-end model throughput.
+  options.model = GptMoES();
+  options.model.name = StrFormat("gpt-moe-ep%d", num_gpus);
+  options.model.num_experts = num_gpus;
+  options.model.num_moe_layers = 2;
+  options.model.tokens_per_gpu = 1024;
+  // Two slots per GPU: the resident expert plus one replication slot. The
+  // default granularity (4 slots) packs every expert 4x, which at E = G
+  // just multiplies vExpert bookkeeping without changing the regime.
+  options.slots_per_gpu = 2;
+  options.measure_steps = 30;
+  options.warmup_steps = 5;
+  // Large-EP planning mode: per-node aggregated Eq. 8 estimation plus the
+  // cross-link-load tie-break on expand destinations.
+  options.hierarchical_a2a = true;
+  options.policy.topology_aware_expansion = true;
+  return options;
+}
+
 Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
   FLEXMOE_RETURN_IF_ERROR(options.Validate());
 
@@ -159,6 +185,10 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
         profile,
         profiler.Calibrate(options.model.expert_fwdbwd_flops_per_token()));
   }
+  // After calibration: Calibrate returns a fresh profile, and the flag
+  // only redirects the cost model's Eq. 8 estimate (the engine stays
+  // pair-exact), so calibration itself is unaffected by it.
+  if (options.hierarchical_a2a) profile.set_hierarchical_a2a(true);
 
   FLEXMOE_ASSIGN_OR_RETURN(std::unique_ptr<TraceSource> source,
                            BuildTraceSource(options));
@@ -204,12 +234,12 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
             ? options.serving.max_batch_tokens
             : options.model.tokens_per_gpu * options.num_gpus;
     // Deadline-aware shedding tests against the cost model's contention-
-    // free forward estimate (core/cost_model.h).
+    // free forward estimate (core/cost_model.h), memoized: admission
+    // probes every queued request each window with token counts from a
+    // small working set, so the floor is O(1) in steady state.
+    ForwardFloorEstimator floor(&profile, options.model, options.num_gpus);
     ServeExecutor::LatencyEstimator estimator =
-        [&profile, &options](int64_t tokens) {
-          return EstimateForwardMicrobatchSeconds(profile, options.model,
-                                                  options.num_gpus, tokens);
-        };
+        [&floor](int64_t tokens) { return floor.Seconds(tokens); };
     ServeExecutor serve(system.get(), source.get(), &requests,
                         options.serving, max_batch, options.model.top_k,
                         std::move(estimator));

@@ -67,6 +67,12 @@ struct ExperimentOptions {
   /// pre-training profiling pass). Disable for raw analytic defaults.
   bool calibrate_profile = true;
 
+  /// Per-node aggregated A2A estimation (DESIGN.md Section 10): the
+  /// planner's Eq. 8 terms fold cross-node traffic per source node, which
+  /// keeps candidate scoring O(nodes) in the large-EP regime. The
+  /// discrete-event engine stays pair-exact either way.
+  bool hierarchical_a2a = false;
+
   /// Workload regime / replay / record selection.
   WorkloadOptions workload;
 
@@ -143,6 +149,12 @@ struct ExperimentReport {
   bool serving = false;
   ServingReport serve;
 };
+
+/// \brief Large-EP preset (DESIGN.md Section 10): one expert per GPU
+/// (E = G = num_gpus, the Pangu-Ultra-MoE/FSMoE regime from PAPERS.md),
+/// hierarchical per-node A2A estimation, and the topology-aware expand
+/// tie-break. `num_gpus` must be a multiple of 8 (AzureA100Options).
+ExperimentOptions LargeEPOptions(int num_gpus);
 
 /// \brief Resolves the experiment's fault options (inherited num_gpus /
 /// seed / fault_step defaults filled in) without building the plan.

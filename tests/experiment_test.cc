@@ -50,6 +50,23 @@ TEST(ExperimentTest, AllSystemsRun) {
   }
 }
 
+TEST(ExperimentTest, LargeEPPresetRunsEndToEnd) {
+  // Reduced-scale smoke of the large-EP preset (one expert per GPU,
+  // slots = 2, hierarchical Eq. 8, topology-aware expansion): same
+  // configuration the nightly runs at G = 512, sized for tier-1. The
+  // preset's knobs must survive the full engine path, not just the
+  // planner microbenchmarks.
+  ExperimentOptions o = LargeEPOptions(16);
+  o.measure_steps = 10;
+  o.warmup_steps = 2;
+  const auto report = RunExperiment(o);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->mean_step_seconds, 0.0);
+  EXPECT_GT(report->throughput_tokens_per_sec, 0.0);
+  EXPECT_GE(report->mean_balance_ratio, 1.0);
+  EXPECT_EQ(report->num_gpus, 16);
+}
+
 TEST(ExperimentTest, DeterministicReports) {
   const auto r1 = RunExperiment(SmallExperiment("flexmoe"));
   const auto r2 = RunExperiment(SmallExperiment("flexmoe"));

@@ -80,7 +80,7 @@ TEST_P(RouterGridTest, ConservationAndQuotas) {
   for (int g = 0; g < gpus; ++g) {
     int64_t sent = 0;
     for (int d = 0; d < gpus; ++d) {
-      sent += routed.dispatch[static_cast<size_t>(g)][static_cast<size_t>(d)];
+      sent += routed.dispatch(g, d);
     }
     EXPECT_EQ(sent, assignment.GpuTotal(g));
   }

@@ -27,7 +27,7 @@ TEST(RouterTest, AllLocalWhenCapacitySuffices) {
   const RoutedAssignment r = FlexibleRouter::Route(a, p);
   EXPECT_EQ(r.expert_gpu_tokens[0][0], 100);
   EXPECT_EQ(r.expert_gpu_tokens[1][1], 80);
-  EXPECT_EQ(r.dispatch[0][0], 100);
+  EXPECT_EQ(r.dispatch(0, 0), 100);
   EXPECT_EQ(r.CrossGpuTokens(), 0);
 }
 
@@ -37,7 +37,7 @@ TEST(RouterTest, RemoteTokensDispatchToHost) {
   a.set(0, 1, 60);  // tokens for expert 0 originate on GPU 1; expert 0 @ GPU 0
   const RoutedAssignment r = FlexibleRouter::Route(a, p);
   EXPECT_EQ(r.expert_gpu_tokens[0][0], 60);
-  EXPECT_EQ(r.dispatch[1][0], 60);
+  EXPECT_EQ(r.dispatch(1, 0), 60);
   EXPECT_EQ(r.CrossGpuTokens(), 60);
 }
 
@@ -69,7 +69,7 @@ TEST(RouterTest, LocalityFirstThenSpill) {
   // Locality first: 100 stay; spill: 100 go to the g1 replica.
   EXPECT_EQ(r.expert_gpu_tokens[0][0], 100);
   EXPECT_EQ(r.expert_gpu_tokens[0][1], 100);
-  EXPECT_EQ(r.dispatch[0][1], 100);
+  EXPECT_EQ(r.dispatch(0, 1), 100);
 }
 
 TEST(RouterTest, SpillProportionalToAvailability) {
@@ -168,7 +168,7 @@ TEST(RouterTest, PropertyTokenConservation) {
     for (int g = 0; g < gpus; ++g) {
       int64_t sent = 0;
       for (int d = 0; d < gpus; ++d) {
-        sent += r.dispatch[static_cast<size_t>(g)][static_cast<size_t>(d)];
+        sent += r.dispatch(g, d);
       }
       EXPECT_EQ(sent, a.GpuTotal(g)) << trial << " g" << g;
     }
