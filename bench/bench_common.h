@@ -10,6 +10,8 @@
 //                    (default both; see gate/request_source.h)
 //   --admission P    serving admission policy for sized cells: edf | sjf
 //                    (default edf; see core/serve_executor.h)
+//   --pipeline-chunks K  forward A2A/compute overlap depth (default 1 =
+//                    serial, byte-identical; see core/step_executor.h)
 //   --trace-out F    export a Chrome trace-event JSON of the headline run
 //   --metrics-out F  export the metrics-registry JSON snapshot
 //   --decisions-out F  export the policy decision audit JSONL
@@ -75,6 +77,11 @@ inline const char* AdmissionPolicy(int argc, char** argv) {
   return FlagValue(argc, argv, "--admission", "edf");
 }
 
+/// Forward pipelining depth: "--pipeline-chunks K", default 1 (serial).
+inline int PipelineChunks(int argc, char** argv) {
+  return std::atoi(FlagValue(argc, argv, "--pipeline-chunks", "1"));
+}
+
 /// The flag set every grid bench shares, parsed once (previously each
 /// bench's main() re-assembled the same four calls).
 struct CommonFlags {
@@ -84,6 +91,7 @@ struct CommonFlags {
   const char* workload = "pretrain-steady";
   const char* size_mix = "both";  ///< serving benches only
   const char* admission = "edf";  ///< serving benches only
+  int pipeline_chunks = 1;        ///< forward overlap depth (1 = serial)
   /// Observability export paths ("" = not requested). Any non-empty path
   /// means the bench should run its designated headline cell with
   /// observability enabled and export the artifacts.
@@ -105,6 +113,7 @@ inline CommonFlags ParseCommonFlags(int argc, char** argv) {
   flags.workload = WorkloadName(argc, argv);
   flags.size_mix = SizeMixName(argc, argv);
   flags.admission = AdmissionPolicy(argc, argv);
+  flags.pipeline_chunks = PipelineChunks(argc, argv);
   flags.trace_out = FlagValue(argc, argv, "--trace-out", "");
   flags.metrics_out = FlagValue(argc, argv, "--metrics-out", "");
   flags.decisions_out = FlagValue(argc, argv, "--decisions-out", "");

@@ -31,6 +31,7 @@
 #include "core/flexmoe.h"
 #include "core/policy_maker.h"
 #include "core/router.h"
+#include "core/step_executor.h"
 #include "gate/trace_generator.h"
 #include "harness/experiment.h"
 #include "harness/grid_runner.h"
@@ -386,6 +387,64 @@ int Run(bool quick, int threads, bool large_ep,
     FLEXMOE_CHECK(sink > 0.0);
   }
 
+  // --- Chunked A2A/compute overlap at G = 512 (DESIGN.md Section 11) -----
+  // Dispatch-heavy forward: every GPU routes its whole batch to a remote
+  // expert, so the serial executor pays dispatch + compute + combine end
+  // to end while the chunked one hides most of the wire time behind
+  // compute. The floor gap runs the balanced case instead, because the
+  // analytic floor's balanced-routing assumption then matches the
+  // measured routing — the same invariant the serving shedding relies on.
+  {
+    const int g = 512;
+    auto topo = std::make_unique<Topology>(
+        *Topology::Create(AzureA100Options(g)));
+    HardwareProfile profile(topo.get(), GpuSpec{});
+    ModelConfig model = GptMoES();
+    model.num_experts = g;
+    model.num_moe_layers = 2;
+    const Placement placement =
+        *Placement::ExpertParallel({g, g, /*slots_per_gpu=*/1});
+
+    const auto forward_seconds = [&](const Assignment& a, int chunks) {
+      ClusterState cluster(topo.get());
+      StepExecutor exec(&cluster, &profile, model);
+      PipelineOptions pipeline;
+      pipeline.chunks = chunks;
+      exec.set_pipeline(pipeline);
+      const RoutedAssignment routed = FlexibleRouter::Route(a, placement);
+      LayerWork work;
+      work.routed = &routed;
+      work.placement = &placement;
+      return exec.ExecuteForward({work, work}).StepSeconds();
+    };
+
+    Assignment skewed(g, g);
+    for (int src = 0; src < g; ++src) skewed.set((src + 1) % g, src, 4096);
+    const double serial = forward_seconds(skewed, 1);
+    const double pipelined = forward_seconds(skewed, 4);
+    add("forward_overlap_speedup_g512", serial / pipelined, "x");
+    FLEXMOE_CHECK_MSG(
+        pipelined < serial,
+        StrFormat("chunked forward %.6fs is not faster than serial %.6fs",
+                  pipelined, serial));
+
+    Assignment balanced(g, g);
+    for (int e = 0; e < g; ++e) {
+      for (GpuId dst = 0; dst < g; ++dst) balanced.set(e, dst, 8);
+    }
+    const double measured = forward_seconds(balanced, 4);
+    const int64_t tokens =
+        static_cast<int64_t>(g) * g * 8 / model.top_k;
+    const double floor =
+        EstimateForwardMicrobatchSeconds(profile, model, g, tokens,
+                                         /*chunks=*/4);
+    add("overlap_floor_gap", measured / floor, "x");
+    FLEXMOE_CHECK_MSG(
+        floor <= measured,
+        StrFormat("pipelined floor %.6fs exceeds measured forward %.6fs",
+                  floor, measured));
+  }
+
   // --- Placement op queue ------------------------------------------------
   add("op_queue_merge_passes_per_sec",
       Throughput(quick ? 0.2 : 0.5, 1.0,
@@ -432,6 +491,17 @@ int Run(bool quick, int threads, bool large_ep,
     add("large_ep_g512_throughput_tokens_per_sec",
         report->throughput_tokens_per_sec, "tokens/s");
     add("large_ep_g512_mean_balance_ratio", report->mean_balance_ratio, "x");
+
+    // The same preset with K = 4 chunked forward overlap — the nightly
+    // tracks how much of the step the pipelining buys back end to end.
+    ExperimentOptions pipelined = LargeEPOptions(512);
+    pipelined.pipeline_chunks = 4;
+    const Result<ExperimentReport> piped = RunExperiment(pipelined);
+    FLEXMOE_CHECK_MSG(piped.ok(), piped.status().ToString());
+    add("large_ep_g512_pipelined_mean_step_seconds",
+        piped->mean_step_seconds, "s");
+    add("large_ep_g512_pipelined_throughput_tokens_per_sec",
+        piped->throughput_tokens_per_sec, "tokens/s");
   }
 
   for (const MetricRow& extra : extras) {

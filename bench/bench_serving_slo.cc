@@ -95,6 +95,7 @@ int RunSuite(const std::vector<std::string>& scenarios, bool heavy,
       cell.options =
           ServingCell(scenario, system, heavy, flags.admission, flags.quick);
       cell.options.legacy_gate = flags.legacy_gate;
+      cell.options.pipeline_chunks = flags.pipeline_chunks;
       cells.push_back(std::move(cell));
     }
   }
@@ -181,6 +182,7 @@ int RunTracedHeadline(const bench::CommonFlags& flags) {
                                     /*heavy=*/false, flags.admission,
                                     flags.quick);
   o.legacy_gate = flags.legacy_gate;
+  o.pipeline_chunks = flags.pipeline_chunks;
   o.observability.enabled = true;
   o.observability.trace_out = flags.trace_out;
   o.observability.metrics_out = flags.metrics_out;

@@ -77,6 +77,7 @@ int Run(int argc, char** argv) {
       cell.label = StrFormat("%s/%s", scenario.c_str(), system);
       cell.options = SuiteCell(scenario, system, quick);
       cell.options.legacy_gate = legacy_gate;
+      cell.options.pipeline_chunks = flags.pipeline_chunks;
       cells.push_back(std::move(cell));
     }
   }

@@ -32,6 +32,7 @@ Status ExpertParallelOptions::Validate() const {
   FLEXMOE_RETURN_IF_ERROR(model.Validate());
   if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
   FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
+  FLEXMOE_RETURN_IF_ERROR(pipeline.Validate());
   return Status::OK();
 }
 
@@ -67,6 +68,7 @@ ExpertParallelSystem::ExpertParallelSystem(
       placement_(std::move(placement)),
       step_executor_(&cluster_, profile, options.model) {
   step_executor_.set_cluster_health(&elastic_.health());
+  step_executor_.set_pipeline(options.pipeline);
 }
 
 Status ExpertParallelSystem::InstallFaultPlan(const FaultPlan& plan) {

@@ -25,6 +25,9 @@ struct ExpertParallelOptions {
   /// Fault handling (static: checkpoint restart + failover, no
   /// rebalancing).
   ElasticControllerOptions elastic;
+  /// Forward-pass chunked overlap (core/step_executor.h); shared by all
+  /// systems so pipelining comparisons hold the executor semantics fixed.
+  PipelineOptions pipeline;
 
   Status Validate() const;
 };

@@ -15,6 +15,7 @@ Status FasterMoEOptions::Validate() const {
     return Status::InvalidArgument("max_shadows_per_layer < 0");
   }
   FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
+  FLEXMOE_RETURN_IF_ERROR(pipeline.Validate());
   return Status::OK();
 }
 
@@ -51,6 +52,7 @@ FasterMoESystem::FasterMoESystem(const FasterMoEOptions& options,
       placement_(std::move(placement)),
       step_executor_(&cluster_, profile, options.model) {
   step_executor_.set_cluster_health(&elastic_.health());
+  step_executor_.set_pipeline(options.pipeline);
 }
 
 Status FasterMoESystem::InstallFaultPlan(const FaultPlan& plan) {

@@ -29,6 +29,9 @@ struct FasterMoEOptions {
   int max_shadows_per_layer = 8;
   /// Fault handling (static: checkpoint restart + failover).
   ElasticControllerOptions elastic;
+  /// Forward-pass chunked overlap (core/step_executor.h); shared by all
+  /// systems so pipelining comparisons hold the executor semantics fixed.
+  PipelineOptions pipeline;
 
   Status Validate() const;
 };

@@ -14,6 +14,7 @@ Status SwipeOptions::Validate() const {
   FLEXMOE_RETURN_IF_ERROR(model.Validate());
   if (num_gpus <= 0) return Status::InvalidArgument("num_gpus <= 0");
   FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
+  FLEXMOE_RETURN_IF_ERROR(pipeline.Validate());
   return Status::OK();
 }
 
@@ -126,6 +127,7 @@ SwipeSystem::SwipeSystem(const SwipeOptions& options, const Topology* topo,
       placement_(std::move(placement)),
       step_executor_(&cluster_, profile, options.model) {
   step_executor_.set_cluster_health(&elastic_.health());
+  step_executor_.set_pipeline(options.pipeline);
 }
 
 Status SwipeSystem::InstallFaultPlan(const FaultPlan& plan) {

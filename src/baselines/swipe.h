@@ -22,6 +22,9 @@ struct SwipeOptions {
   int num_gpus = 64;
   /// Fault handling (static: checkpoint restart + failover).
   ElasticControllerOptions elastic;
+  /// Forward-pass chunked overlap (core/step_executor.h); shared by all
+  /// systems so pipelining comparisons hold the executor semantics fixed.
+  PipelineOptions pipeline;
 
   Status Validate() const;
 };

@@ -24,11 +24,19 @@ double PipelinedTransfer(Stream* egress, Stream* ingress, double earliest,
   return recv_start + duration;
 }
 
+/// Per-GPU port stretch factor (1.0 without a scale vector). x * 1.0 == x
+/// bitwise, so a scale vector of ones is indistinguishable from nullptr.
+double ScaleOf(const std::vector<double>* port_scale, GpuId g) {
+  return port_scale == nullptr ? 1.0
+                               : (*port_scale)[static_cast<size_t>(g)];
+}
+
 }  // namespace
 
 CollectiveResult ExecAllToAll(ClusterState* cluster,
                               const HardwareProfile& profile,
-                              const ByteMatrix& bytes, double earliest) {
+                              const ByteMatrix& bytes, double earliest,
+                              const std::vector<double>* port_scale) {
   const int n = cluster->num_gpus();
   FLEXMOE_CHECK(bytes.rows() == n && bytes.cols() == n);
   CollectiveResult result;
@@ -49,10 +57,15 @@ CollectiveResult ExecAllToAll(ClusterState* cluster,
       if (b <= 0.0) continue;
       const double duration = b / profile.BandwidthBytesPerSec(src, dst);
       const double lat = profile.LatencySeconds(src, dst);
-      const double send_start = cluster->egress(src).Reserve(earliest, duration);
+      // A degraded endpoint stretches only its own port's serialization
+      // time; a healthy peer's port drains at full speed and frees early.
+      const double dur_src = duration * ScaleOf(port_scale, src);
+      const double dur_dst = duration * ScaleOf(port_scale, dst);
+      const double send_start = cluster->egress(src).Reserve(earliest, dur_src);
       const double recv_start =
-          cluster->ingress(dst).Reserve(earliest + lat, duration);
-      const double end = std::max(send_start, recv_start) + duration + lat;
+          cluster->ingress(dst).Reserve(earliest + lat, dur_dst);
+      const double end =
+          std::max(send_start + dur_src, recv_start + dur_dst) + lat;
       auto& src_fin = result.per_gpu_finish[static_cast<size_t>(src)];
       auto& dst_fin = result.per_gpu_finish[static_cast<size_t>(dst)];
       src_fin = std::max(src_fin, end);
@@ -68,7 +81,8 @@ CollectiveResult ExecRingAllReduce(ClusterState* cluster,
                                    const HardwareProfile& profile,
                                    double bytes,
                                    const std::vector<GpuId>& group,
-                                   double earliest) {
+                                   double earliest,
+                                   const std::vector<double>* port_scale) {
   CollectiveResult result;
   result.start = earliest;
   result.per_gpu_finish.assign(static_cast<size_t>(cluster->num_gpus()),
@@ -94,11 +108,16 @@ CollectiveResult ExecRingAllReduce(ClusterState* cluster,
     const GpuId dst = group[(i + 1) % k];
     const double duration = static_cast<double>(phases) * chunk /
                             profile.BandwidthBytesPerSec(src, dst);
-    const double send_start = cluster->egress(src).Reserve(earliest, duration);
+    // Only the degraded member's own ports stretch; the barrier below
+    // (slowest_end) still makes the whole ring wait for it.
+    const double dur_src = duration * ScaleOf(port_scale, src);
+    const double dur_dst = duration * ScaleOf(port_scale, dst);
+    const double send_start = cluster->egress(src).Reserve(earliest, dur_src);
     const double recv_start =
-        cluster->ingress(dst).Reserve(earliest, duration);
-    slowest_end = std::max(slowest_end,
-                           std::max(send_start, recv_start) + duration);
+        cluster->ingress(dst).Reserve(earliest, dur_dst);
+    slowest_end =
+        std::max(slowest_end,
+                 std::max(send_start + dur_src, recv_start + dur_dst));
     max_lat = std::max(max_lat, profile.LatencySeconds(src, dst));
   }
   result.finish = slowest_end + static_cast<double>(phases) * max_lat;
@@ -172,7 +191,8 @@ double ExecCompute(ClusterState* cluster, const HardwareProfile& profile,
 CollectiveResult ExecBroadcast(ClusterState* cluster,
                                const HardwareProfile& profile, double bytes,
                                GpuId root, const std::vector<GpuId>& group,
-                               double earliest) {
+                               double earliest,
+                               const std::vector<double>* port_scale) {
   CollectiveResult result;
   result.start = earliest;
   result.per_gpu_finish.assign(static_cast<size_t>(cluster->num_gpus()),
@@ -200,10 +220,15 @@ CollectiveResult ExecBroadcast(ClusterState* cluster,
     const GpuId dst = ring[i + 1];
     const double hop = bytes / profile.BandwidthBytesPerSec(src, dst) /
                        static_cast<double>(ring.size() - 1);
-    const double end = PipelinedTransfer(
-        &cluster->egress(src), &cluster->ingress(dst),
-        i == 0 ? start : finish, hop, profile.LatencySeconds(src, dst));
-    finish = std::max(finish, end);
+    // Per-port straggler stretch (see ExecAllToAll).
+    const double hop_src = hop * ScaleOf(port_scale, src);
+    const double hop_dst = hop * ScaleOf(port_scale, dst);
+    const double lat = profile.LatencySeconds(src, dst);
+    const double at = i == 0 ? start : finish;
+    const double send_start = cluster->egress(src).Reserve(at, hop_src);
+    const double recv_start =
+        cluster->ingress(dst).Reserve(send_start + lat, hop_dst);
+    finish = std::max(finish, recv_start + hop_dst);
   }
   for (GpuId g : ring) {
     result.per_gpu_finish[static_cast<size_t>(g)] = finish;

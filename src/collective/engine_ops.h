@@ -30,21 +30,34 @@ struct CollectiveResult {
 /// Messages follow the standard shifted schedule (round r: src -> (src+r) mod
 /// G) used by NCCL to avoid ingress hotspots; each message occupies the
 /// source egress port and destination ingress port simultaneously.
+///
+/// `port_scale` (nullable, size = num_gpus) stretches each port's
+/// serialization time by that GPU's factor: a message src -> dst holds
+/// egress(src) for duration * scale[src] and ingress(dst) for
+/// duration * scale[dst]. This is how straggler bandwidth degradation
+/// enters the engine — the slow endpoint's port stretches, the healthy
+/// peer's does not (the stretch applies exactly once, on the slow side).
 CollectiveResult ExecAllToAll(ClusterState* cluster,
                               const HardwareProfile& profile,
-                              const ByteMatrix& bytes, double earliest);
+                              const ByteMatrix& bytes, double earliest,
+                              const std::vector<double>* port_scale = nullptr);
 
 /// \brief Executes a ring AllReduce of `bytes` over `group`.
 ///
 /// 2*(k-1) phases; each phase every member forwards a chunk to its ring
 /// successor with a phase barrier, so a busy NIC on any member stalls the
 /// whole ring (this is the global-synchronization cost FasterMoE pays when
-/// it shadows an expert on all GPUs).
+/// it shadows an expert on all GPUs). `port_scale` as in ExecAllToAll:
+/// a degraded member stretches its own ring hop's ports only; the
+/// collective still finishes at the slowest member, so the whole ring
+/// waits, but healthy ports are released on time.
 CollectiveResult ExecRingAllReduce(ClusterState* cluster,
                                    const HardwareProfile& profile,
                                    double bytes,
                                    const std::vector<GpuId>& group,
-                                   double earliest);
+                                   double earliest,
+                                   const std::vector<double>* port_scale =
+                                       nullptr);
 
 /// \brief Executes a point-to-point transfer on the NIC streams.
 CollectiveResult ExecP2p(ClusterState* cluster, const HardwareProfile& profile,
@@ -66,10 +79,12 @@ double ExecCompute(ClusterState* cluster, const HardwareProfile& profile,
 
 /// \brief Executes a pipelined ring broadcast of `bytes` from `root` to
 /// every GPU in `group` (FasterMoE-style shadow-parameter distribution).
+/// `port_scale` as in ExecAllToAll (per-hop, per-port stretch).
 CollectiveResult ExecBroadcast(ClusterState* cluster,
                                const HardwareProfile& profile, double bytes,
                                GpuId root, const std::vector<GpuId>& group,
-                               double earliest);
+                               double earliest,
+                               const std::vector<double>* port_scale = nullptr);
 
 }  // namespace flexmoe
 

@@ -14,6 +14,8 @@ ExpertShape ShapeFromModel(const ModelConfig& model) {
   shape.token_bytes = model.token_bytes();
   shape.grad_bytes = model.expert_grad_bytes();
   shape.state_bytes = model.expert_state_bytes();
+  shape.fwd_fraction = model.expert_fwd_flops_per_token() /
+                       model.expert_fwdbwd_flops_per_token();
   return shape;
 }
 
@@ -32,6 +34,26 @@ CostModel::CostModel(const HardwareProfile* profile, const ExpertShape& shape)
   FLEXMOE_CHECK(profile != nullptr);
   FLEXMOE_CHECK(shape.fwdbwd_flops_per_token > 0);
   FLEXMOE_CHECK(shape.token_bytes > 0);
+}
+
+double CostModel::CombineGpuSeconds(double compute, double a2a,
+                                    double sync) const {
+  if (pipeline_chunks_ <= 1) {
+    // Serial path: the pre-pipelining additive Eq. 5 combiner, bitwise.
+    return compute + a2a + sync;
+  }
+  // a2a is Eq. 8's 4 crossings (fwd dispatch+combine, bwd dispatch+
+  // combine); one crossing is a2a/4. Only the forward leg pipelines
+  // (PipelineOptions): d = m = one crossing, c = the forward compute
+  // share, F = max(d + (c+m)/K, c + m/K, m). Backward compute and its two
+  // crossings stay serial, as does sync.
+  const double K = static_cast<double>(pipeline_chunks_);
+  const double crossing = 0.25 * a2a;
+  const double fwd_compute = compute * shape_.fwd_fraction;
+  const double fwd = std::max(
+      {crossing + (fwd_compute + crossing) / K, fwd_compute + crossing / K,
+       crossing});
+  return fwd + (compute - fwd_compute) + 0.5 * a2a + sync;
 }
 
 double CostModel::ComputeSeconds(int64_t tokens) const {
@@ -159,7 +181,8 @@ void CostModel::EstimateLayerInto(const RoutedAssignment& routed,
     est.per_gpu_compute[static_cast<size_t>(g)] = compute;
     est.per_gpu_a2a[static_cast<size_t>(g)] = a2a;
     est.per_gpu_sync[static_cast<size_t>(g)] = sync;
-    est.per_gpu_seconds[static_cast<size_t>(g)] = compute + a2a + sync;
+    est.per_gpu_seconds[static_cast<size_t>(g)] =
+        CombineGpuSeconds(compute, a2a, sync);
   }
   est.total_seconds = *std::max_element(est.per_gpu_seconds.begin(),
                                         est.per_gpu_seconds.end());
@@ -192,8 +215,10 @@ double CostModel::EstimateLayerSeconds(const Assignment& assignment,
 
 double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
                                         const ModelConfig& model,
-                                        int num_gpus, int64_t tokens) {
+                                        int num_gpus, int64_t tokens,
+                                        int chunks) {
   FLEXMOE_CHECK(num_gpus > 0);
+  FLEXMOE_CHECK(chunks >= 1);
   if (tokens <= 0) return 0.0;
   const double assignments =
       static_cast<double>(tokens) * static_cast<double>(model.top_k);
@@ -227,17 +252,43 @@ double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
       fwd_flops / model.expert_fwdbwd_flops_per_token();
   const double non_moe = NonMoEComputeSeconds(model, profile) * fwd_fraction;
 
-  return static_cast<double>(model.num_moe_layers) *
-             (compute_per_layer + worst_a2a) +
-         non_moe;
+  if (chunks <= 1) {
+    // Legacy serial floor, kept expression-for-expression so chunks == 1
+    // callers get bitwise-identical estimates.
+    return static_cast<double>(model.num_moe_layers) *
+               (compute_per_layer + worst_a2a) +
+           non_moe;
+  }
+
+  // Pipelined floor (DESIGN.md Section 11): worst_a2a covers dispatch +
+  // combine, so each phase is exactly half of it. F is a floor on the
+  // chunked executor because the last chunk carries at least 1/K of every
+  // cell (the per-cell split makes it the ceil): the combine port cannot
+  // start its last chunk before the dispatch port drained (d + tail
+  // compute + tail combine), nor before compute drained (c + tail
+  // combine), nor finish before its own serialization (m).
+  const double d = worst_a2a / 2.0;
+  const double m = worst_a2a / 2.0;
+  const double c = compute_per_layer;
+  const double K = static_cast<double>(chunks);
+  const double per_layer = std::max({d + (c + m) / K, c + m / K, m});
+  return static_cast<double>(model.num_moe_layers) * per_layer + non_moe;
 }
 
 ForwardFloorEstimator::ForwardFloorEstimator(const HardwareProfile* profile,
                                              const ModelConfig& model,
-                                             int num_gpus)
-    : profile_(profile), model_(model), num_gpus_(num_gpus) {
+                                             int num_gpus, int chunks)
+    : profile_(profile), model_(model), num_gpus_(num_gpus), chunks_(chunks) {
   FLEXMOE_CHECK(profile != nullptr);
   FLEXMOE_CHECK(num_gpus > 0);
+  FLEXMOE_CHECK(chunks >= 1);
+}
+
+void ForwardFloorEstimator::set_num_gpus(int num_gpus) {
+  FLEXMOE_CHECK(num_gpus > 0);
+  if (num_gpus == num_gpus_) return;
+  num_gpus_ = num_gpus;
+  for (Slot& slot : slots_) slot = Slot{};
 }
 
 double ForwardFloorEstimator::Seconds(int64_t tokens) const {
@@ -250,8 +301,9 @@ double ForwardFloorEstimator::Seconds(int64_t tokens) const {
   Slot& slot = slots_[idx];
   if (slot.tokens != tokens) {
     slot.tokens = tokens;
-    slot.seconds =
-        EstimateForwardMicrobatchSeconds(*profile_, model_, num_gpus_, tokens);
+    slot.seconds = EstimateForwardMicrobatchSeconds(*profile_, model_,
+                                                    num_gpus_, tokens,
+                                                    chunks_);
   }
   return slot.seconds;
 }

@@ -28,6 +28,11 @@ struct ExpertShape {
   double token_bytes = 0.0;   ///< activation payload per token (one A2A hop)
   double grad_bytes = 0.0;    ///< per-expert gradient AllReduce payload
   double state_bytes = 0.0;   ///< per-expert Expand/Migrate payload
+  /// Forward share of fwdbwd_flops_per_token — splits Eq. 7 compute into
+  /// the forward leg (which the chunked executor overlaps with A2A) and
+  /// the backward remainder (which stays serial). 1/3 for the standard
+  /// 1:2 fwd:bwd FLOP split.
+  double fwd_fraction = 1.0 / 3.0;
 };
 
 ExpertShape ShapeFromModel(const ModelConfig& model);
@@ -50,6 +55,20 @@ class CostModel {
 
   const ExpertShape& shape() const { return shape_; }
   const HardwareProfile& profile() const { return *profile_; }
+
+  /// Mirrors the executor's forward pipelining (PipelineOptions) in the
+  /// Eq. 5 scoring so planner estimates and measured steps agree on what
+  /// a layer costs under chunked overlap. chunks == 1 (the default) keeps
+  /// the serial additive combiner bitwise.
+  void set_pipeline_chunks(int chunks) { pipeline_chunks_ = chunks; }
+  int pipeline_chunks() const { return pipeline_chunks_; }
+
+  /// Combines one GPU's Eq. 5 terms into its layer seconds. Serial
+  /// (chunks <= 1): exactly compute + a2a + sync. Chunked: the forward
+  /// leg is the pipelined floor max(d + (c+m)/K, c + m/K, m) with
+  /// d = m = one A2A crossing (a2a/4) and c the forward compute share;
+  /// the backward leg and sync stay serial.
+  double CombineGpuSeconds(double compute, double a2a, double sync) const;
 
   /// Eq. 7: compute seconds for `tokens` tokens on one expert replica.
   double ComputeSeconds(int64_t tokens) const;
@@ -103,6 +122,7 @@ class CostModel {
 
   const HardwareProfile* profile_;
   ExpertShape shape_;
+  int pipeline_chunks_ = 1;
 };
 
 /// \brief Contention-free forward-latency estimate for a serving
@@ -114,9 +134,16 @@ class CostModel {
 /// what the ServeExecutor's deadline-aware shedding needs: a request whose
 /// deadline precedes even this estimate is provably unreachable
 /// (DESIGN.md Section 8).
+/// `chunks` mirrors the executor's PipelineOptions: with chunks > 1 each
+/// layer's floor is the pipelined bound max(d + (c+m)/K, c + m/K, m)
+/// (d = dispatch, c = compute, m = combine, K = chunks) instead of the
+/// serial sum — still a floor on the chunked executor (max-of-phases <=
+/// pipelined <= serial sum), so shedding stays provably conservative.
+/// chunks == 1 keeps the legacy serial expression bitwise.
 double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
                                         const ModelConfig& model,
-                                        int num_gpus, int64_t tokens);
+                                        int num_gpus, int64_t tokens,
+                                        int chunks = 1);
 
 /// \brief Memoizing wrapper around EstimateForwardMicrobatchSeconds for
 /// the serving admission/shedding hot path. Admission probes the floor for
@@ -128,9 +155,18 @@ double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
 class ForwardFloorEstimator {
  public:
   ForwardFloorEstimator(const HardwareProfile* profile,
-                        const ModelConfig& model, int num_gpus);
+                        const ModelConfig& model, int num_gpus,
+                        int chunks = 1);
 
   double Seconds(int64_t tokens) const;
+
+  /// Re-targets the estimator at a new GPU count (the cluster-health
+  /// alive count after a failure or recovery). Invalidates every cached
+  /// slot when the count actually changes — a memoized floor computed for
+  /// the old membership is stale, and serving it would let shedding admit
+  /// provably-unreachable requests after a failover.
+  void set_num_gpus(int num_gpus);
+  int num_gpus() const { return num_gpus_; }
 
  private:
   struct Slot {
@@ -142,6 +178,7 @@ class ForwardFloorEstimator {
   const HardwareProfile* profile_;
   ModelConfig model_;
   int num_gpus_;
+  int chunks_;
   mutable Slot slots_[kSlots];
 };
 

@@ -17,6 +17,7 @@ Status FlexMoEOptions::Validate() const {
     return Status::InvalidArgument("max_pending_ops must be > 0");
   }
   FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
+  FLEXMOE_RETURN_IF_ERROR(pipeline.Validate());
   return Status::OK();
 }
 
@@ -78,6 +79,10 @@ FlexMoESystem::FlexMoESystem(const FlexMoEOptions& options,
   policy_maker_.SetClusterHealth(&elastic_.health());
   scheduler_.SetClusterHealth(&elastic_.health());
   step_executor_.set_cluster_health(&elastic_.health());
+  step_executor_.set_pipeline(options.pipeline);
+  // The planner scores layers under the same overlap the executor
+  // realizes (floor/executor consistency, DESIGN.md Section 11).
+  cost_model_.set_pipeline_chunks(options.pipeline.chunks);
 }
 
 Status FlexMoESystem::InstallFaultPlan(const FaultPlan& plan) {

@@ -35,6 +35,9 @@ struct FlexMoEOptions {
   int max_pending_ops = 64;
   /// Fault handling (elastic drain; FlexMoE never restarts).
   ElasticControllerOptions elastic;
+  /// Forward-pass chunked overlap (core/step_executor.h); mirrored into
+  /// the cost model so Eq. 5 scoring matches the executor's overlap.
+  PipelineOptions pipeline;
 
   Status Validate() const;
 };

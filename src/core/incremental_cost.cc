@@ -75,6 +75,13 @@ void LayerCostState::Reset(const Assignment& assignment,
   gpu_tokens_.assign(static_cast<size_t>(num_gpus), 0);
   cross_in_.assign(static_cast<size_t>(num_gpus), 0);
   node_inflow_.assign(static_cast<size_t>(topo.num_nodes()), 0);
+  gpu_link_in_.assign(
+      static_cast<size_t>(num_gpus) * static_cast<size_t>(topo.num_nodes()),
+      0);
+  link_load_.assign(static_cast<size_t>(topo.num_nodes()) *
+                        static_cast<size_t>(topo.num_nodes()),
+                    0);
+  link_scratch_.assign(static_cast<size_t>(topo.num_nodes()), 0);
 
   tourney_cap_ = PowerOfTwoAtLeast(num_gpus);
   tourney_.assign(static_cast<size_t>(2 * tourney_cap_), kNegInf);
@@ -112,15 +119,30 @@ void LayerCostState::RefreshGpu(GpuId g) {
 
   const Topology& topo = cost_model_->profile().topology();
   const NodeId node = topo.NodeOf(g);
-  int64_t cross = 0;
+  const int num_nodes = static_cast<int>(node_inflow_.size());
+  // Per-source-node inflow: sums and deltas are pure integers, so the
+  // link_load_ matrix tracks a from-scratch recount exactly (and Undo's
+  // RefreshGpu over restored rows cancels the deltas bitwise).
   if (!routed_.node_of.empty()) {
-    for (NodeId n = 0; n < routed_.num_nodes; ++n) {
-      if (n != node) cross += routed_.node_dispatch(n, g);
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      link_scratch_[static_cast<size_t>(n)] = routed_.node_dispatch(n, g);
     }
   } else {
+    std::fill(link_scratch_.begin(), link_scratch_.end(), int64_t{0});
     for (GpuId src = 0; src < routed_.num_gpus; ++src) {
-      if (topo.NodeOf(src) != node) cross += routed_.dispatch(src, g);
+      link_scratch_[static_cast<size_t>(topo.NodeOf(src))] +=
+          routed_.dispatch(src, g);
     }
+  }
+  int64_t cross = 0;
+  const size_t row = static_cast<size_t>(g) * static_cast<size_t>(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (n == node) continue;
+    const int64_t v = link_scratch_[static_cast<size_t>(n)];
+    cross += v;
+    link_load_[static_cast<size_t>(n) * num_nodes + node] +=
+        v - gpu_link_in_[row + static_cast<size_t>(n)];
+    gpu_link_in_[row + static_cast<size_t>(n)] = v;
   }
   node_inflow_[static_cast<size_t>(node)] +=
       cross - cross_in_[static_cast<size_t>(g)];
@@ -130,7 +152,7 @@ void LayerCostState::RefreshGpu(GpuId g) {
   per_gpu_compute_[static_cast<size_t>(g)] = compute;
   per_gpu_a2a_[static_cast<size_t>(g)] = a2a;
   per_gpu_sync_[static_cast<size_t>(g)] = sync;
-  const double total = compute + a2a + sync;
+  const double total = cost_model_->CombineGpuSeconds(compute, a2a, sync);
   per_gpu_total_[static_cast<size_t>(g)] = total;
 
   size_t i = static_cast<size_t>(tourney_cap_ + g);

@@ -115,6 +115,23 @@ class LayerCostState {
     return node_inflow_[static_cast<size_t>(node)];
   }
 
+  /// The heaviest single cross-node link into `node`: max over source
+  /// nodes src != node of the tokens flowing src -> node. The aggregate
+  /// inflow above can hide one saturated link behind several idle ones;
+  /// this is the objective PolicyMakerOptions::max_link_objective adds.
+  /// O(nodes).
+  int64_t max_cross_link_into(NodeId node) const {
+    const int num_nodes = static_cast<int>(node_inflow_.size());
+    int64_t worst = 0;
+    for (NodeId src = 0; src < num_nodes; ++src) {
+      if (src == node) continue;
+      worst = std::max(
+          worst,
+          link_load_[static_cast<size_t>(src) * num_nodes + node]);
+    }
+    return worst;
+  }
+
  private:
   /// One saved integer row of the pre-op state, keyed by its expert / GPU
   /// index. Snapshot slots are pooled (capacity survives Undo/Reset), so
@@ -197,6 +214,15 @@ class LayerCostState {
   // Cross-node inbound token bookkeeping for the topology tie-break.
   std::vector<int64_t> cross_in_;     ///< per destination GPU
   std::vector<int64_t> node_inflow_;  ///< per destination node
+  /// Inflow into each destination GPU split by source node (G x nodes,
+  /// row-major) — the per-GPU terms behind link_load_, kept so RefreshGpu
+  /// can delta-update link loads exactly (integer arithmetic cancels).
+  std::vector<int64_t> gpu_link_in_;
+  /// Tokens on each directed cross-node link (nodes x nodes, row-major:
+  /// [src * nodes + dst_node]); diagonal unused.
+  std::vector<int64_t> link_load_;
+  /// Per-RefreshGpu scratch of per-source-node sums (non-aggregated path).
+  std::vector<int64_t> link_scratch_;
 
   /// Flat binary tournament over per-GPU totals: leaves at
   /// [cap, cap + G) padded with -inf, root at index 1. A leaf update is

@@ -154,6 +154,17 @@ std::vector<ModOp> PolicyMaker::PlanOnState(LayerCostState* state,
                       const bool la = hot_nodes.count(topo.NodeOf(a)) > 0;
                       const bool lb = hot_nodes.count(topo.NodeOf(b)) > 0;
                       if (la != lb) return la;
+                      // With the max-link objective, the heaviest single
+                      // inbound link ranks first: one saturated link
+                      // bounds the A2A phase even when the node's
+                      // aggregate inflow is moderate.
+                      if (options_.max_link_objective) {
+                        const int64_t ma =
+                            state->max_cross_link_into(topo.NodeOf(a));
+                        const int64_t mb =
+                            state->max_cross_link_into(topo.NodeOf(b));
+                        if (ma != mb) return ma < mb;
+                      }
                       // Prefer the node with the lightest cross-link
                       // inbound load: the new replica will pull remote
                       // tokens onto its node, so land it where the

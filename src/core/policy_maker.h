@@ -62,6 +62,16 @@ struct PolicyMakerOptions {
   /// hierarchical planner.
   bool topology_aware_expansion = false;
 
+  /// Score expand destinations by the max per-cross-link token load
+  /// (LayerCostState::max_cross_link_into) ahead of the aggregate
+  /// cross-node inflow: one saturated inter-node link bounds the A2A
+  /// phase even when the node's total inflow looks moderate, so among
+  /// node-local ties the planner lands replicas where the heaviest single
+  /// link has headroom. Only meaningful with topology_aware_expansion;
+  /// off by default so candidate ordering — and the emitted plans — stay
+  /// byte-identical.
+  bool max_link_objective = false;
+
   Status Validate() const;
 };
 

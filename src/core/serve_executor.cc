@@ -179,7 +179,6 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const bool sjf = options_.admission_policy == "sjf";
   const bool shedding = options_.shed_unreachable;
-  cap_chunk_seconds_ = shedding ? estimator_(max_batch_tokens_) : 0.0;
 
   ServingReport report;
   // Priority queue in admission order: after an outage the backlog can run
@@ -218,6 +217,12 @@ Result<ServingReport> ServeExecutor::Run(int num_batches) {
   };
 
   for (int b = 0; b < num_batches; ++b) {
+    // Refreshed per batch, not cached across the run: the estimator is a
+    // function of cluster health (alive count, placement), and a floor
+    // memoized before a failover would understate post-failover service
+    // times — shedding would then admit provably-unreachable requests.
+    cap_chunk_seconds_ = shedding ? estimator_(max_batch_tokens_) : 0.0;
+
     ServeBatchRecord record;
     record.batch = b;
     record.engine_idle = engine_idle;

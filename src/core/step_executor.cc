@@ -25,6 +25,13 @@ void TracePerGpuSpans(obs::Tracer* tr, const char* name, const char* category,
 
 }  // namespace
 
+Status PipelineOptions::Validate() const {
+  if (chunks < 1) {
+    return Status::InvalidArgument("pipeline chunks must be >= 1");
+  }
+  return Status::OK();
+}
+
 StepExecutor::StepExecutor(ClusterState* cluster,
                            const HardwareProfile* profile,
                            const ModelConfig& model)
@@ -42,14 +49,19 @@ double StepExecutor::Frontier() const {
   return t;
 }
 
-double StepExecutor::GroupBandwidthScale(
-    const std::vector<GpuId>& group) const {
-  if (health_ == nullptr) return 1.0;
-  double scale = 1.0;
-  for (const GpuId g : group) {
-    scale = std::max(scale, health_->bandwidth_multiplier(g));
+const std::vector<double>* StepExecutor::BandwidthScales() const {
+  if (health_ == nullptr) return nullptr;
+  // Refilled per phase (cheap O(G)); the engine stretches each port by its
+  // own GPU's factor, so a straggler pays its slowdown exactly once, on
+  // its own ports, and never leaks it onto healthy peers' ports (the old
+  // group-max scaling stretched every member of a ring and both endpoints
+  // of a message — the double-stretch this replaces).
+  port_scale_scratch_.resize(static_cast<size_t>(cluster_->num_gpus()));
+  for (GpuId g = 0; g < cluster_->num_gpus(); ++g) {
+    port_scale_scratch_[static_cast<size_t>(g)] =
+        health_->bandwidth_multiplier(g);
   }
-  return scale;
+  return &port_scale_scratch_;
 }
 
 std::vector<GpuId> StepExecutor::AliveGpus() const {
@@ -74,14 +86,44 @@ const ByteMatrix& StepExecutor::DispatchBytes(const RoutedAssignment& routed,
     for (int s = 0; s < routed.num_gpus; ++s) {
       const int64_t tokens = row[s];
       if (tokens <= 0) continue;
-      // Dead endpoints move nothing; a straggler endpoint stretches its
-      // messages by the bandwidth multiplier (modeled as extra bytes).
+      // Dead endpoints move nothing. Straggler slowdown is NOT folded into
+      // the payload here: the engine's per-port scale (BandwidthScales)
+      // stretches the slow endpoint's port directly, so the stretch
+      // applies exactly once instead of inflating both ports' bytes.
       if (!Alive(s)) continue;
-      double payload = static_cast<double>(tokens) * token_bytes;
-      if (health_ != nullptr) {
-        payload *= std::max(health_->bandwidth_multiplier(s),
-                            health_->bandwidth_multiplier(d));
+      const double payload = static_cast<double>(tokens) * token_bytes;
+      if (transpose) {
+        bytes(d, s) += payload;
+      } else {
+        bytes(s, d) += payload;
       }
+    }
+  }
+  return bytes;
+}
+
+const ByteMatrix& StepExecutor::DispatchBytesChunk(
+    const RoutedAssignment& routed, bool transpose, int k, int K) const {
+  // Per-cell chunk split: cell v contributes v*(k+1)/K - v*k/K tokens to
+  // chunk k. Integer-exact (the K pieces sum to v), and the last chunk is
+  // the ceil — the property the pipelined floor bound relies on
+  // (cost_model.cc, DESIGN.md Section 11).
+  chunk_bytes_scratch_.assign(routed.num_gpus, routed.num_gpus, 0.0);
+  ByteMatrix& bytes = chunk_bytes_scratch_;
+  const double token_bytes = model_.token_bytes();
+  const int64_t k64 = k;
+  const int64_t K64 = K;
+  for (int d = 0; d < routed.num_gpus; ++d) {
+    if (!Alive(d)) continue;
+    const int64_t* row = routed.dispatch_to.row(d);
+    for (int s = 0; s < routed.num_gpus; ++s) {
+      const int64_t tokens = row[s];
+      if (tokens <= 0) continue;
+      if (!Alive(s)) continue;
+      const int64_t piece =
+          tokens * (k64 + 1) / K64 - tokens * k64 / K64;
+      if (piece <= 0) continue;
+      const double payload = static_cast<double>(piece) * token_bytes;
       if (transpose) {
         bytes(d, s) += payload;
       } else {
@@ -127,11 +169,55 @@ double StepExecutor::RunExpertCompute(
   return finish;
 }
 
+double StepExecutor::RunExpertComputeChunk(
+    const RoutedAssignment& routed, double flops_per_token, int k, int K,
+    const std::vector<double>& per_gpu_earliest, StepTiming* timing,
+    const char* span_name, int layer) {
+  // RunExpertCompute restricted to chunk k's share of every (expert, GPU)
+  // cell (same split rule as DispatchBytesChunk, so the computed tokens
+  // are exactly the ones this chunk's dispatch delivered).
+  obs::Tracer* tr = trace();
+  const int64_t k64 = k;
+  const int64_t K64 = K;
+  double finish = 0.0;
+  for (GpuId g = 0; g < routed.num_gpus; ++g) {
+    if (!Alive(g)) continue;
+    const double gpu_start = per_gpu_earliest[static_cast<size_t>(g)];
+    double gpu_finish = gpu_start;
+    const double effective_flops = flops_per_token * ComputeScale(g);
+    for (int e = 0; e < routed.num_experts; ++e) {
+      const int64_t cell = routed.expert_gpu_tokens(e, g);
+      if (cell <= 0) continue;
+      const int64_t tokens = cell * (k64 + 1) / K64 - cell * k64 / K64;
+      if (tokens <= 0) continue;
+      gpu_finish = ExecCompute(cluster_, *profile_, g,
+                               static_cast<double>(tokens), effective_flops,
+                               gpu_finish);
+      // Busy time, not wall: a chunk whose dispatch landed early may wait
+      // for the previous chunk's compute to drain, and that wait is the
+      // overlap working as intended — not expert occupancy.
+      timing->per_gpu_expert_compute[static_cast<size_t>(g)] +=
+          profile_->ComputeSeconds(static_cast<double>(tokens),
+                                   effective_flops);
+    }
+    if (tr != nullptr && gpu_finish > gpu_start) {
+      tr->Span(span_name, "compute", g, gpu_start, gpu_finish, "layer",
+               static_cast<double>(layer), "chunk", static_cast<double>(k));
+    }
+    finish = std::max(finish, gpu_finish);
+  }
+  return finish;
+}
+
 double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
                                       const std::vector<GpuId>& alive,
                                       double frontier, StepTiming* timing) {
+  if (pipeline_.chunks > 1) {
+    return RunForwardLayersChunked(layers, alive, frontier, timing);
+  }
   obs::Tracer* tr = trace();
   const double fwd_flops = model_.expert_fwd_flops_per_token();
+  const std::vector<double>* scales = BandwidthScales();
   for (size_t l = 0; l < layers.size(); ++l) {
     const LayerWork& work = layers[l];
     FLEXMOE_CHECK(work.routed != nullptr);
@@ -143,9 +229,8 @@ double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
     for (const ShadowBroadcast& bc : work.broadcasts) {
       if (!Alive(bc.root) || alive.size() < 2) continue;
       const CollectiveResult r =
-          ExecBroadcast(cluster_, *profile_,
-                        bc.bytes * GroupBandwidthScale(alive), bc.root, alive,
-                        frontier);
+          ExecBroadcast(cluster_, *profile_, bc.bytes, bc.root, alive,
+                        frontier, scales);
       if (tr != nullptr) {
         tr->Span("shadow_bcast", "sync", bc.root, frontier, r.finish, "layer",
                  static_cast<double>(layer));
@@ -156,7 +241,8 @@ double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
 
     const double phase0 = frontier;
     const CollectiveResult dispatch = ExecAllToAll(
-        cluster_, *profile_, DispatchBytes(*work.routed, false), frontier);
+        cluster_, *profile_, DispatchBytes(*work.routed, false), frontier,
+        scales);
     TracePerGpuSpans(tr, recirc ? "recirc_dispatch" : "dispatch",
                      recirc ? "recirculation" : "a2a", phase0, dispatch,
                      layer);
@@ -169,12 +255,105 @@ double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
 
     const CollectiveResult combine = ExecAllToAll(
         cluster_, *profile_, DispatchBytes(*work.routed, true),
-        compute_finish);
+        compute_finish, scales);
     TracePerGpuSpans(tr, recirc ? "recirc_combine" : "combine",
                      recirc ? "recirculation" : "a2a", compute_finish,
                      combine, layer);
     timing->a2a_seconds += combine.finish - compute_finish;
     frontier = combine.finish;
+  }
+  return frontier;
+}
+
+double StepExecutor::RunForwardLayersChunked(
+    const std::vector<LayerWork>& layers, const std::vector<GpuId>& alive,
+    double frontier, StepTiming* timing) {
+  obs::Tracer* tr = trace();
+  const double fwd_flops = model_.expert_fwd_flops_per_token();
+  const int K = pipeline_.chunks;
+  const std::vector<double>* scales = BandwidthScales();
+  // Per-chunk dispatch results for the layer in flight (K is small; the
+  // vector is reused across layers).
+  std::vector<CollectiveResult> dispatches;
+  dispatches.reserve(static_cast<size_t>(K));
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const LayerWork& work = layers[l];
+    FLEXMOE_CHECK(work.routed != nullptr);
+    const int layer = static_cast<int>(l);
+    const bool recirc = layer >= model_.num_moe_layers;
+    for (const ShadowBroadcast& bc : work.broadcasts) {
+      if (!Alive(bc.root) || alive.size() < 2) continue;
+      const CollectiveResult r =
+          ExecBroadcast(cluster_, *profile_, bc.bytes, bc.root, alive,
+                        frontier, scales);
+      if (tr != nullptr) {
+        tr->Span("shadow_bcast", "sync", bc.root, frontier, r.finish, "layer",
+                 static_cast<double>(layer));
+      }
+      timing->sync_seconds += r.finish - frontier;
+      frontier = r.finish;
+    }
+
+    // Post every chunk's dispatch from the layer start: the NIC ports
+    // serialize them in chunk order, so chunk k+1's wire time hides
+    // behind chunk k's expert compute instead of extending the layer.
+    const double phase0 = frontier;
+    dispatches.clear();
+    double dispatch_all = phase0;
+    for (int k = 0; k < K; ++k) {
+      CollectiveResult d = ExecAllToAll(
+          cluster_, *profile_, DispatchBytesChunk(*work.routed, false, k, K),
+          phase0, scales);
+      if (tr != nullptr) {
+        for (size_t g = 0; g < d.per_gpu_finish.size(); ++g) {
+          if (d.per_gpu_finish[g] > phase0) {
+            tr->Span(recirc ? "recirc_dispatch" : "dispatch",
+                     recirc ? "recirculation" : "a2a", static_cast<int>(g),
+                     phase0, d.per_gpu_finish[g], "layer",
+                     static_cast<double>(layer), "chunk",
+                     static_cast<double>(k));
+          }
+        }
+      }
+      dispatch_all = std::max(dispatch_all, d.finish);
+      dispatches.push_back(std::move(d));
+    }
+    timing->a2a_seconds += dispatch_all - phase0;
+
+    // Each chunk computes as soon as its own dispatch lands per GPU (the
+    // compute streams serialize chunks), and its combine launches at the
+    // chunk's global compute finish — draining behind later chunks'
+    // compute on the port streams.
+    double compute_all = phase0;
+    double layer_end = phase0;
+    for (int k = 0; k < K; ++k) {
+      const double chunk_compute = RunExpertComputeChunk(
+          *work.routed, fwd_flops, k, K, dispatches[static_cast<size_t>(k)]
+              .per_gpu_finish,
+          timing, recirc ? "recirc_expert_compute" : "expert_compute", layer);
+      compute_all = std::max(compute_all, chunk_compute);
+      const CollectiveResult combine = ExecAllToAll(
+          cluster_, *profile_, DispatchBytesChunk(*work.routed, true, k, K),
+          chunk_compute, scales);
+      if (tr != nullptr) {
+        for (size_t g = 0; g < combine.per_gpu_finish.size(); ++g) {
+          if (combine.per_gpu_finish[g] > chunk_compute) {
+            tr->Span(recirc ? "recirc_combine" : "combine",
+                     recirc ? "recirculation" : "a2a", static_cast<int>(g),
+                     chunk_compute, combine.per_gpu_finish[g], "layer",
+                     static_cast<double>(layer), "chunk",
+                     static_cast<double>(k));
+          }
+        }
+      }
+      layer_end = std::max(layer_end, combine.finish);
+    }
+    // Phase attribution mirrors the serial path's accounting: A2A gets the
+    // leading dispatch window plus the combine tail past compute; compute
+    // gets its exposed (non-overlapped) stretch.
+    timing->compute_seconds += std::max(0.0, compute_all - dispatch_all);
+    timing->a2a_seconds += std::max(0.0, layer_end - compute_all);
+    frontier = std::max(layer_end, compute_all);
   }
   return frontier;
 }
@@ -266,12 +445,14 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
   // outlast the backward pass.
   double sync_finish = frontier;
   obs::Tracer* tr = trace();
+  const std::vector<double>* scales = BandwidthScales();
   for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
     const LayerWork& work = *it;
     const int layer = static_cast<int>(layers.rend() - it) - 1;
     const double phase0 = frontier;
     const CollectiveResult dispatch = ExecAllToAll(
-        cluster_, *profile_, DispatchBytes(*work.routed, false), frontier);
+        cluster_, *profile_, DispatchBytes(*work.routed, false), frontier,
+        scales);
     TracePerGpuSpans(tr, "grad_dispatch", "a2a", phase0, dispatch, layer);
     timing.a2a_seconds += dispatch.finish - phase0;
 
@@ -315,8 +496,7 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
         earliest += group_cache->Acquire(op.group);
       }
       const CollectiveResult r = ExecRingAllReduce(
-          cluster_, *profile_, op.bytes * GroupBandwidthScale(op.group),
-          op.group, earliest);
+          cluster_, *profile_, op.bytes, op.group, earliest, scales);
       if (tr != nullptr && !op.group.empty()) {
         tr->Span("expert_sync", "sync", op.group.front(), earliest, r.finish,
                  "expert", static_cast<double>(op.logical_id), "gpus",
@@ -328,7 +508,7 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
 
     const CollectiveResult combine = ExecAllToAll(
         cluster_, *profile_, DispatchBytes(*work.routed, true),
-        compute_finish);
+        compute_finish, scales);
     TracePerGpuSpans(tr, "grad_combine", "a2a", compute_finish, combine,
                      layer);
     timing.a2a_seconds += combine.finish - compute_finish;
@@ -345,9 +525,8 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
   if (alive.size() >= 2) {
     const CollectiveResult dp = ExecRingAllReduce(
         cluster_, *profile_,
-        model_.non_moe_params() * model_.grad_bytes *
-            GroupBandwidthScale(alive),
-        alive, frontier);
+        model_.non_moe_params() * model_.grad_bytes, alive, frontier,
+        scales);
     if (tr != nullptr) {
       tr->Span("dp_sync", "sync", alive.front(), frontier, dp.finish, "gpus",
                static_cast<double>(alive.size()));

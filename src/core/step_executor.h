@@ -33,6 +33,21 @@ struct ShadowBroadcast {
   double bytes = 0.0;
 };
 
+/// \brief Forward-pass pipelining configuration (DESIGN.md Section 11).
+///
+/// With chunks > 1, each MoE layer's routed tokens split into `chunks`
+/// per-cell pieces (cell v contributes v*(k+1)/chunks - v*k/chunks tokens
+/// to chunk k — integer-exact, sums to v, last chunk is the ceil) and the
+/// per-chunk dispatch A2A, expert compute, and combine A2A overlap through
+/// the per-GPU stream reservations: chunk k+1's dispatch occupies the NIC
+/// while chunk k computes, and combines drain behind compute. chunks == 1
+/// is the serial path, byte-identical to the pre-pipelining executor.
+struct PipelineOptions {
+  int chunks = 1;
+
+  Status Validate() const;
+};
+
 /// \brief Everything needed to execute one MoE layer.
 struct LayerWork {
   const RoutedAssignment* routed = nullptr;
@@ -97,6 +112,11 @@ class StepExecutor {
   void set_cluster_health(const ClusterHealth* health) { health_ = health; }
   const ClusterHealth* cluster_health() const { return health_; }
 
+  /// Installs the forward-pass pipelining configuration (chunks must be
+  /// >= 1; chunks == 1 keeps the serial, byte-identical path).
+  void set_pipeline(const PipelineOptions& pipeline) { pipeline_ = pipeline; }
+  const PipelineOptions& pipeline() const { return pipeline_; }
+
   /// Installs the per-run observability handle (nullable). With tracing
   /// enabled, every step phase emits per-GPU spans — dispatch/combine A2A,
   /// expert compute (forward, backward, recirculation), expert sync, DP
@@ -109,9 +129,11 @@ class StepExecutor {
   double ComputeScale(GpuId g) const {
     return health_ == nullptr ? 1.0 : health_->compute_multiplier(g);
   }
-  /// Ring collectives run at the slowest member's pace: scale their bytes
-  /// by the worst bandwidth multiplier in the group.
-  double GroupBandwidthScale(const std::vector<GpuId>& group) const;
+  /// Per-GPU NIC-port stretch factors from the health view, or nullptr on
+  /// a static healthy cluster. Passed to every collective so a straggler
+  /// stretches exactly its own ports, exactly once — never the healthy
+  /// peers' (the engine-level port_scale contract, engine_ops.h).
+  const std::vector<double>* BandwidthScales() const;
   /// All currently alive GPUs, ascending.
   std::vector<GpuId> AliveGpus() const;
   /// Builds the dispatch byte matrix (optionally transposed for combine)
@@ -119,6 +141,10 @@ class StepExecutor {
   /// the next DispatchBytes call on this executor.
   const ByteMatrix& DispatchBytes(const RoutedAssignment& routed,
                                   bool transpose) const;
+  /// Chunk k of K of the dispatch byte matrix (per-cell split rule of
+  /// PipelineOptions) into a second scratch; valid until the next call.
+  const ByteMatrix& DispatchBytesChunk(const RoutedAssignment& routed,
+                                       bool transpose, int k, int K) const;
 
   /// Runs expert compute for one layer with the given FLOPs/token; returns
   /// the phase finish time. `span_name` labels the per-GPU trace spans
@@ -133,19 +159,43 @@ class StepExecutor {
   /// -> expert compute at forward FLOPs -> combine A2A, per layer —
   /// shared verbatim by ExecuteStep and ExecuteForward so the two paths
   /// can never diverge in dispatch/broadcast semantics. Returns the new
-  /// frontier.
+  /// frontier. Dispatches to the chunked variant when pipeline().chunks
+  /// > 1; the chunks == 1 body is the pre-pipelining serial code.
   double RunForwardLayers(const std::vector<LayerWork>& layers,
                           const std::vector<GpuId>& alive, double frontier,
                           StepTiming* timing);
+
+  /// The chunked-overlap forward pass (PipelineOptions, DESIGN.md
+  /// Section 11): per layer, all K dispatch chunks are posted from the
+  /// layer's start (the NIC ports serialize them), each chunk's expert
+  /// compute starts at that chunk's per-GPU dispatch finish, and each
+  /// chunk's combine launches at that chunk's global compute finish — so
+  /// chunk k+1's dispatch overlaps chunk k's compute and combines drain
+  /// behind compute on the port streams.
+  double RunForwardLayersChunked(const std::vector<LayerWork>& layers,
+                                 const std::vector<GpuId>& alive,
+                                 double frontier, StepTiming* timing);
+
+  /// RunExpertCompute for one chunk: tokens come from the per-chunk split
+  /// of routed.expert_gpu_tokens instead of the full matrix.
+  double RunExpertComputeChunk(const RoutedAssignment& routed,
+                               double flops_per_token, int k, int K,
+                               const std::vector<double>& per_gpu_earliest,
+                               StepTiming* timing, const char* span_name,
+                               int layer);
 
   ClusterState* cluster_;
   const HardwareProfile* profile_;
   ModelConfig model_;
   const ClusterHealth* health_ = nullptr;
   obs::Observability* obs_ = nullptr;
+  PipelineOptions pipeline_;
   /// Per-call scratch owned by the executor (see DESIGN.md "Performance
   /// architecture"); mutable because DispatchBytes is logically const.
   mutable ByteMatrix dispatch_bytes_scratch_;
+  /// Chunked-path scratch (DispatchBytesChunk / BandwidthScales).
+  mutable ByteMatrix chunk_bytes_scratch_;
+  mutable std::vector<double> port_scale_scratch_;
 };
 
 }  // namespace flexmoe

@@ -28,6 +28,9 @@ Status ExperimentOptions::Validate() const {
   if (warmup_steps < 0 || warmup_steps >= measure_steps) {
     return Status::InvalidArgument("warmup_steps out of range");
   }
+  if (pipeline_chunks < 1) {
+    return Status::InvalidArgument("pipeline_chunks must be >= 1");
+  }
   FLEXMOE_RETURN_IF_ERROR(elastic.Validate());
   FLEXMOE_RETURN_IF_ERROR(workload.scenario.Validate());
   FLEXMOE_RETURN_IF_ERROR(serving.Validate());
@@ -103,6 +106,7 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
     o.policy = options.policy;
     o.executor = options.executor;
     o.elastic = options.elastic;
+    o.pipeline.chunks = options.pipeline_chunks;
     if (options.serving.enabled) {
       // Serving optimizes forward latency: drop the Eq. 9 sync term from
       // the planner's objective, and skip sync-consolidation migrations —
@@ -120,6 +124,7 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
     o.num_gpus = options.num_gpus;
     o.capacity_factor = options.capacity_factor;
     o.elastic = options.elastic;
+    o.pipeline.chunks = options.pipeline_chunks;
     FLEXMOE_ASSIGN_OR_RETURN(auto sys,
                              ExpertParallelSystem::Create(o, topo, profile));
     return std::unique_ptr<MoESystem>(std::move(sys));
@@ -129,6 +134,7 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
     o.model = options.model;
     o.num_gpus = options.num_gpus;
     o.elastic = options.elastic;
+    o.pipeline.chunks = options.pipeline_chunks;
     FLEXMOE_ASSIGN_OR_RETURN(auto sys,
                              FasterMoESystem::Create(o, topo, profile));
     return std::unique_ptr<MoESystem>(std::move(sys));
@@ -138,6 +144,7 @@ Result<std::unique_ptr<MoESystem>> BuildSystem(
     o.model = options.model;
     o.num_gpus = options.num_gpus;
     o.elastic = options.elastic;
+    o.pipeline.chunks = options.pipeline_chunks;
     FLEXMOE_ASSIGN_OR_RETURN(auto sys,
                              SwipeSystem::Create(o, topo, profile));
     return std::unique_ptr<MoESystem>(std::move(sys));
@@ -169,6 +176,10 @@ ExperimentOptions LargeEPOptions(int num_gpus) {
   // cross-link-load tie-break on expand destinations.
   options.hierarchical_a2a = true;
   options.policy.topology_aware_expansion = true;
+  // At E = G the A2A fan-in concentrates on single inter-node links, so
+  // the expand tie-break ranks by the heaviest link, not just the node
+  // aggregate.
+  options.policy.max_link_objective = true;
   return options;
 }
 
@@ -237,9 +248,20 @@ Result<ExperimentReport> RunExperiment(const ExperimentOptions& options) {
     // free forward estimate (core/cost_model.h), memoized: admission
     // probes every queued request each window with token counts from a
     // small working set, so the floor is O(1) in steady state.
-    ForwardFloorEstimator floor(&profile, options.model, options.num_gpus);
+    ForwardFloorEstimator floor(&profile, options.model, options.num_gpus,
+                                options.pipeline_chunks);
+    MoESystem* sys_ptr = system.get();
+    // The floor depends on how many devices share the work: consult the
+    // live alive count per probe so a failover (or recovery) invalidates
+    // the memoized estimates instead of serving pre-failure floors.
     ServeExecutor::LatencyEstimator estimator =
-        [&floor](int64_t tokens) { return floor.Seconds(tokens); };
+        [&floor, sys_ptr](int64_t tokens) {
+          if (const ClusterHealth* h = sys_ptr->cluster_health();
+              h != nullptr && h->num_alive() > 0) {
+            floor.set_num_gpus(h->num_alive());
+          }
+          return floor.Seconds(tokens);
+        };
     ServeExecutor serve(system.get(), source.get(), &requests,
                         options.serving, max_batch, options.model.top_k,
                         std::move(estimator));

@@ -67,6 +67,14 @@ struct ExperimentOptions {
   /// pre-training profiling pass). Disable for raw analytic defaults.
   bool calibrate_profile = true;
 
+  /// Forward-pass pipelining depth (DESIGN.md Section 11): each MoE
+  /// layer's routed tokens split into this many chunks whose dispatch /
+  /// compute / combine phases overlap through the stream model; mirrored
+  /// into the cost model's Eq. 5 combiner and the serving shedding floor
+  /// so estimates and measurements agree. 1 = the serial executor,
+  /// byte-identical to pre-pipelining runs (bench --pipeline-chunks).
+  int pipeline_chunks = 1;
+
   /// Per-node aggregated A2A estimation (DESIGN.md Section 10): the
   /// planner's Eq. 8 terms fold cross-node traffic per source node, which
   /// keeps candidate scoring O(nodes) in the large-EP regime. The

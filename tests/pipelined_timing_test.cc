@@ -1,0 +1,594 @@
+// Chunked A2A/compute overlap (DESIGN.md Section 11) and the accounting
+// fixes that rode along with it:
+//
+//  1. chunks == 1 is BYTE-IDENTICAL to the pre-pipelining executor — the
+//     StepTiming doubles below were captured from the unmodified serial
+//     code and are compared with ==, not near;
+//  2. chunks > 1 never makes a step slower, and a dispatch-heavy forward
+//     pass gets strictly faster;
+//  3. the pipelined wall time respects the phase bounds (max-of-phases
+//     <= pipelined <= serial sum), in the executor and in the cost
+//     model's CombineGpuSeconds / EstimateForwardMicrobatchSeconds
+//     mirrors;
+//  4. a straggler's bandwidth multiplier stretches exactly its own NIC
+//     ports, exactly once (hand-computed engine-level finishes — the
+//     double-stretch regression: payload inflation times group-max ring
+//     scaling used to charge the slowdown twice);
+//  5. ForwardFloorEstimator invalidates its memo when the GPU count
+//     changes (the stale-floor-after-failover regression);
+//  6. LayerCostState stays bitwise-exact against from-scratch
+//     EstimateLayer under the overlap-aware combiner, and its
+//     max_cross_link_into matches a brute-force recount.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/incremental_cost.h"
+#include "core/step_executor.h"
+#include "test_env.h"
+#include "util/rng.h"
+
+namespace flexmoe {
+namespace {
+
+// ---- Shared fixtures ------------------------------------------------------
+
+ModelConfig ProbeModel() {
+  ModelConfig model = GptMoES();
+  model.num_experts = 8;
+  model.num_moe_layers = 2;
+  return model;
+}
+
+Placement ExpertParallel8() {
+  PlacementOptions po;
+  po.num_experts = 8;
+  po.num_gpus = 8;
+  po.slots_per_gpu = 1;
+  return *Placement::ExpertParallel(po);
+}
+
+/// Dispatch-heavy routing: every GPU routes all its tokens to expert
+/// (g+1) % E, which lives on a different GPU under expert parallelism, so
+/// every token crosses the wire twice.
+Assignment SkewedAssignment(int experts, int gpus, int64_t per_cell) {
+  Assignment a(experts, gpus);
+  for (int g = 0; g < gpus; ++g) {
+    a.set((g + 1) % experts, g, per_cell);
+  }
+  return a;
+}
+
+struct ForwardRun {
+  StepTiming fwd;
+  StepTiming step;
+};
+
+/// One forward pass followed by one training step on a fresh cluster —
+/// the exact call sequence the committed fingerprints were captured from.
+ForwardRun RunProbe(const TestEnv& env, int chunks) {
+  ClusterState cluster(env.topo.get());
+  const ModelConfig model = ProbeModel();
+  StepExecutor exec(&cluster, &env.profile, model);
+  PipelineOptions pipeline;
+  pipeline.chunks = chunks;
+  exec.set_pipeline(pipeline);
+
+  const Placement p = ExpertParallel8();
+  const Assignment a = SkewedAssignment(8, 8, 4096);
+  const RoutedAssignment r = FlexibleRouter::Route(a, p);
+  LayerWork work;
+  work.routed = &r;
+  work.placement = &p;
+
+  ForwardRun out;
+  out.fwd = exec.ExecuteForward({work, work});
+  out.step = exec.ExecuteStep({work, work}, nullptr);
+  return out;
+}
+
+double PerGpuComputeSum(const StepTiming& t) {
+  double sum = 0.0;
+  for (double v : t.per_gpu_expert_compute) sum += v;
+  return sum;
+}
+
+// ---- 1. chunks == 1 byte-identity ----------------------------------------
+
+// The expected doubles were printed (%.17g) by the UNMODIFIED executor
+// before the pipelining change landed. chunks == 1 must reproduce every
+// one of them bitwise — on the flat 8-GPU topology and on a 2x4 grid
+// (cross-node links exercise the hierarchical byte paths).
+TEST(PipelinedTimingTest, SerialPathMatchesPrePipeliningFingerprintsFlat8) {
+  const TestEnv env = TestEnv::Make(8);
+  const ForwardRun run = RunProbe(env, /*chunks=*/1);
+
+  EXPECT_EQ(run.fwd.start, 0.0);
+  EXPECT_EQ(run.fwd.end, 0.0096887054966153831);
+  EXPECT_EQ(run.fwd.a2a_seconds, 0.00010788608);
+  EXPECT_EQ(run.fwd.compute_seconds, 0.00056663683282051278);
+  EXPECT_EQ(run.fwd.sync_seconds, 0.0);
+  EXPECT_EQ(run.fwd.sync_busy_seconds, 0.0);
+  EXPECT_EQ(run.fwd.dp_sync_seconds, 0.0);
+  EXPECT_EQ(run.fwd.non_moe_seconds, 0.0090141825837948709);
+  EXPECT_EQ(PerGpuComputeSum(run.fwd), 0.0045330946625641022);
+
+  EXPECT_EQ(run.step.start, 0.0096887054966153831);
+  EXPECT_EQ(run.step.end, 0.039553739746461571);
+  EXPECT_EQ(run.step.a2a_seconds, 0.00021577216000003008);
+  EXPECT_EQ(run.step.compute_seconds, 0.0016839104984615431);
+  EXPECT_EQ(run.step.dp_sync_seconds, 0.00092280383999999993);
+  EXPECT_EQ(run.step.non_moe_seconds, 0.027042547751384614);
+  EXPECT_EQ(PerGpuComputeSum(run.step), 0.013471283987692345);
+}
+
+TEST(PipelinedTimingTest, SerialPathMatchesPrePipeliningFingerprintsGrid2x4) {
+  const TestEnv env = TestEnv::MakeGrid(2, 4);
+  const ForwardRun run = RunProbe(env, /*chunks=*/1);
+
+  EXPECT_EQ(run.fwd.start, 0.0);
+  EXPECT_EQ(run.fwd.end, 0.010667452376615384);
+  EXPECT_EQ(run.fwd.a2a_seconds, 0.0010866329600000002);
+  EXPECT_EQ(run.fwd.compute_seconds, 0.00056663683282051278);
+  EXPECT_EQ(run.fwd.non_moe_seconds, 0.0090141825837948709);
+  EXPECT_EQ(PerGpuComputeSum(run.fwd), 0.0045330946625641022);
+
+  EXPECT_EQ(run.step.start, 0.010667452376615384);
+  EXPECT_EQ(run.step.end, 0.052276822626461571);
+  EXPECT_EQ(run.step.a2a_seconds, 0.002173265920000023);
+  EXPECT_EQ(run.step.compute_seconds, 0.0016839104984615431);
+  EXPECT_EQ(run.step.dp_sync_seconds, 0.010709646080000003);
+  EXPECT_EQ(run.step.non_moe_seconds, 0.027042547751384618);
+  EXPECT_EQ(PerGpuComputeSum(run.step), 0.013471283987692345);
+}
+
+// ---- 2./3. overlap speedup and phase bounds -------------------------------
+
+// Chunking buys overlap but pays one extra kernel launch per chunk, so
+// the wall time is NOT monotone in K forever: it can only beat the serial
+// sum while the hidden wire time exceeds the added launch overhead. The
+// testable law is two-sided — moderate depths win outright on this
+// dispatch-heavy probe, and no depth loses more than its added launches
+// (each GPU computes one cell per layer, so K chunks add exactly
+// (K-1) launches per layer to its compute stream).
+TEST(PipelinedTimingTest, ChunkedWallTimeBoundedByLaunchOverhead) {
+  for (const bool grid : {false, true}) {
+    const TestEnv env = grid ? TestEnv::MakeGrid(2, 4) : TestEnv::Make(8);
+    const ForwardRun serial = RunProbe(env, 1);
+    const double overhead = env.profile.gpu_spec().kernel_overhead_sec;
+    for (const int chunks : {2, 4, 8}) {
+      const ForwardRun run = RunProbe(env, chunks);
+      const double slack =
+          2.0 * static_cast<double>(chunks - 1) * overhead;
+      EXPECT_LE(run.fwd.StepSeconds(),
+                serial.fwd.StepSeconds() * (1.0 + 1e-9) + slack)
+          << "grid=" << grid << " chunks=" << chunks;
+      EXPECT_LE(run.step.StepSeconds(),
+                serial.step.StepSeconds() * (1.0 + 1e-9) + slack)
+          << "grid=" << grid << " chunks=" << chunks;
+      if (chunks <= 4) {
+        // Overhead amortizes at moderate depth: a strict win, both legs.
+        EXPECT_LT(run.fwd.StepSeconds(), serial.fwd.StepSeconds())
+            << "grid=" << grid << " chunks=" << chunks;
+        EXPECT_LT(run.step.StepSeconds(), serial.step.StepSeconds())
+            << "grid=" << grid << " chunks=" << chunks;
+      }
+    }
+  }
+}
+
+TEST(PipelinedTimingTest, DispatchHeavyForwardStrictlyFasterChunked) {
+  const TestEnv env = TestEnv::Make(8);
+  const double serial = RunProbe(env, 1).fwd.StepSeconds();
+  const double pipelined = RunProbe(env, 4).fwd.StepSeconds();
+  EXPECT_LT(pipelined, serial);
+}
+
+TEST(PipelinedTimingTest, ChunkedForwardRespectsPhaseBounds) {
+  for (const bool grid : {false, true}) {
+    const TestEnv env = grid ? TestEnv::MakeGrid(2, 4) : TestEnv::Make(8);
+    const ForwardRun serial = RunProbe(env, 1);
+    const ForwardRun chunked = RunProbe(env, 4);
+
+    const double wall = chunked.fwd.StepSeconds();
+    // Upper bound: the serial sum — overlap can only hide work.
+    EXPECT_LE(wall, serial.fwd.StepSeconds() * (1.0 + 1e-9)) << "grid=" << grid;
+    // Lower bound: the busiest compute stream still has to run all of its
+    // expert work plus the non-MoE forward share serially.
+    double max_compute = 0.0;
+    for (double v : chunked.fwd.per_gpu_expert_compute) {
+      max_compute = std::max(max_compute, v);
+    }
+    EXPECT_GE(wall * (1.0 + 1e-12),
+              max_compute + chunked.fwd.non_moe_seconds)
+        << "grid=" << grid;
+    // per_gpu_expert_compute is busy time: the chunked run computes the
+    // identical routed tokens plus exactly (K-1) extra kernel launches per
+    // (expert, GPU) cell — 8 cells per layer, 2 layers here — and never
+    // counts inter-chunk waits as occupancy.
+    const double launches = 2.0 * 8.0 * 3.0;  // layers * cells * (K-1)
+    const double expected = PerGpuComputeSum(serial.fwd) +
+                            launches *
+                                env.profile.gpu_spec().kernel_overhead_sec;
+    EXPECT_NEAR(PerGpuComputeSum(chunked.fwd), expected, 1e-9 * expected)
+        << "grid=" << grid;
+  }
+}
+
+// ---- 3. cost-model mirror -------------------------------------------------
+
+TEST(CombineGpuSecondsTest, SerialIsExactSumAndChunkedIsBounded) {
+  const TestEnv env = TestEnv::Make(8);
+  CostModel cost(&env.profile, ShapeFromModel(GptMoES()));
+  const double fwd_fraction = cost.shape().fwd_fraction;
+  ASSERT_GT(fwd_fraction, 0.0);
+  ASSERT_LT(fwd_fraction, 1.0);
+
+  for (const double c : {0.0, 3e-4}) {
+    for (const double a : {0.0, 1.2e-4}) {
+      for (const double s : {0.0, 5e-5}) {
+        const double serial = c + a + s;
+        cost.set_pipeline_chunks(1);
+        // chunks == 1 is the additive combiner bitwise, not approximately.
+        EXPECT_EQ(cost.CombineGpuSeconds(c, a, s), serial);
+
+        double prev = serial;
+        for (const int chunks : {2, 4, 8}) {
+          cost.set_pipeline_chunks(chunks);
+          const double v = cost.CombineGpuSeconds(c, a, s);
+          // Bounded by the serial sum above and by the un-overlappable
+          // work below (backward compute + one forward compute lap +
+          // half the A2A + sync).
+          EXPECT_LE(v, serial * (1.0 + 1e-12) + 1e-300)
+              << "c=" << c << " a=" << a << " s=" << s
+              << " chunks=" << chunks;
+          EXPECT_GE(v * (1.0 + 1e-12) + 1e-300, c + 0.5 * a + s)
+              << "c=" << c << " a=" << a << " s=" << s
+              << " chunks=" << chunks;
+          EXPECT_LE(v, prev * (1.0 + 1e-12) + 1e-300)
+              << "monotone in chunks at c=" << c << " a=" << a << " s=" << s;
+          prev = v;
+        }
+      }
+    }
+  }
+}
+
+TEST(ForwardMicrobatchFloorTest, ChunkedFloorBoundedAndDefaultBitwise) {
+  const TestEnv env = TestEnv::Make(8);
+  const ModelConfig model = GptMoES();
+  const int64_t tokens = 32768;
+
+  const double serial =
+      EstimateForwardMicrobatchSeconds(env.profile, model, 8, tokens);
+  // The explicit chunks=1 spelling is the legacy expression bitwise.
+  EXPECT_EQ(
+      EstimateForwardMicrobatchSeconds(env.profile, model, 8, tokens, 1),
+      serial);
+
+  double prev = serial;
+  for (const int chunks : {2, 4, 8}) {
+    const double v =
+        EstimateForwardMicrobatchSeconds(env.profile, model, 8, tokens,
+                                         chunks);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, prev * (1.0 + 1e-12)) << "chunks=" << chunks;
+    prev = v;
+  }
+}
+
+// The floor stays below the measured executor time at every chunk depth —
+// the property deadline-aware shedding is only sound under.
+TEST(ForwardMicrobatchFloorTest, FloorBelowMeasuredForwardAtEveryDepth) {
+  const ModelConfig model = ProbeModel();
+  const int64_t tokens = SkewedAssignment(8, 8, 4096).Total() / model.top_k;
+  for (const bool grid : {false, true}) {
+    const TestEnv env = grid ? TestEnv::MakeGrid(2, 4) : TestEnv::Make(8);
+    for (const int chunks : {1, 4}) {
+      const double measured = RunProbe(env, chunks).fwd.StepSeconds();
+      const double floor = EstimateForwardMicrobatchSeconds(
+          env.profile, model, 8, tokens, chunks);
+      EXPECT_LE(floor, measured) << "grid=" << grid << " chunks=" << chunks;
+    }
+  }
+}
+
+// ---- 5. memo invalidation on membership change ----------------------------
+
+TEST(ForwardFloorEstimatorTest, InvalidatesMemoWhenGpuCountChanges) {
+  const TestEnv env = TestEnv::Make(8);
+  const ModelConfig model = GptMoES();
+  for (const int chunks : {1, 4}) {
+    ForwardFloorEstimator floor(&env.profile, model, 8, chunks);
+    const int64_t tokens = 8192;
+    const double at8 =
+        EstimateForwardMicrobatchSeconds(env.profile, model, 8, tokens,
+                                         chunks);
+    const double at6 =
+        EstimateForwardMicrobatchSeconds(env.profile, model, 6, tokens,
+                                         chunks);
+    ASSERT_NE(at8, at6);
+
+    // Populate the cache at 8 GPUs, then shrink the membership: the same
+    // token count must now return the 6-GPU floor, not the memoized 8-GPU
+    // one (the regression: a stale floor under-estimates per-GPU load and
+    // lets shedding admit unreachable requests after a failover).
+    EXPECT_EQ(floor.Seconds(tokens), at8);
+    floor.set_num_gpus(6);
+    EXPECT_EQ(floor.num_gpus(), 6);
+    EXPECT_EQ(floor.Seconds(tokens), at6);
+    EXPECT_EQ(floor.Seconds(tokens), at6);  // and the refill memoizes again
+    // Growing back re-invalidates symmetrically (recovery path).
+    floor.set_num_gpus(8);
+    EXPECT_EQ(floor.Seconds(tokens), at8);
+    // A no-op retarget keeps the cache (same count, nothing stale).
+    floor.set_num_gpus(8);
+    EXPECT_EQ(floor.Seconds(tokens), at8);
+  }
+}
+
+// ---- 4. straggler stretch applies exactly once ----------------------------
+
+TEST(StragglerPortScaleTest, AllToAllStretchesOnlyTheSlowEndpointsPorts) {
+  const TestEnv env = TestEnv::Make(8);
+  ClusterState cluster(env.topo.get());
+  ByteMatrix bytes;
+  bytes.assign(8, 8, 0.0);
+  const double payload = 4096.0 * 2048.0;
+  bytes(0, 1) = payload;  // healthy src -> degraded dst
+  bytes(2, 3) = payload;  // healthy pair, same message size
+  std::vector<double> scale(8, 1.0);
+  scale[1] = 2.0;
+
+  const CollectiveResult r =
+      ExecAllToAll(&cluster, env.profile, bytes, 0.0, &scale);
+
+  // Hand-computed finishes replicating the engine's arithmetic exactly:
+  // a message holds egress(src) for duration * scale[src] and ingress(dst)
+  // for duration * scale[dst]; the stretch shows up once, on the slow side.
+  const double d01 = payload / env.profile.BandwidthBytesPerSec(0, 1);
+  const double l01 = env.profile.LatencySeconds(0, 1);
+  const double end01 = std::max(0.0 + d01, (0.0 + l01) + d01 * 2.0) + l01;
+  EXPECT_EQ(r.per_gpu_finish[0], end01);
+  EXPECT_EQ(r.per_gpu_finish[1], end01);
+
+  const double d23 = payload / env.profile.BandwidthBytesPerSec(2, 3);
+  const double l23 = env.profile.LatencySeconds(2, 3);
+  const double end23 = std::max(0.0 + d23, (0.0 + l23) + d23) + l23;
+  EXPECT_EQ(r.per_gpu_finish[2], end23);
+  EXPECT_EQ(r.per_gpu_finish[3], end23);
+
+  // Port occupancy is the sharp assertion: the healthy sender's egress
+  // drains at full speed even though its peer is degraded; only the
+  // degraded GPU's ingress holds the 2x serialization time.
+  EXPECT_EQ(cluster.egress(0).busy_until(), 0.0 + d01);
+  EXPECT_EQ(cluster.ingress(1).busy_until(), (0.0 + l01) + d01 * 2.0);
+  EXPECT_EQ(cluster.egress(2).busy_until(), 0.0 + d23);
+  EXPECT_EQ(cluster.ingress(3).busy_until(), (0.0 + l23) + d23);
+}
+
+TEST(StragglerPortScaleTest, RingAllReduceStretchesOnlyTheSlowMember) {
+  const TestEnv env = TestEnv::Make(8);
+  ClusterState cluster(env.topo.get());
+  const std::vector<GpuId> group = {0, 1, 2};
+  const double bytes = 3.0e7;
+  std::vector<double> scale(8, 1.0);
+  scale[1] = 2.0;
+
+  const CollectiveResult r =
+      ExecRingAllReduce(&cluster, env.profile, bytes, group, 0.0, &scale);
+
+  // Replicate the ring arithmetic hop by hop: 2(k-1) = 4 phases, chunk =
+  // bytes/3, each member's ports busy for its hop's serialization time,
+  // stretched by its own factor only; the collective still ends at the
+  // slowest port plus the latency chain.
+  const double chunk = bytes / 3.0;
+  double slowest = 0.0;
+  double max_lat = 0.0;
+  const double hop_dur[3] = {
+      4.0 * chunk / env.profile.BandwidthBytesPerSec(0, 1),
+      4.0 * chunk / env.profile.BandwidthBytesPerSec(1, 2),
+      4.0 * chunk / env.profile.BandwidthBytesPerSec(2, 0)};
+  const GpuId src_of[3] = {0, 1, 2};
+  const GpuId dst_of[3] = {1, 2, 0};
+  for (int h = 0; h < 3; ++h) {
+    const double ds = hop_dur[h] * scale[static_cast<size_t>(src_of[h])];
+    const double dd = hop_dur[h] * scale[static_cast<size_t>(dst_of[h])];
+    slowest = std::max(slowest, std::max(0.0 + ds, 0.0 + dd));
+    max_lat = std::max(max_lat,
+                       env.profile.LatencySeconds(src_of[h], dst_of[h]));
+  }
+  EXPECT_EQ(r.finish, slowest + 4.0 * max_lat);
+
+  // The degraded member's own ports hold 2x; every healthy member's ports
+  // are released on time (the ring waits for the straggler at the barrier,
+  // it does not slow the healthy hops' wires).
+  EXPECT_EQ(cluster.egress(1).busy_until(), 0.0 + hop_dur[1] * 2.0);
+  EXPECT_EQ(cluster.ingress(1).busy_until(), 0.0 + hop_dur[0] * 2.0);
+  EXPECT_EQ(cluster.egress(0).busy_until(), 0.0 + hop_dur[0]);
+  EXPECT_EQ(cluster.ingress(0).busy_until(), 0.0 + hop_dur[2]);
+  EXPECT_EQ(cluster.egress(2).busy_until(), 0.0 + hop_dur[2]);
+  EXPECT_EQ(cluster.ingress(2).busy_until(), 0.0 + hop_dur[1]);
+}
+
+// Executor-level regression: one degraded endpoint, one routed message per
+// direction, forward a2a time equals the single-stretch hand computation.
+// The replaced code both inflated the payload by the endpoint max AND
+// scaled the collective by the group max — charging the slowdown twice.
+TEST(StragglerPortScaleTest, ForwardA2aChargesTheSlowdownExactlyOnce) {
+  const TestEnv env = TestEnv::Make(8);
+  ModelConfig model = GptMoES();
+  model.num_experts = 8;
+  model.num_moe_layers = 1;
+  const Placement p = ExpertParallel8();
+  Assignment a(8, 8);
+  a.set(1, 0, 4096);  // GPU0 routes 4096 tokens to expert 1 (on GPU1)
+  const RoutedAssignment r = FlexibleRouter::Route(a, p);
+  LayerWork work;
+  work.routed = &r;
+  work.placement = &p;
+
+  ClusterHealth health(8);
+  FaultEvent slow;
+  slow.type = FaultType::kSlowdown;
+  slow.gpu = 1;
+  slow.compute_multiplier = 1.0;
+  slow.bandwidth_multiplier = 2.0;
+  ASSERT_TRUE(health.Apply(slow).ok());
+
+  ClusterState degraded_cluster(env.topo.get());
+  StepExecutor degraded(&degraded_cluster, &env.profile, model);
+  degraded.set_cluster_health(&health);
+  const StepTiming fwd = degraded.ExecuteForward({work});
+
+  const double d =
+      4096.0 * model.token_bytes() / env.profile.BandwidthBytesPerSec(0, 1);
+  const double lat = env.profile.LatencySeconds(0, 1);
+  // Dispatch 0 -> 1 stretches the degraded ingress; combine 1 -> 0
+  // stretches the degraded egress. One factor of 2 per leg, never squared.
+  const double dispatch_leg = std::max(d, lat + d * 2.0) + lat;
+  const double combine_leg = std::max(d * 2.0, lat + d) + lat;
+  EXPECT_NEAR(fwd.a2a_seconds, dispatch_leg + combine_leg,
+              1e-12 * (dispatch_leg + combine_leg));
+
+  // Against the healthy run: the slowdown costs something, but strictly
+  // less than the full 2x either leg would pay under double-stretching.
+  ClusterState healthy_cluster(env.topo.get());
+  StepExecutor healthy(&healthy_cluster, &env.profile, model);
+  const StepTiming base = healthy.ExecuteForward({work});
+  EXPECT_GT(fwd.a2a_seconds, base.a2a_seconds);
+  EXPECT_LT(fwd.a2a_seconds, 2.0 * base.a2a_seconds);
+}
+
+// ---- 6. incremental cost under the overlap-aware combiner -----------------
+
+Placement MakePlacement(int experts, int gpus, int slots) {
+  PlacementOptions o;
+  o.num_experts = experts;
+  o.num_gpus = gpus;
+  o.slots_per_gpu = slots;
+  return *Placement::ExpertParallel(o);
+}
+
+Assignment RandomAssignment(Rng& rng, int experts, int gpus) {
+  Assignment a(experts, gpus);
+  for (int e = 0; e < experts; ++e) {
+    if (rng.UniformInt(8) == 0) continue;
+    const int64_t scale = 1 + rng.UniformInt(4000);
+    for (int g = 0; g < gpus; ++g) {
+      a.set(e, g, static_cast<int64_t>(rng.UniformInt(scale)));
+    }
+  }
+  return a;
+}
+
+ModOp RandomOp(Rng& rng, const Placement& p) {
+  const int experts = p.num_experts();
+  const int gpus = p.num_gpus();
+  const int e = static_cast<int>(rng.UniformInt(experts));
+  switch (rng.UniformInt(3)) {
+    case 0:
+      return MakeShrink(e, static_cast<GpuId>(rng.UniformInt(gpus)));
+    case 1: {
+      const GpuId dst = static_cast<GpuId>(rng.UniformInt(gpus));
+      const GpuId src = rng.UniformInt(2) == 0
+                            ? -1
+                            : static_cast<GpuId>(rng.UniformInt(gpus));
+      return MakeExpand(e, src, dst);
+    }
+    default:
+      return MakeMigrate(e, static_cast<GpuId>(rng.UniformInt(gpus)),
+                         static_cast<int>(rng.UniformInt(experts)),
+                         static_cast<GpuId>(rng.UniformInt(gpus)));
+  }
+}
+
+/// Brute-force twin of max_cross_link_into: fold the dispatch matrix by
+/// (source node, destination node) and take the max inbound link.
+int64_t BruteForceMaxLink(const Topology& topo, const RoutedAssignment& routed,
+                          NodeId node) {
+  std::vector<int64_t> per_src(static_cast<size_t>(topo.num_nodes()), 0);
+  for (GpuId dst = 0; dst < routed.num_gpus; ++dst) {
+    if (topo.NodeOf(dst) != node) continue;
+    for (GpuId src = 0; src < routed.num_gpus; ++src) {
+      if (topo.NodeOf(src) == node) continue;
+      per_src[static_cast<size_t>(topo.NodeOf(src))] +=
+          routed.dispatch(src, dst);
+    }
+  }
+  int64_t worst = 0;
+  for (int64_t v : per_src) worst = std::max(worst, v);
+  return worst;
+}
+
+void ExpectMatchesScratch(const CostModel& cost, const Topology& topo,
+                          const Assignment& a, const Placement& p,
+                          const LayerCostState& state) {
+  const RoutedAssignment routed = FlexibleRouter::Route(a, p);
+  const LayerCostEstimate ref = cost.EstimateLayer(routed, p, true);
+  ASSERT_EQ(state.per_gpu_seconds().size(), ref.per_gpu_seconds.size());
+  for (size_t g = 0; g < ref.per_gpu_seconds.size(); ++g) {
+    ASSERT_EQ(state.per_gpu_seconds()[g], ref.per_gpu_seconds[g])
+        << "per-GPU total diverged at g" << g;
+  }
+  ASSERT_EQ(state.TotalSeconds(), ref.total_seconds);
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    ASSERT_EQ(state.max_cross_link_into(n), BruteForceMaxLink(topo, routed, n))
+        << "max cross link diverged at node " << n;
+  }
+}
+
+// The exactness contract of DESIGN.md Section 10 must survive the
+// overlap-aware combiner: with pipeline_chunks = 4 every Apply/Undo still
+// agrees bitwise with a from-scratch EstimateLayer, and the per-link load
+// bookkeeping matches a brute-force recount at every depth.
+TEST(LayerCostStateOverlapTest, RandomWalkBitwiseUnderChunkedCombiner) {
+  for (const bool hierarchical : {false, true}) {
+    SCOPED_TRACE(testing::Message() << "hierarchical=" << hierarchical);
+    TestEnv env = TestEnv::MakeGrid(2, 4);
+    env.profile.set_hierarchical_a2a(hierarchical);
+    ModelConfig model = GptMoES();
+    model.num_experts = 12;
+    CostModel cost(&env.profile, ShapeFromModel(model));
+    cost.set_pipeline_chunks(4);
+
+    Rng rng(17);
+    const Assignment a = RandomAssignment(rng, model.num_experts, 8);
+    Placement start = MakePlacement(model.num_experts, 8, /*slots=*/3);
+    for (int i = 0; i < 16; ++i) {
+      const Status ignored = ApplyOp(RandomOp(rng, start), &start);
+      (void)ignored;
+    }
+
+    LayerCostState state(&cost, /*include_sync=*/true);
+    state.Reset(a, start);
+    ExpectMatchesScratch(cost, *env.topo, a, start, state);
+
+    std::vector<Placement> mirror{start};
+    for (int it = 0; it < 400; ++it) {
+      if (state.depth() > 0 && rng.UniformInt(4) == 0) {
+        state.Undo();
+        mirror.pop_back();
+        ExpectMatchesScratch(cost, *env.topo, a, mirror.back(), state);
+        continue;
+      }
+      const ModOp op = RandomOp(rng, mirror.back());
+      Placement trial = mirror.back();
+      const bool feasible = ApplyOp(op, &trial).ok();
+      ASSERT_EQ(state.Apply(op), feasible) << op.ToString();
+      if (!feasible) continue;
+      mirror.push_back(std::move(trial));
+      ExpectMatchesScratch(cost, *env.topo, a, mirror.back(), state);
+    }
+    while (state.depth() > 0) {
+      state.Undo();
+      mirror.pop_back();
+    }
+    ExpectMatchesScratch(cost, *env.topo, a, mirror.front(), state);
+  }
+}
+
+}  // namespace
+}  // namespace flexmoe
