@@ -19,8 +19,10 @@
 // bought), trace steps/sec, and end-to-end experiment cells/sec through
 // RunExperimentGrid.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -445,6 +447,36 @@ int Run(bool quick, int threads, bool large_ep,
                   floor, measured));
   }
 
+  // --- Auto-K vs best static chunk depth (DESIGN.md §12) -----------------
+  // One FlexMoE cell per static depth plus the auto-K cell (pipeline
+  // chunks = 0), all on the same trace seed: the headline is the planned
+  // depth's speedup over the best static pin. >= 1.0 means the planner
+  // matched or beat every static K from the cost model alone; the guard
+  // leaves 2% for timer noise but trips if planning picks a genuinely
+  // wrong depth.
+  {
+    const auto mean_step = [&](int chunks) {
+      ExperimentOptions o;
+      o.num_gpus = 16;
+      o.measure_steps = quick ? 40 : 120;
+      o.warmup_steps = 10;
+      o.pipeline_chunks = chunks;
+      const Result<ExperimentReport> r = RunExperiment(o);
+      FLEXMOE_CHECK_MSG(r.ok(), r.status().ToString());
+      return r->mean_step_seconds;
+    };
+    double best_static = std::numeric_limits<double>::infinity();
+    for (const int k : CostModel::kChunkDepthCandidates) {
+      best_static = std::min(best_static, mean_step(k));
+    }
+    const double auto_k = mean_step(0);
+    add("auto_k_vs_best_static_speedup", best_static / auto_k, "x");
+    FLEXMOE_CHECK_MSG(
+        auto_k <= best_static * 1.02,
+        StrFormat("auto-K mean step %.6fs loses to best static %.6fs",
+                  auto_k, best_static));
+  }
+
   // --- Placement op queue ------------------------------------------------
   add("op_queue_merge_passes_per_sec",
       Throughput(quick ? 0.2 : 0.5, 1.0,
@@ -502,6 +534,23 @@ int Run(bool quick, int threads, bool large_ep,
         piped->mean_step_seconds, "s");
     add("large_ep_g512_pipelined_throughput_tokens_per_sec",
         piped->throughput_tokens_per_sec, "tokens/s");
+
+    // And the auto-K cell (pipeline_chunks = 0): the planner must match
+    // or beat both static pins the nightly tracks at this scale.
+    ExperimentOptions auto_k = LargeEPOptions(512);
+    auto_k.pipeline_chunks = 0;
+    const Result<ExperimentReport> autoed = RunExperiment(auto_k);
+    FLEXMOE_CHECK_MSG(autoed.ok(), autoed.status().ToString());
+    add("large_ep_g512_auto_k_mean_step_seconds",
+        autoed->mean_step_seconds, "s");
+    add("large_ep_g512_auto_k_throughput_tokens_per_sec",
+        autoed->throughput_tokens_per_sec, "tokens/s");
+    const double best_static =
+        std::min(report->mean_step_seconds, piped->mean_step_seconds);
+    FLEXMOE_CHECK_MSG(
+        autoed->mean_step_seconds <= best_static * 1.02,
+        StrFormat("G=512 auto-K mean step %.6fs loses to best static %.6fs",
+                  autoed->mean_step_seconds, best_static));
   }
 
   for (const MetricRow& extra : extras) {

@@ -127,6 +127,57 @@ int Run(int argc, char** argv) {
     if (!ok) ++violations;
   }
 
+  // Auto-K differential (DESIGN.md §12): FlexMoE with planned per-layer
+  // chunk depth must match or beat the best static depth in every regime —
+  // otherwise the overhead-honest model is mis-ranking the candidates
+  // somewhere and auto-K is a regression, not a feature.
+  constexpr int kDepths[5] = {0, 1, 2, 4, 8};  // 0 = auto
+  std::vector<GridCell> autok_cells;
+  for (const std::string& scenario : scenarios) {
+    for (const int depth : kDepths) {
+      GridCell cell;
+      cell.label = depth == 0
+                       ? StrFormat("%s/flexmoe/K=auto", scenario.c_str())
+                       : StrFormat("%s/flexmoe/K=%d", scenario.c_str(), depth);
+      cell.options = SuiteCell(scenario, "flexmoe", quick);
+      cell.options.legacy_gate = legacy_gate;
+      cell.options.pipeline_chunks = depth;
+      autok_cells.push_back(std::move(cell));
+    }
+  }
+  const std::vector<GridCellResult> autok_results =
+      RunExperimentGrid(autok_cells, threads);
+  int autok_violations = 0;
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const GridCellResult* row = autok_results.data() + 5 * i;
+    for (int d = 0; d < 5; ++d) {
+      FLEXMOE_CHECK_MSG(row[d].status.ok(), row[d].status.ToString());
+    }
+    const double auto_wall = row[0].report.mean_step_seconds;
+    double best_static = row[1].report.mean_step_seconds;
+    int best_depth = kDepths[1];
+    for (int d = 2; d < 5; ++d) {
+      if (row[d].report.mean_step_seconds < best_static) {
+        best_static = row[d].report.mean_step_seconds;
+        best_depth = kDepths[d];
+      }
+    }
+    const bool ok = auto_wall <= best_static * (1.0 + 1e-9);
+    std::printf(
+        "--- %s auto-K: %.3f ms vs best static K=%d %.3f ms -> %s\n",
+        scenarios[i].c_str(), auto_wall * 1e3, best_depth, best_static * 1e3,
+        ok ? "auto wins/ties" : "VIOLATED");
+    if (!ok) ++autok_violations;
+  }
+  std::printf("\n");
+  if (autok_violations > 0) {
+    std::fprintf(stderr,
+                 "FAIL: auto-K lost to a static chunk depth in %d "
+                 "scenario(s)\n",
+                 autok_violations);
+    return 1;
+  }
+
   if (digests_path[0] != '\0') {
     const Status s = SaveDigests(digests, digests_path);
     FLEXMOE_CHECK_MSG(s.ok(), s.ToString());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "moe/transformer.h"
 #include "util/status.h"
@@ -38,22 +39,91 @@ CostModel::CostModel(const HardwareProfile* profile, const ExpertShape& shape)
 
 double CostModel::CombineGpuSeconds(double compute, double a2a,
                                     double sync) const {
-  if (pipeline_chunks_ <= 1) {
+  return CombineGpuSecondsAt(compute, a2a, sync, pipeline_chunks_);
+}
+
+double CostModel::CombineGpuSecondsAt(double compute, double a2a, double sync,
+                                      int chunks) const {
+  if (chunks <= 1) {
     // Serial path: the pre-pipelining additive Eq. 5 combiner, bitwise.
     return compute + a2a + sync;
   }
   // a2a is Eq. 8's 4 crossings (fwd dispatch+combine, bwd dispatch+
-  // combine); one crossing is a2a/4. Only the forward leg pipelines
-  // (PipelineOptions): d = m = one crossing, c = the forward compute
-  // share, F = max(d + (c+m)/K, c + m/K, m). Backward compute and its two
-  // crossings stay serial, as does sync.
-  const double K = static_cast<double>(pipeline_chunks_);
+  // combine); one crossing is a2a/4. Both MoE legs pipeline
+  // (PipelineOptions): d = m = one crossing and per leg
+  // leg(c_K) = max(d + (c_K+m)/K, c_K + m/K, m), evaluated at the forward
+  // and backward compute shares. Sync stays serial. Each leg splits every
+  // expert kernel into K launches, so the GPU's compute stream pays (K-1)
+  // extra kernel_overhead_sec per leg — charged INSIDE the leg's compute
+  // share (c_K = c + (K-1)*ovh), where it rides the same overlap the real
+  // launches do: a compute-bound leg degenerates to c + (K-1)*ovh + m/K
+  // (the full 2(K-1)*ovh per-layer penalty across both legs, making the
+  // estimate non-monotone in K exactly like the measured wall law), while
+  // a wire-bound leg hides launches behind the crossings just as the
+  // executor's streams hide them. Charging the overhead serially outside
+  // the max over-penalizes deep K on dispatch-heavy layers and mis-ranks
+  // the candidates (the auto-K differential in bench_workload_suite).
+  const double K = static_cast<double>(chunks);
   const double crossing = 0.25 * a2a;
-  const double fwd_compute = compute * shape_.fwd_fraction;
+  const double launches = (K - 1.0) * profile_->kernel_overhead_sec();
+  const double fwd_compute = compute * shape_.fwd_fraction + launches;
+  const double bwd_compute = compute - compute * shape_.fwd_fraction +
+                             launches;
   const double fwd = std::max(
       {crossing + (fwd_compute + crossing) / K, fwd_compute + crossing / K,
        crossing});
-  return fwd + (compute - fwd_compute) + 0.5 * a2a + sync;
+  const double bwd = std::max(
+      {crossing + (bwd_compute + crossing) / K, bwd_compute + crossing / K,
+       crossing});
+  return fwd + bwd + sync;
+}
+
+int CostModel::BestChunkDepth(const std::vector<double>& per_gpu_compute,
+                              const std::vector<double>& per_gpu_a2a,
+                              const std::vector<double>& per_gpu_sync,
+                              int incumbent) const {
+  const size_t num_gpus = per_gpu_compute.size();
+  FLEXMOE_CHECK(per_gpu_a2a.size() == num_gpus);
+  FLEXMOE_CHECK(per_gpu_sync.size() == num_gpus);
+  constexpr size_t kNumCandidates =
+      sizeof(kChunkDepthCandidates) / sizeof(kChunkDepthCandidates[0]);
+  double seconds[kNumCandidates];
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < kNumCandidates; ++i) {
+    double worst = 0.0;
+    for (size_t g = 0; g < num_gpus; ++g) {
+      worst = std::max(
+          worst, CombineGpuSecondsAt(per_gpu_compute[g], per_gpu_a2a[g],
+                                     per_gpu_sync[g], kChunkDepthCandidates[i]));
+    }
+    seconds[i] = worst;
+    best_seconds = std::min(best_seconds, worst);
+  }
+  // Retention hysteresis (DESIGN.md §12.2): the incumbent depth survives
+  // until some candidate beats it by more than the switch margin —
+  // neighboring-depth estimates cross each other by fractions of a
+  // percent with per-step routing noise, and switching inside that noise
+  // trades real (if small) plan-timing perturbation for no modeled gain.
+  for (size_t i = 0; i < kNumCandidates; ++i) {
+    if (kChunkDepthCandidates[i] == incumbent &&
+        seconds[i] <= best_seconds * (1.0 + kChunkDepthSwitchMargin)) {
+      return incumbent;
+    }
+  }
+  // Fresh pick (incumbent == 0, or a beaten incumbent): walk the
+  // candidate ladder shallow-to-deep and adopt a deeper depth only when
+  // it beats the current pick by more than the deepening margin. Depth
+  // must earn its keep: each extra chunk buys real launch overhead and
+  // per-message latency, some of which sits below the model's fidelity,
+  // so a modeled gain inside the margin is not evidence the deeper depth
+  // actually wins (DESIGN.md §12.2).
+  size_t pick = 0;
+  for (size_t i = 1; i < kNumCandidates; ++i) {
+    if (seconds[i] < seconds[pick] * (1.0 - kChunkDepthDeepeningMargin)) {
+      pick = i;
+    }
+  }
+  return kChunkDepthCandidates[pick];
 }
 
 double CostModel::ComputeSeconds(int64_t tokens) const {
@@ -218,8 +288,20 @@ double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
                                         int num_gpus, int64_t tokens,
                                         int chunks) {
   FLEXMOE_CHECK(num_gpus > 0);
-  FLEXMOE_CHECK(chunks >= 1);
+  FLEXMOE_CHECK(chunks >= 0);
   if (tokens <= 0) return 0.0;
+  if (chunks == 0) {
+    // Auto-K: the executor picks a per-layer depth from the same
+    // candidate set, so the min of the per-depth floors is a valid floor
+    // for whatever it chose (each floor(K) bounds the measured forward at
+    // depth K from below).
+    double floor = std::numeric_limits<double>::infinity();
+    for (const int k : CostModel::kChunkDepthCandidates) {
+      floor = std::min(floor, EstimateForwardMicrobatchSeconds(
+                                  profile, model, num_gpus, tokens, k));
+    }
+    return floor;
+  }
   const double assignments =
       static_cast<double>(tokens) * static_cast<double>(model.top_k);
   const double per_gpu = assignments / static_cast<double>(num_gpus);
@@ -232,10 +314,13 @@ double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
   // All-to-All: under the uniform pattern each destination receives
   // per_gpu tokens spread evenly over the sources. Two crossings per layer
   // (dispatch + combine) — the forward half of Eq. 8's 4x — and the
-  // bottleneck destination sets the phase time.
+  // bottleneck destination sets the phase time. Two latency charges per
+  // crossing for the serial floor; the chunked floor charges one (see
+  // below).
   const double per_pair_bytes =
       per_gpu / static_cast<double>(num_gpus) * model.token_bytes();
   double worst_a2a = 0.0;
+  double worst_a2a_one_lat = 0.0;
   for (GpuId dst = 0; dst < num_gpus; ++dst) {
     double seconds = 0.0;
     double max_lat = 0.0;
@@ -244,6 +329,8 @@ double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
       max_lat = std::max(max_lat, profile.LatencySeconds(src, dst));
     }
     worst_a2a = std::max(worst_a2a, 2.0 * (seconds + 2.0 * max_lat));
+    worst_a2a_one_lat =
+        std::max(worst_a2a_one_lat, 2.0 * (seconds + max_lat));
   }
 
   // Non-MoE forward share: the same fwd/fwdbwd scaling the forward
@@ -260,17 +347,31 @@ double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
            non_moe;
   }
 
-  // Pipelined floor (DESIGN.md Section 11): worst_a2a covers dispatch +
-  // combine, so each phase is exactly half of it. F is a floor on the
-  // chunked executor because the last chunk carries at least 1/K of every
-  // cell (the per-cell split makes it the ceil): the combine port cannot
-  // start its last chunk before the dispatch port drained (d + tail
-  // compute + tail combine), nor before compute drained (c + tail
-  // combine), nor finish before its own serialization (m).
-  const double d = worst_a2a / 2.0;
-  const double m = worst_a2a / 2.0;
-  const double c = compute_per_layer;
+  // Pipelined floor (DESIGN.md Section 11/12): the A2A term charges one
+  // wire latency per crossing, not two — on the balanced route this floor
+  // models, the engine's self-pair message (loopback latency) opens the
+  // bottleneck ingress port at phase start, so the measured phase pays
+  // total serialization plus a single remote latency (the §11.3 caveat,
+  // fixed here for the chunked branch only; the serial expression above
+  // stays pinned by the serving goldens). Each phase is half of it.
+  const double d = worst_a2a_one_lat / 2.0;
+  const double m = worst_a2a_one_lat / 2.0;
+  // Chunked compute provably pays extra kernel launches: the per-GPU
+  // compute stream runs min(K, per_gpu) non-empty chunk kernels per layer
+  // (the per-cell split zeroes chunks beyond the cell's token count), and
+  // the bottleneck GPU hosts at least the balanced share. One launch is
+  // already inside compute_per_layer, so (eff - 1) more. Per-leg — the
+  // forward-only path has one compute stream — unlike CombineGpuSeconds'
+  // full-step 2*(K-1) term.
   const double K = static_cast<double>(chunks);
+  const double eff = std::min(K, std::max(1.0, per_gpu));
+  const double c =
+      compute_per_layer + (eff - 1.0) * profile.kernel_overhead_sec();
+  // F is a floor on the chunked executor because the last chunk carries
+  // at least 1/K of every cell (the per-cell split makes it the ceil):
+  // the combine port cannot start its last chunk before the dispatch port
+  // drained (d + tail compute + tail combine), nor before compute drained
+  // (c + tail combine), nor finish before its own serialization (m).
   const double per_layer = std::max({d + (c + m) / K, c + m / K, m});
   return static_cast<double>(model.num_moe_layers) * per_layer + non_moe;
 }
@@ -281,13 +382,20 @@ ForwardFloorEstimator::ForwardFloorEstimator(const HardwareProfile* profile,
     : profile_(profile), model_(model), num_gpus_(num_gpus), chunks_(chunks) {
   FLEXMOE_CHECK(profile != nullptr);
   FLEXMOE_CHECK(num_gpus > 0);
-  FLEXMOE_CHECK(chunks >= 1);
+  FLEXMOE_CHECK(chunks >= 0);
 }
 
 void ForwardFloorEstimator::set_num_gpus(int num_gpus) {
   FLEXMOE_CHECK(num_gpus > 0);
   if (num_gpus == num_gpus_) return;
   num_gpus_ = num_gpus;
+  for (Slot& slot : slots_) slot = Slot{};
+}
+
+void ForwardFloorEstimator::set_chunks(int chunks) {
+  FLEXMOE_CHECK(chunks >= 0);
+  if (chunks == chunks_) return;
+  chunks_ = chunks;
   for (Slot& slot : slots_) slot = Slot{};
 }
 

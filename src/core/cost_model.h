@@ -51,24 +51,76 @@ struct LayerCostEstimate {
 /// \brief Analytic layer-time estimator.
 class CostModel {
  public:
+  /// Chunk depths the auto-K planner evaluates (DESIGN.md §12). Powers of
+  /// two, matching the static `--pipeline-chunks` values the benches pin.
+  static constexpr int kChunkDepthCandidates[4] = {1, 2, 4, 8};
+
+  /// BestChunkDepth's retention margin (DESIGN.md §12.2): a layer's
+  /// incumbent depth is kept until some candidate beats its estimate by
+  /// more than this fraction. The neighboring-depth estimates oscillate
+  /// by fractions of a percent with per-step routing noise, and chasing
+  /// each crossing flips the executed depth (and the plan-completion
+  /// timing downstream of it) for no modeled gain.
+  static constexpr double kChunkDepthSwitchMargin = 0.03;
+
+  /// BestChunkDepth's deepening margin (DESIGN.md §12.2): on a fresh
+  /// pick, a deeper candidate must beat the shallower pick's estimate by
+  /// more than this fraction to be adopted. Sized at the model's
+  /// chunk-physics fidelity — launch overhead and per-message latency
+  /// effects below this band are not resolved, so a smaller modeled gain
+  /// is not evidence the deeper depth actually wins.
+  static constexpr double kChunkDepthDeepeningMargin = 0.03;
+
   CostModel(const HardwareProfile* profile, const ExpertShape& shape);
 
   const ExpertShape& shape() const { return shape_; }
   const HardwareProfile& profile() const { return *profile_; }
 
-  /// Mirrors the executor's forward pipelining (PipelineOptions) in the
-  /// Eq. 5 scoring so planner estimates and measured steps agree on what
-  /// a layer costs under chunked overlap. chunks == 1 (the default) keeps
-  /// the serial additive combiner bitwise.
+  /// Sets the depth CombineGpuSeconds evaluates at. chunks == 1 (the
+  /// default) keeps the serial additive combiner bitwise — and that
+  /// default is what placement planning always scores under: the chunked
+  /// combiner divides the wire terms by K, compressing inter-GPU
+  /// differences and coupling the balance objective to the overlap knob
+  /// (DESIGN.md §12.2), so FlexMoESystem never calls this. The setter
+  /// remains for the validation benches and tests that compare a pinned
+  /// depth's estimate against the executor.
   void set_pipeline_chunks(int chunks) { pipeline_chunks_ = chunks; }
   int pipeline_chunks() const { return pipeline_chunks_; }
 
-  /// Combines one GPU's Eq. 5 terms into its layer seconds. Serial
-  /// (chunks <= 1): exactly compute + a2a + sync. Chunked: the forward
-  /// leg is the pipelined floor max(d + (c+m)/K, c + m/K, m) with
-  /// d = m = one A2A crossing (a2a/4) and c the forward compute share;
-  /// the backward leg and sync stay serial.
+  /// Combines one GPU's Eq. 5 terms into its layer seconds at the model's
+  /// configured chunk depth. Serial (chunks <= 1): exactly
+  /// compute + a2a + sync. Chunked: both MoE legs pipeline —
+  /// leg(c_K) = max(d + (c_K+m)/K, c_K + m/K, m) with d = m = one A2A
+  /// crossing (a2a/4) and c_K the leg's compute share plus the
+  /// (K-1)*kernel_overhead_sec the executor pays for that leg's extra
+  /// chunk launches — plus sync. On a compute-bound leg the overhead
+  /// surfaces in full (the 2*(K-1)*ovh per-layer penalty across both
+  /// legs, making the estimate non-monotone in K exactly like the
+  /// measured wall(K) law — what lets a planner choose K); on a
+  /// wire-bound leg it hides behind the crossings like the real launches
+  /// do.
   double CombineGpuSeconds(double compute, double a2a, double sync) const;
+
+  /// CombineGpuSeconds at an explicit chunk depth — the auto-K evaluation
+  /// primitive (candidate depths are scored without mutating the model's
+  /// configured depth). chunks <= 1 is the serial combiner, bitwise.
+  double CombineGpuSecondsAt(double compute, double a2a, double sync,
+                             int chunks) const;
+
+  /// Picks a chunk depth from kChunkDepthCandidates by the Eq. 5 outer
+  /// max under CombineGpuSecondsAt, given a layer's per-GPU term
+  /// breakdown. O(G) per candidate on the cached partials — cheap enough
+  /// to run on every plan trigger. `incumbent` (the layer's
+  /// currently-executing depth under auto-K, 0 = none) is kept while it
+  /// stays within kChunkDepthSwitchMargin of the argmin; a fresh pick (or
+  /// a switch away from a beaten incumbent) walks the candidate ladder
+  /// shallow-to-deep, adopting a deeper depth only when it beats the
+  /// current pick by more than kChunkDepthDeepeningMargin
+  /// (DESIGN.md §12.2).
+  int BestChunkDepth(const std::vector<double>& per_gpu_compute,
+                     const std::vector<double>& per_gpu_a2a,
+                     const std::vector<double>& per_gpu_sync,
+                     int incumbent = 0) const;
 
   /// Eq. 7: compute seconds for `tokens` tokens on one expert replica.
   double ComputeSeconds(int64_t tokens) const;
@@ -135,11 +187,14 @@ class CostModel {
 /// deadline precedes even this estimate is provably unreachable
 /// (DESIGN.md Section 8).
 /// `chunks` mirrors the executor's PipelineOptions: with chunks > 1 each
-/// layer's floor is the pipelined bound max(d + (c+m)/K, c + m/K, m)
-/// (d = dispatch, c = compute, m = combine, K = chunks) instead of the
-/// serial sum — still a floor on the chunked executor (max-of-phases <=
-/// pipelined <= serial sum), so shedding stays provably conservative.
-/// chunks == 1 keeps the legacy serial expression bitwise.
+/// layer's floor is the pipelined bound max(d + (c_K+m)/K, c_K + m/K, m)
+/// (d = dispatch, m = combine, K = chunks, and c_K the compute share plus
+/// the extra launch overhead the chunked compute stream provably pays)
+/// instead of the serial sum — still a floor on the chunked executor, so
+/// shedding stays provably conservative. chunks == 0 is auto-K: the min
+/// of the floor over CostModel::kChunkDepthCandidates, a valid floor for
+/// whatever per-layer depth the planner picks. chunks == 1 keeps the
+/// legacy serial expression bitwise.
 double EstimateForwardMicrobatchSeconds(const HardwareProfile& profile,
                                         const ModelConfig& model,
                                         int num_gpus, int64_t tokens,
@@ -167,6 +222,14 @@ class ForwardFloorEstimator {
   /// provably-unreachable requests after a failover.
   void set_num_gpus(int num_gpus);
   int num_gpus() const { return num_gpus_; }
+
+  /// Re-targets the estimator at a new chunk depth (0 = auto-K).
+  /// Invalidates every cached slot when the depth actually changes — the
+  /// same staleness failure mode as membership: with auto-K varying the
+  /// executor's depth between invocations, a floor memoized for the old K
+  /// would silently over- or under-shed.
+  void set_chunks(int chunks);
+  int chunks() const { return chunks_; }
 
  private:
   struct Slot {

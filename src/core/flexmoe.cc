@@ -64,7 +64,13 @@ FlexMoESystem::FlexMoESystem(const FlexMoEOptions& options,
                }()),
       cost_model_(profile, ShapeFromModel(options.model)),
       policy_maker_(&cost_model_, options.policy),
-      scheduler_(&policy_maker_, options.scheduler),
+      scheduler_(&policy_maker_,
+                 [&options] {
+                   SchedulerOptions o = options.scheduler;
+                   // Auto-K: every trigger also re-plans the chunk depth.
+                   if (options.pipeline.chunks == 0) o.plan_chunk_depth = true;
+                   return o;
+                 }()),
       group_cache_(std::move(group_cache)),
       step_executor_(&cluster_, profile, options.model),
       live_(initial),
@@ -76,13 +82,19 @@ FlexMoESystem::FlexMoESystem(const FlexMoEOptions& options,
   }
   next_plan_step_.assign(live_.size(), 0);
   plan_backoff_.assign(live_.size(), 1);
+  layer_chunks_.assign(live_.size(), 0);
   policy_maker_.SetClusterHealth(&elastic_.health());
   scheduler_.SetClusterHealth(&elastic_.health());
   step_executor_.set_cluster_health(&elastic_.health());
   step_executor_.set_pipeline(options.pipeline);
-  // The planner scores layers under the same overlap the executor
-  // realizes (floor/executor consistency, DESIGN.md Section 11).
-  cost_model_.set_pipeline_chunks(options.pipeline.chunks);
+  // Placement planning always scores under the serial Eq. 5 combiner (the
+  // cost model's default depth), whatever depth the executor runs: the
+  // chunked combiner divides the wire terms by K, which compresses
+  // inter-GPU differences and couples the balance objective to a knob
+  // whose measured execution effect is sub-percent while its scoring
+  // effect perturbs the plan trajectory by several percent. Chunk depth
+  // is planned separately, AFTER placement, from the same partial sums
+  // (BestChunkDepth — DESIGN.md §12.2).
 }
 
 Status FlexMoESystem::InstallFaultPlan(const FaultPlan& plan) {
@@ -151,6 +163,9 @@ StepMetrics FlexMoESystem::RunStepImpl(
     if (fault_report.membership_changed || fault_report.perf_changed) {
       next_plan_step_.assign(live_.size(), 0);
       plan_backoff_.assign(live_.size(), 1);
+      // The depth that overlapped best on the old membership need not on
+      // the new one — re-pick from the repaired placements this step.
+      layer_chunks_.assign(live_.size(), 0);
     }
     metrics.faults_applied = static_cast<int>(fault_report.events.size());
     metrics.recovery_seconds = fault_report.recovery_seconds;
@@ -250,11 +265,27 @@ StepMetrics FlexMoESystem::RunStepImpl(
   metrics.tokens_total += metrics.tokens_dropped;  // lost-in-flight tokens
   metrics.balance_ratio = balance_sum / num_layers;
 
-  // 3. Execute the step on the event engine.
+  // 3. Execute the step on the event engine. Under auto-K each layer runs
+  //    at its planned chunk depth; a layer that has never been planned
+  //    (step 0, or the step after a membership change reset) picks its
+  //    initial depth directly from this step's routed workload, so no step
+  //    falls back to serial while waiting for a scheduler trigger.
+  const bool auto_chunks = options_.pipeline.chunks == 0;
   std::vector<LayerWork> work(static_cast<size_t>(num_layers));
   for (int l = 0; l < num_layers; ++l) {
     work[static_cast<size_t>(l)].routed = &routed[static_cast<size_t>(l)];
     work[static_cast<size_t>(l)].placement = &live_[static_cast<size_t>(l)];
+    if (auto_chunks) {
+      int& chunks = layer_chunks_[static_cast<size_t>(l)];
+      if (chunks == 0) {
+        const LayerCostEstimate est = cost_model_.EstimateLayer(
+            routed[static_cast<size_t>(l)], live_[static_cast<size_t>(l)],
+            /*include_sync=*/!policy_maker_.options().serve_objective);
+        chunks = cost_model_.BestChunkDepth(est.per_gpu_compute,
+                                            est.per_gpu_a2a, est.per_gpu_sync);
+      }
+      work[static_cast<size_t>(l)].chunks = chunks;
+    }
   }
   const StepTiming timing =
       serving ? step_executor_.ExecuteForward(work)
@@ -305,9 +336,17 @@ StepMetrics FlexMoESystem::RunStepImpl(
     if (step_ < next_plan_step_[static_cast<size_t>(l)]) continue;
     const bool force_trigger =
         fault_report.membership_changed || fault_report.perf_changed;
+    // The layer's current depth — including the provisional step-0 pick,
+    // which the same selection rule produced — anchors the scheduler's
+    // retention hysteresis.
+    const int chunk_incumbent =
+        auto_chunks ? layer_chunks_[static_cast<size_t>(l)] : 0;
     const SchedulerDecision decision = scheduler_.OnStep(
         step_, (*effective)[static_cast<size_t>(l)],
-        &target_[static_cast<size_t>(l)], force_trigger);
+        &target_[static_cast<size_t>(l)], force_trigger, chunk_incumbent);
+    if (auto_chunks && decision.pipeline_chunks > 0) {
+      layer_chunks_[static_cast<size_t>(l)] = decision.pipeline_chunks;
+    }
     if (!decision.ops.empty()) {
       executor.Enqueue(decision.ops);
     }

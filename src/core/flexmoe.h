@@ -7,6 +7,7 @@
 #ifndef FLEXMOE_CORE_FLEXMOE_H_
 #define FLEXMOE_CORE_FLEXMOE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -35,8 +36,12 @@ struct FlexMoEOptions {
   int max_pending_ops = 64;
   /// Fault handling (elastic drain; FlexMoE never restarts).
   ElasticControllerOptions elastic;
-  /// Forward-pass chunked overlap (core/step_executor.h); mirrored into
-  /// the cost model so Eq. 5 scoring matches the executor's overlap.
+  /// Chunked A2A/compute overlap (core/step_executor.h). Placement
+  /// planning always scores under the serial Eq. 5 combiner regardless of
+  /// this depth (DESIGN.md §12.2). chunks == 0 enables auto-K: the
+  /// Scheduler plans a per-layer depth from the overhead-honest cost
+  /// model and the system threads it into every layer's execution
+  /// (DESIGN.md §12).
   PipelineOptions pipeline;
 
   Status Validate() const;
@@ -104,6 +109,13 @@ class FlexMoESystem : public MoESystem {
   /// sits at the feasibility floor.
   std::vector<int64_t> next_plan_step_;
   std::vector<int> plan_backoff_;
+
+  /// Auto-K (options_.pipeline.chunks == 0 — DESIGN.md §12): the chunk
+  /// depth each layer currently executes with. 0 = not yet planned; the
+  /// first step a layer is routed picks an initial depth directly from the
+  /// routed assignment, and every scheduler trigger refreshes it from the
+  /// planned placement. Unused (empty checks aside) under static K.
+  std::vector<int> layer_chunks_;
 
   TrainingStats stats_;
   int64_t step_ = 0;

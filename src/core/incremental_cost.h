@@ -108,6 +108,20 @@ class LayerCostState {
   /// Per-vExpert capacity of each expert: I_e / n_e (Alg. 2 lines 3-5).
   const std::vector<double>& vexpert_capacities() const { return caps_; }
 
+  /// Best pipeline chunk depth for this layer under the overhead-honest
+  /// combiner, evaluated on the cached per-GPU compute/A2A/sync partial
+  /// sums (O(G) per candidate over CostModel::kChunkDepthCandidates, no
+  /// routing work). Selection is CostModel::BestChunkDepth's
+  /// shallow-to-deep deepening ladder, and a non-zero `incumbent` engages
+  /// its retention hysteresis (kChunkDepthSwitchMargin). The Scheduler
+  /// publishes this as SchedulerDecision::pipeline_chunks on auto-K plans
+  /// (DESIGN.md §12.2).
+  int BestChunkDepth(int incumbent = 0) const {
+    FLEXMOE_CHECK(initialized());
+    return cost_model_->BestChunkDepth(per_gpu_compute_, per_gpu_a2a_,
+                                       per_gpu_sync_, incumbent);
+  }
+
   /// Tokens entering `node` from other nodes (sum of cross-node dispatch
   /// into the node's GPUs) — the cross-link load the topology-aware
   /// expand tie-break minimizes (SNIPPETS.md Snippets 2-3).

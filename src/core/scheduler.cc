@@ -98,7 +98,8 @@ bool Scheduler::ShouldTrigger(int64_t step, double metric_value) const {
 
 SchedulerDecision Scheduler::OnStep(int64_t step,
                                     const Assignment& assignment,
-                                    Placement* target, bool force_trigger) {
+                                    Placement* target, bool force_trigger,
+                                    int chunk_incumbent) {
   FLEXMOE_CHECK(target != nullptr);
   SchedulerDecision decision;
   decision.metric_before = MetricOf(assignment, *target);
@@ -179,6 +180,19 @@ SchedulerDecision Scheduler::OnStep(int64_t step,
     metric = MetricFromTokens(plan_state_.per_gpu_compute_tokens());
   }
   decision.metric_after = metric;
+
+  // Auto-K: recommend the chunk depth that minimizes the overhead-honest
+  // Eq. 5 estimate of the placement the plan loop just produced. Reuses
+  // the plan loop's incremental state when a round ran; a trigger that
+  // never reached the loop (dynamic policy already under threshold) pays
+  // the one Reset here — still once per trigger, never per step.
+  if (options_.plan_chunk_depth) {
+    if (!state_ready) {
+      plan_state_.Reset(assignment, *target);
+      state_ready = true;
+    }
+    decision.pipeline_chunks = plan_state_.BestChunkDepth(chunk_incumbent);
+  }
 
   // Algorithm 1 line 9: background Migrations.
   if (options_.max_migrations > 0) {

@@ -47,6 +47,14 @@ struct SchedulerOptions {
   /// (0 disables evacuation).
   int max_evacuations = 8;
 
+  /// Auto-K (DESIGN.md §12): on every triggered invocation, evaluate the
+  /// chunk-depth candidates against the planned placement's cached Eq. 5
+  /// partials and publish the argmin as SchedulerDecision::pipeline_chunks.
+  /// Off by default — the decision struct then reports 0 (no
+  /// recommendation) and the scheduler is byte-identical to the static-K
+  /// configuration.
+  bool plan_chunk_depth = false;
+
   Status Validate() const;
 };
 
@@ -67,6 +75,10 @@ struct SchedulerDecision {
   /// Best plan score after the last accepted round (== est_score_before
   /// when no plan was accepted).
   double est_score_after = 0.0;
+  /// Recommended pipeline chunk depth for this layer under the planned
+  /// placement (SchedulerOptions::plan_chunk_depth); 0 = no
+  /// recommendation (option off or the invocation did not trigger).
+  int pipeline_chunks = 0;
   /// Ops in dependency order, ready for the PlacementExecutor.
   std::vector<ModOp> ops;
 };
@@ -90,8 +102,14 @@ class Scheduler {
   /// Runs the Algorithm 1 body for one step's workload. Mutates `target`.
   /// `force_trigger` bypasses the metric threshold (used by the elastic
   /// controller on the boundary where cluster events fired).
+  /// `chunk_incumbent` is the chunk depth the layer currently executes
+  /// with under auto-K, if that depth came from an earlier recommendation
+  /// of this scheduler: the depth plan engages BestChunkDepth's switching
+  /// hysteresis against it. 0 = no incumbent (first plan for the layer, or
+  /// depth planning disabled) — the recommendation is the raw argmin.
   SchedulerDecision OnStep(int64_t step, const Assignment& assignment,
-                           Placement* target, bool force_trigger = false);
+                           Placement* target, bool force_trigger = false,
+                           int chunk_incumbent = 0);
 
   const SchedulerOptions& options() const { return options_; }
 

@@ -26,8 +26,9 @@ void TracePerGpuSpans(obs::Tracer* tr, const char* name, const char* category,
 }  // namespace
 
 Status PipelineOptions::Validate() const {
-  if (chunks < 1) {
-    return Status::InvalidArgument("pipeline chunks must be >= 1");
+  if (chunks < 0) {
+    return Status::InvalidArgument(
+        "pipeline chunks must be >= 0 (0 = auto-K)");
   }
   return Status::OK();
 }
@@ -212,9 +213,6 @@ double StepExecutor::RunExpertComputeChunk(
 double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
                                       const std::vector<GpuId>& alive,
                                       double frontier, StepTiming* timing) {
-  if (pipeline_.chunks > 1) {
-    return RunForwardLayersChunked(layers, alive, frontier, timing);
-  }
   obs::Tracer* tr = trace();
   const double fwd_flops = model_.expert_fwd_flops_per_token();
   const std::vector<double>* scales = BandwidthScales();
@@ -237,6 +235,16 @@ double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
       }
       timing->sync_seconds += r.finish - frontier;
       frontier = r.finish;
+    }
+
+    // Per-layer chunk-depth dispatch (auto-K plans a depth per layer);
+    // depth 1 falls through to the serial body below, which is the
+    // pre-pipelining code expression-for-expression.
+    const int chunks = EffectiveChunks(work);
+    if (chunks > 1) {
+      frontier = RunForwardLayerChunked(work, chunks, layer, recirc, scales,
+                                        frontier, timing);
+      continue;
     }
 
     const double phase0 = frontier;
@@ -265,97 +273,142 @@ double StepExecutor::RunForwardLayers(const std::vector<LayerWork>& layers,
   return frontier;
 }
 
-double StepExecutor::RunForwardLayersChunked(
-    const std::vector<LayerWork>& layers, const std::vector<GpuId>& alive,
-    double frontier, StepTiming* timing) {
+double StepExecutor::RunForwardLayerChunked(
+    const LayerWork& work, int chunks, int layer, bool recirc,
+    const std::vector<double>* scales, double frontier, StepTiming* timing) {
   obs::Tracer* tr = trace();
   const double fwd_flops = model_.expert_fwd_flops_per_token();
-  const int K = pipeline_.chunks;
-  const std::vector<double>* scales = BandwidthScales();
-  // Per-chunk dispatch results for the layer in flight (K is small; the
-  // vector is reused across layers).
-  std::vector<CollectiveResult> dispatches;
+  const int K = chunks;
+
+  // Post every chunk's dispatch from the layer start: the NIC ports
+  // serialize them in chunk order, so chunk k+1's wire time hides
+  // behind chunk k's expert compute instead of extending the layer.
+  const double phase0 = frontier;
+  std::vector<CollectiveResult>& dispatches = chunk_dispatch_scratch_;
+  dispatches.clear();
   dispatches.reserve(static_cast<size_t>(K));
-  for (size_t l = 0; l < layers.size(); ++l) {
-    const LayerWork& work = layers[l];
-    FLEXMOE_CHECK(work.routed != nullptr);
-    const int layer = static_cast<int>(l);
-    const bool recirc = layer >= model_.num_moe_layers;
-    for (const ShadowBroadcast& bc : work.broadcasts) {
-      if (!Alive(bc.root) || alive.size() < 2) continue;
-      const CollectiveResult r =
-          ExecBroadcast(cluster_, *profile_, bc.bytes, bc.root, alive,
-                        frontier, scales);
-      if (tr != nullptr) {
-        tr->Span("shadow_bcast", "sync", bc.root, frontier, r.finish, "layer",
-                 static_cast<double>(layer));
-      }
-      timing->sync_seconds += r.finish - frontier;
-      frontier = r.finish;
-    }
-
-    // Post every chunk's dispatch from the layer start: the NIC ports
-    // serialize them in chunk order, so chunk k+1's wire time hides
-    // behind chunk k's expert compute instead of extending the layer.
-    const double phase0 = frontier;
-    dispatches.clear();
-    double dispatch_all = phase0;
-    for (int k = 0; k < K; ++k) {
-      CollectiveResult d = ExecAllToAll(
-          cluster_, *profile_, DispatchBytesChunk(*work.routed, false, k, K),
-          phase0, scales);
-      if (tr != nullptr) {
-        for (size_t g = 0; g < d.per_gpu_finish.size(); ++g) {
-          if (d.per_gpu_finish[g] > phase0) {
-            tr->Span(recirc ? "recirc_dispatch" : "dispatch",
-                     recirc ? "recirculation" : "a2a", static_cast<int>(g),
-                     phase0, d.per_gpu_finish[g], "layer",
-                     static_cast<double>(layer), "chunk",
-                     static_cast<double>(k));
-          }
+  double dispatch_all = phase0;
+  for (int k = 0; k < K; ++k) {
+    CollectiveResult d = ExecAllToAll(
+        cluster_, *profile_, DispatchBytesChunk(*work.routed, false, k, K),
+        phase0, scales);
+    if (tr != nullptr) {
+      for (size_t g = 0; g < d.per_gpu_finish.size(); ++g) {
+        if (d.per_gpu_finish[g] > phase0) {
+          tr->Span(recirc ? "recirc_dispatch" : "dispatch",
+                   recirc ? "recirculation" : "a2a", static_cast<int>(g),
+                   phase0, d.per_gpu_finish[g], "layer",
+                   static_cast<double>(layer), "chunk",
+                   static_cast<double>(k));
         }
       }
-      dispatch_all = std::max(dispatch_all, d.finish);
-      dispatches.push_back(std::move(d));
     }
-    timing->a2a_seconds += dispatch_all - phase0;
-
-    // Each chunk computes as soon as its own dispatch lands per GPU (the
-    // compute streams serialize chunks), and its combine launches at the
-    // chunk's global compute finish — draining behind later chunks'
-    // compute on the port streams.
-    double compute_all = phase0;
-    double layer_end = phase0;
-    for (int k = 0; k < K; ++k) {
-      const double chunk_compute = RunExpertComputeChunk(
-          *work.routed, fwd_flops, k, K, dispatches[static_cast<size_t>(k)]
-              .per_gpu_finish,
-          timing, recirc ? "recirc_expert_compute" : "expert_compute", layer);
-      compute_all = std::max(compute_all, chunk_compute);
-      const CollectiveResult combine = ExecAllToAll(
-          cluster_, *profile_, DispatchBytesChunk(*work.routed, true, k, K),
-          chunk_compute, scales);
-      if (tr != nullptr) {
-        for (size_t g = 0; g < combine.per_gpu_finish.size(); ++g) {
-          if (combine.per_gpu_finish[g] > chunk_compute) {
-            tr->Span(recirc ? "recirc_combine" : "combine",
-                     recirc ? "recirculation" : "a2a", static_cast<int>(g),
-                     chunk_compute, combine.per_gpu_finish[g], "layer",
-                     static_cast<double>(layer), "chunk",
-                     static_cast<double>(k));
-          }
-        }
-      }
-      layer_end = std::max(layer_end, combine.finish);
-    }
-    // Phase attribution mirrors the serial path's accounting: A2A gets the
-    // leading dispatch window plus the combine tail past compute; compute
-    // gets its exposed (non-overlapped) stretch.
-    timing->compute_seconds += std::max(0.0, compute_all - dispatch_all);
-    timing->a2a_seconds += std::max(0.0, layer_end - compute_all);
-    frontier = std::max(layer_end, compute_all);
+    dispatch_all = std::max(dispatch_all, d.finish);
+    dispatches.push_back(std::move(d));
   }
-  return frontier;
+  timing->a2a_seconds += dispatch_all - phase0;
+
+  // Each chunk computes as soon as its own dispatch lands per GPU (the
+  // compute streams serialize chunks), and its combine launches at the
+  // chunk's global compute finish — draining behind later chunks'
+  // compute on the port streams.
+  double compute_all = phase0;
+  double layer_end = phase0;
+  for (int k = 0; k < K; ++k) {
+    const double chunk_compute = RunExpertComputeChunk(
+        *work.routed, fwd_flops, k, K, dispatches[static_cast<size_t>(k)]
+            .per_gpu_finish,
+        timing, recirc ? "recirc_expert_compute" : "expert_compute", layer);
+    compute_all = std::max(compute_all, chunk_compute);
+    const CollectiveResult combine = ExecAllToAll(
+        cluster_, *profile_, DispatchBytesChunk(*work.routed, true, k, K),
+        chunk_compute, scales);
+    if (tr != nullptr) {
+      for (size_t g = 0; g < combine.per_gpu_finish.size(); ++g) {
+        if (combine.per_gpu_finish[g] > chunk_compute) {
+          tr->Span(recirc ? "recirc_combine" : "combine",
+                   recirc ? "recirculation" : "a2a", static_cast<int>(g),
+                   chunk_compute, combine.per_gpu_finish[g], "layer",
+                   static_cast<double>(layer), "chunk",
+                   static_cast<double>(k));
+        }
+      }
+    }
+    layer_end = std::max(layer_end, combine.finish);
+  }
+  // Phase attribution mirrors the serial path's accounting: A2A gets the
+  // leading dispatch window plus the combine tail past compute; compute
+  // gets its exposed (non-overlapped) stretch.
+  timing->compute_seconds += std::max(0.0, compute_all - dispatch_all);
+  timing->a2a_seconds += std::max(0.0, layer_end - compute_all);
+  return std::max(layer_end, compute_all);
+}
+
+double StepExecutor::RunBackwardLayerChunked(
+    const LayerWork& work, int chunks, int layer,
+    const std::vector<double>* scales, double frontier, StepTiming* timing,
+    double* compute_all_out) {
+  // The forward leg's overlap shape at backward FLOPs: grad-dispatch
+  // chunks posted at the leg start, per-chunk backward compute at that
+  // chunk's per-GPU dispatch finish, per-chunk grad combine at the
+  // chunk's global compute finish. The caller launches this layer's
+  // expert syncs at *compute_all_out — an expert's gradient is final only
+  // once the last chunk's contribution is reduced.
+  obs::Tracer* tr = trace();
+  const double bwd_flops =
+      model_.expert_fwdbwd_flops_per_token() - model_.expert_fwd_flops_per_token();
+  const int K = chunks;
+
+  const double phase0 = frontier;
+  std::vector<CollectiveResult>& dispatches = chunk_dispatch_scratch_;
+  dispatches.clear();
+  dispatches.reserve(static_cast<size_t>(K));
+  double dispatch_all = phase0;
+  for (int k = 0; k < K; ++k) {
+    CollectiveResult d = ExecAllToAll(
+        cluster_, *profile_, DispatchBytesChunk(*work.routed, false, k, K),
+        phase0, scales);
+    if (tr != nullptr) {
+      for (size_t g = 0; g < d.per_gpu_finish.size(); ++g) {
+        if (d.per_gpu_finish[g] > phase0) {
+          tr->Span("grad_dispatch", "a2a", static_cast<int>(g), phase0,
+                   d.per_gpu_finish[g], "layer", static_cast<double>(layer),
+                   "chunk", static_cast<double>(k));
+        }
+      }
+    }
+    dispatch_all = std::max(dispatch_all, d.finish);
+    dispatches.push_back(std::move(d));
+  }
+  timing->a2a_seconds += dispatch_all - phase0;
+
+  double compute_all = phase0;
+  double layer_end = phase0;
+  for (int k = 0; k < K; ++k) {
+    const double chunk_compute = RunExpertComputeChunk(
+        *work.routed, bwd_flops, k, K,
+        dispatches[static_cast<size_t>(k)].per_gpu_finish, timing,
+        "expert_compute_bwd", layer);
+    compute_all = std::max(compute_all, chunk_compute);
+    const CollectiveResult combine = ExecAllToAll(
+        cluster_, *profile_, DispatchBytesChunk(*work.routed, true, k, K),
+        chunk_compute, scales);
+    if (tr != nullptr) {
+      for (size_t g = 0; g < combine.per_gpu_finish.size(); ++g) {
+        if (combine.per_gpu_finish[g] > chunk_compute) {
+          tr->Span("grad_combine", "a2a", static_cast<int>(g), chunk_compute,
+                   combine.per_gpu_finish[g], "layer",
+                   static_cast<double>(layer), "chunk",
+                   static_cast<double>(k));
+        }
+      }
+    }
+    layer_end = std::max(layer_end, combine.finish);
+  }
+  timing->compute_seconds += std::max(0.0, compute_all - dispatch_all);
+  timing->a2a_seconds += std::max(0.0, layer_end - compute_all);
+  *compute_all_out = compute_all;
+  return std::max(layer_end, compute_all);
 }
 
 StepTiming StepExecutor::ExecuteForward(const std::vector<LayerWork>& layers) {
@@ -398,6 +451,58 @@ StepTiming StepExecutor::ExecuteForward(const std::vector<LayerWork>& layers) {
              timing.end, "layers", static_cast<double>(layers.size()));
   }
   return timing;
+}
+
+double StepExecutor::RunLayerSyncs(const LayerWork& work, double earliest_base,
+                                   NcclGroupCache* group_cache,
+                                   const std::vector<double>* scales,
+                                   StepTiming* timing, double sync_finish) {
+  // Launch this layer's expert syncs, ordered by logical id (== expert
+  // id): every GPU posts in the same ascending order, so the posting is
+  // deadlock-free, and disjoint groups overlap through the stream model.
+  obs::Tracer* tr = trace();
+  std::vector<SyncOp> ops;
+  if (work.placement != nullptr) {
+    for (int e = 0; e < work.placement->num_experts(); ++e) {
+      std::vector<GpuId> group = work.placement->HostGpus(e);
+      if (health_ != nullptr) {
+        group.erase(std::remove_if(group.begin(), group.end(),
+                                   [this](GpuId g) { return !Alive(g); }),
+                    group.end());
+      }
+      if (group.size() >= 2) {
+        ops.push_back({e, std::move(group), model_.expert_grad_bytes()});
+      }
+    }
+  }
+  int extra_id = work.routed->num_experts;
+  for (std::vector<GpuId> group : work.extra_sync_groups) {
+    if (health_ != nullptr) {
+      group.erase(std::remove_if(group.begin(), group.end(),
+                                 [this](GpuId g) { return !Alive(g); }),
+                  group.end());
+    }
+    if (group.size() >= 2) {
+      ops.push_back({extra_id++, std::move(group),
+                     model_.expert_grad_bytes()});
+    }
+  }
+  for (const SyncOp& op : ops) {
+    double earliest = earliest_base;
+    if (group_cache != nullptr) {
+      earliest += group_cache->Acquire(op.group);
+    }
+    const CollectiveResult r = ExecRingAllReduce(
+        cluster_, *profile_, op.bytes, op.group, earliest, scales);
+    if (tr != nullptr && !op.group.empty()) {
+      tr->Span("expert_sync", "sync", op.group.front(), earliest, r.finish,
+               "expert", static_cast<double>(op.logical_id), "gpus",
+               static_cast<double>(op.group.size()));
+    }
+    sync_finish = std::max(sync_finish, r.finish);
+    timing->sync_busy_seconds += r.finish - earliest;
+  }
+  return sync_finish;
 }
 
 StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
@@ -449,6 +554,19 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
   for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
     const LayerWork& work = *it;
     const int layer = static_cast<int>(layers.rend() - it) - 1;
+
+    // Per-layer chunk-depth dispatch, mirroring the forward leg; depth 1
+    // is the pre-pipelining serial body, expression-for-expression.
+    const int chunks = EffectiveChunks(work);
+    if (chunks > 1) {
+      double compute_all = frontier;
+      frontier = RunBackwardLayerChunked(work, chunks, layer, scales,
+                                         frontier, &timing, &compute_all);
+      sync_finish = RunLayerSyncs(work, compute_all, group_cache, scales,
+                                  &timing, sync_finish);
+      continue;
+    }
+
     const double phase0 = frontier;
     const CollectiveResult dispatch = ExecAllToAll(
         cluster_, *profile_, DispatchBytes(*work.routed, false), frontier,
@@ -461,50 +579,8 @@ StepTiming StepExecutor::ExecuteStep(const std::vector<LayerWork>& layers,
                          &timing, "expert_compute_bwd", layer);
     timing.compute_seconds += std::max(0.0, compute_finish - dispatch.finish);
 
-    // Launch this layer's expert syncs, ordered by logical id (== expert
-    // id): every GPU posts in the same ascending order, so the posting is
-    // deadlock-free, and disjoint groups overlap through the stream model.
-    std::vector<SyncOp> ops;
-    if (work.placement != nullptr) {
-      for (int e = 0; e < work.placement->num_experts(); ++e) {
-        std::vector<GpuId> group = work.placement->HostGpus(e);
-        if (health_ != nullptr) {
-          group.erase(std::remove_if(group.begin(), group.end(),
-                                     [this](GpuId g) { return !Alive(g); }),
-                      group.end());
-        }
-        if (group.size() >= 2) {
-          ops.push_back({e, std::move(group), model_.expert_grad_bytes()});
-        }
-      }
-    }
-    int extra_id = work.routed->num_experts;
-    for (std::vector<GpuId> group : work.extra_sync_groups) {
-      if (health_ != nullptr) {
-        group.erase(std::remove_if(group.begin(), group.end(),
-                                   [this](GpuId g) { return !Alive(g); }),
-                    group.end());
-      }
-      if (group.size() >= 2) {
-        ops.push_back({extra_id++, std::move(group),
-                       model_.expert_grad_bytes()});
-      }
-    }
-    for (const SyncOp& op : ops) {
-      double earliest = compute_finish;
-      if (group_cache != nullptr) {
-        earliest += group_cache->Acquire(op.group);
-      }
-      const CollectiveResult r = ExecRingAllReduce(
-          cluster_, *profile_, op.bytes, op.group, earliest, scales);
-      if (tr != nullptr && !op.group.empty()) {
-        tr->Span("expert_sync", "sync", op.group.front(), earliest, r.finish,
-                 "expert", static_cast<double>(op.logical_id), "gpus",
-                 static_cast<double>(op.group.size()));
-      }
-      sync_finish = std::max(sync_finish, r.finish);
-      timing.sync_busy_seconds += r.finish - earliest;
-    }
+    sync_finish = RunLayerSyncs(work, compute_finish, group_cache, scales,
+                                &timing, sync_finish);
 
     const CollectiveResult combine = ExecAllToAll(
         cluster_, *profile_, DispatchBytes(*work.routed, true),

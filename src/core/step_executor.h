@@ -40,8 +40,12 @@ struct ShadowBroadcast {
 /// to chunk k — integer-exact, sums to v, last chunk is the ceil) and the
 /// per-chunk dispatch A2A, expert compute, and combine A2A overlap through
 /// the per-GPU stream reservations: chunk k+1's dispatch occupies the NIC
-/// while chunk k computes, and combines drain behind compute. chunks == 1
-/// is the serial path, byte-identical to the pre-pipelining executor.
+/// while chunk k computes, and combines drain behind compute. Both MoE
+/// legs pipeline: the backward grad dispatch/compute/grad combine chunk
+/// the same way (DESIGN.md Section 12). chunks == 1 is the serial path,
+/// byte-identical to the pre-pipelining executor. chunks == 0 is auto-K:
+/// the depth is planned per layer and arrives via LayerWork::chunks;
+/// layers with no planned depth yet run serial.
 struct PipelineOptions {
   int chunks = 1;
 
@@ -58,6 +62,9 @@ struct LayerWork {
   /// (e.g. FasterMoE's global shadow-gradient AllReduce).
   std::vector<std::vector<GpuId>> extra_sync_groups;
   std::vector<ShadowBroadcast> broadcasts;
+  /// Per-layer pipeline chunk depth override (auto-K planning). 0 defers
+  /// to PipelineOptions::chunks; > 0 pins this layer's depth.
+  int chunks = 0;
 };
 
 /// \brief Timing of one executed step.
@@ -112,8 +119,9 @@ class StepExecutor {
   void set_cluster_health(const ClusterHealth* health) { health_ = health; }
   const ClusterHealth* cluster_health() const { return health_; }
 
-  /// Installs the forward-pass pipelining configuration (chunks must be
-  /// >= 1; chunks == 1 keeps the serial, byte-identical path).
+  /// Installs the pipelining configuration (chunks must be >= 0;
+  /// chunks == 1 keeps the serial, byte-identical path; chunks == 0 is
+  /// auto-K — per-layer depths come from LayerWork::chunks).
   void set_pipeline(const PipelineOptions& pipeline) { pipeline_ = pipeline; }
   const PipelineOptions& pipeline() const { return pipeline_; }
 
@@ -155,26 +163,53 @@ class StepExecutor {
                           StepTiming* timing, const char* span_name,
                           int layer);
 
+  /// The chunk depth one layer actually runs at: LayerWork::chunks when
+  /// planned (> 0), else PipelineOptions::chunks, else serial.
+  int EffectiveChunks(const LayerWork& work) const {
+    if (work.chunks > 0) return work.chunks;
+    return pipeline_.chunks > 1 ? pipeline_.chunks : 1;
+  }
+
   /// The forward pass over `layers` — [shadow broadcasts] -> dispatch A2A
   /// -> expert compute at forward FLOPs -> combine A2A, per layer —
   /// shared verbatim by ExecuteStep and ExecuteForward so the two paths
   /// can never diverge in dispatch/broadcast semantics. Returns the new
-  /// frontier. Dispatches to the chunked variant when pipeline().chunks
-  /// > 1; the chunks == 1 body is the pre-pipelining serial code.
+  /// frontier. Each layer dispatches to the chunked variant when its
+  /// effective depth is > 1; the serial body is the pre-pipelining code.
   double RunForwardLayers(const std::vector<LayerWork>& layers,
                           const std::vector<GpuId>& alive, double frontier,
                           StepTiming* timing);
 
-  /// The chunked-overlap forward pass (PipelineOptions, DESIGN.md
-  /// Section 11): per layer, all K dispatch chunks are posted from the
+  /// The chunked-overlap forward leg for one layer (PipelineOptions,
+  /// DESIGN.md Section 11): all K dispatch chunks are posted from the
   /// layer's start (the NIC ports serialize them), each chunk's expert
   /// compute starts at that chunk's per-GPU dispatch finish, and each
   /// chunk's combine launches at that chunk's global compute finish — so
   /// chunk k+1's dispatch overlaps chunk k's compute and combines drain
-  /// behind compute on the port streams.
-  double RunForwardLayersChunked(const std::vector<LayerWork>& layers,
-                                 const std::vector<GpuId>& alive,
-                                 double frontier, StepTiming* timing);
+  /// behind compute on the port streams. Broadcasts have already run.
+  double RunForwardLayerChunked(const LayerWork& work, int chunks, int layer,
+                                bool recirc, const std::vector<double>* scales,
+                                double frontier, StepTiming* timing);
+
+  /// The chunked backward MoE leg for one layer (DESIGN.md Section 12):
+  /// same overlap shape as the forward leg at backward FLOPs — grad
+  /// dispatch chunks posted at the leg start, per-chunk backward compute,
+  /// per-chunk grad combine. Expert syncs are launched by the caller at
+  /// the returned all-chunk compute finish (`*compute_all`): an expert's
+  /// gradient is final only once every chunk's contribution is reduced.
+  double RunBackwardLayerChunked(const LayerWork& work, int chunks, int layer,
+                                 const std::vector<double>* scales,
+                                 double frontier, StepTiming* timing,
+                                 double* compute_all);
+
+  /// Builds and launches one layer's expert-replica syncs (placement
+  /// groups plus extra_sync_groups, ascending logical id) at `earliest`;
+  /// returns max(sync_finish, each collective's finish) and accumulates
+  /// sync_busy_seconds.
+  double RunLayerSyncs(const LayerWork& work, double earliest,
+                       NcclGroupCache* group_cache,
+                       const std::vector<double>* scales, StepTiming* timing,
+                       double sync_finish);
 
   /// RunExpertCompute for one chunk: tokens come from the per-chunk split
   /// of routed.expert_gpu_tokens instead of the full matrix.
@@ -196,6 +231,8 @@ class StepExecutor {
   /// Chunked-path scratch (DispatchBytesChunk / BandwidthScales).
   mutable ByteMatrix chunk_bytes_scratch_;
   mutable std::vector<double> port_scale_scratch_;
+  /// Per-chunk dispatch results for the layer in flight (K is small).
+  std::vector<CollectiveResult> chunk_dispatch_scratch_;
 };
 
 }  // namespace flexmoe

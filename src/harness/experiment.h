@@ -67,12 +67,18 @@ struct ExperimentOptions {
   /// pre-training profiling pass). Disable for raw analytic defaults.
   bool calibrate_profile = true;
 
-  /// Forward-pass pipelining depth (DESIGN.md Section 11): each MoE
+  /// Chunked-overlap pipelining depth (DESIGN.md Sections 11-12): each MoE
   /// layer's routed tokens split into this many chunks whose dispatch /
-  /// compute / combine phases overlap through the stream model; mirrored
-  /// into the cost model's Eq. 5 combiner and the serving shedding floor
-  /// so estimates and measurements agree. 1 = the serial executor,
-  /// byte-identical to pre-pipelining runs (bench --pipeline-chunks).
+  /// compute / combine phases overlap through the stream model, on both
+  /// the forward and backward MoE legs; mirrored into the serving
+  /// shedding floor so it stays a floor on the chunked executor.
+  /// Placement planning always scores under the serial Eq. 5 combiner,
+  /// whatever depth runs (DESIGN.md §12.2). 1 = the serial executor,
+  /// byte-identical to pre-pipelining runs. 0 = auto-K: FlexMoE plans a
+  /// per-layer depth from the overhead-honest cost model (baselines run
+  /// serial, and the serving floor takes the min over the candidate
+  /// depths, which floors any per-layer choice). (bench
+  /// --pipeline-chunks.)
   int pipeline_chunks = 1;
 
   /// Per-node aggregated A2A estimation (DESIGN.md Section 10): the

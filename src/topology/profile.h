@@ -121,6 +121,12 @@ class HardwareProfile {
   /// — the paper's BPS(G').
   double AllReduceBps(double bytes, const std::vector<GpuId>& group) const;
 
+  /// Per-kernel launch overhead charged by ComputeSeconds — the calibrated
+  /// value when SetComputeCalibration ran, GpuSpec::kernel_overhead_sec
+  /// otherwise. The chunked cost model uses it to price the extra (K - 1)
+  /// launches per leg that pipelining at depth K costs (DESIGN.md §12).
+  double kernel_overhead_sec() const { return compute_overhead_sec_; }
+
   // --- Calibration hooks (used by collective::Profiler) -----------------
 
   /// Overrides the compute model with a fitted linear cost per token.
