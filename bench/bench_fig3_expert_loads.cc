@@ -36,7 +36,7 @@ int Run(bool quick) {
   const int steps = quick ? 300 : 2000;
   RoutingTrace trace;
   for (int s = 0; s < steps; ++s) {
-    FLEXMOE_CHECK(trace.Append(gen.Step()).ok());
+    FLEXMOE_CHECK_OK(trace.Append(gen.Step()));
   }
 
   // --- (a) load CDF at an early step, averaged over layers ---------------

@@ -54,7 +54,7 @@ int main() {
       break;
     }
     for (const ModOp& op : plan) {
-      FLEXMOE_CHECK(ApplyOp(op, &placement).ok());
+      FLEXMOE_CHECK_OK(ApplyOp(op, &placement));
       std::printf("round %2d: %-28s balance=%.2f  est=%.2f ms\n", round,
                   op.ToString().c_str(),
                   BalanceRatioOf(workload, placement),
@@ -67,7 +67,7 @@ int main() {
   std::printf("\nsync cost before migrations: %.3f ms\n",
               policy.TotalSyncSeconds(placement) * 1e3);
   for (const ModOp& op : policy.PlanMigrations(placement, 8)) {
-    FLEXMOE_CHECK(ApplyOp(op, &placement).ok());
+    FLEXMOE_CHECK_OK(ApplyOp(op, &placement));
     std::printf("  %s\n", op.ToString().c_str());
   }
   std::printf("sync cost after migrations:  %.3f ms\n",
@@ -75,6 +75,6 @@ int main() {
 
   std::printf("\nfinal placement (expert -> GPU x vExperts):\n%s",
               placement.ToString().c_str());
-  FLEXMOE_CHECK(placement.Validate().ok());
+  FLEXMOE_CHECK_OK(placement.Validate());
   return 0;
 }

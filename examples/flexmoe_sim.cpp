@@ -2,7 +2,7 @@
 // reaches for first. Wraps the experiment harness with flag parsing so any
 // system/model/cluster combination can be simulated without writing code.
 //
-//   ./build/examples/flexmoe_sim --system=flexmoe --model=gpt-moe-s \
+//   ./build/examples/flexmoe_sim --system=flexmoe --model=gpt-moe-s
 //       --gpus=32 --steps=200 --balance-coef=0.001 --csv=run.csv
 //
 // Run with --help for all flags.

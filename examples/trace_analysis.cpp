@@ -30,7 +30,7 @@ int main() {
   // Record 600 training steps.
   RoutingTrace trace;
   for (int s = 0; s < 600; ++s) {
-    FLEXMOE_CHECK(trace.Append(gen.Step()).ok());
+    FLEXMOE_CHECK_OK(trace.Append(gen.Step()));
   }
 
   // Skewness (paper Fig. 3a): share of tokens taken by the heaviest k.
@@ -66,7 +66,7 @@ int main() {
 
   // Persist and replay.
   const std::string path = "/tmp/flexmoe_trace.bin";
-  FLEXMOE_CHECK(trace.Save(path).ok());
+  FLEXMOE_CHECK_OK(trace.Save(path));
   const RoutingTrace replay = *RoutingTrace::Load(path);
   std::printf("saved %d steps x %d layers to %s and reloaded %d steps\n",
               trace.num_steps(), trace.num_layers(), path.c_str(),

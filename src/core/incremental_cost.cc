@@ -166,11 +166,11 @@ void LayerCostState::AddReplica(int expert, GpuId gpu) {
   if (placement_->VExpertsOn(expert, gpu) == 0) {
     gpu_experts_[static_cast<size_t>(gpu)].insert(expert);
   }
-  FLEXMOE_CHECK(placement_->AddVExpert(expert, gpu).ok());
+  FLEXMOE_CHECK_OK(placement_->AddVExpert(expert, gpu));
 }
 
 void LayerCostState::RemoveReplica(int expert, GpuId gpu) {
-  FLEXMOE_CHECK(placement_->RemoveVExpert(expert, gpu).ok());
+  FLEXMOE_CHECK_OK(placement_->RemoveVExpert(expert, gpu));
   if (placement_->VExpertsOn(expert, gpu) == 0) {
     gpu_experts_[static_cast<size_t>(gpu)].erase(expert);
   }

@@ -28,7 +28,7 @@ PolicyMaker::PolicyMaker(const CostModel* cost_model,
       options_(options),
       scratch_state_(cost_model, /*include_sync=*/!options.serve_objective) {
   FLEXMOE_CHECK(cost_model != nullptr);
-  FLEXMOE_CHECK(options.Validate().ok());
+  FLEXMOE_CHECK_OK(options.Validate());
 }
 
 bool PolicyMaker::Expandable(GpuId g) const {
@@ -407,7 +407,7 @@ std::vector<ModOp> PolicyMaker::PlanMigrations(const Placement& placement,
       }
     }
     if (!found) break;
-    FLEXMOE_CHECK(ApplyOp(best_op, &current).ok());
+    FLEXMOE_CHECK_OK(ApplyOp(best_op, &current));
     sync[static_cast<size_t>(best_op.expert)] =
         cost_model_->SyncSeconds(current, best_op.expert);
     sync[static_cast<size_t>(best_op.partner_expert)] =

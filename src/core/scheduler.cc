@@ -61,7 +61,7 @@ Scheduler::Scheduler(const PolicyMaker* policy_maker,
       options_(options),
       plan_state_(CostModelOf(policy_maker),
                   !policy_maker->options().serve_objective) {
-  FLEXMOE_CHECK(options.Validate().ok());
+  FLEXMOE_CHECK_OK(options.Validate());
 }
 
 double Scheduler::MetricFromTokens(
@@ -134,7 +134,7 @@ SchedulerDecision Scheduler::OnStep(int64_t step,
     const std::vector<ModOp> evac =
         policy_maker_->PlanEvacuation(*target, options_.max_evacuations);
     for (const ModOp& op : evac) {
-      FLEXMOE_CHECK(ApplyOp(op, target).ok());
+      FLEXMOE_CHECK_OK(ApplyOp(op, target));
       decision.ops.push_back(op);
       ++decision.evacuations;
     }
@@ -170,7 +170,7 @@ SchedulerDecision Scheduler::OnStep(int64_t step,
     if (plan.empty()) break;  // Algorithm 1 lines 5-6
     decision.est_score_after = stats.best_score;
     for (const ModOp& op : plan) {
-      FLEXMOE_CHECK(ApplyOp(op, target).ok());
+      FLEXMOE_CHECK_OK(ApplyOp(op, target));
       FLEXMOE_CHECK(plan_state_.Apply(op));
       decision.ops.push_back(op);
     }
@@ -199,7 +199,7 @@ SchedulerDecision Scheduler::OnStep(int64_t step,
     const std::vector<ModOp> migrations =
         policy_maker_->PlanMigrations(*target, options_.max_migrations);
     for (const ModOp& op : migrations) {
-      FLEXMOE_CHECK(ApplyOp(op, target).ok());
+      FLEXMOE_CHECK_OK(ApplyOp(op, target));
       decision.ops.push_back(op);
       ++decision.migrations;
     }

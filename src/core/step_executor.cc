@@ -39,7 +39,7 @@ StepExecutor::StepExecutor(ClusterState* cluster,
     : cluster_(cluster), profile_(profile), model_(model) {
   FLEXMOE_CHECK(cluster != nullptr);
   FLEXMOE_CHECK(profile != nullptr);
-  FLEXMOE_CHECK(model.Validate().ok());
+  FLEXMOE_CHECK_OK(model.Validate());
 }
 
 double StepExecutor::Frontier() const {

@@ -22,7 +22,7 @@ ElasticController::ElasticController(int num_gpus, const Topology* topo,
       health_(num_gpus) {
   FLEXMOE_CHECK(topo != nullptr);
   FLEXMOE_CHECK(topo->num_gpus() == num_gpus);
-  FLEXMOE_CHECK(options.Validate().ok());
+  FLEXMOE_CHECK_OK(options.Validate());
 }
 
 Status ElasticController::InstallPlan(const FaultPlan& plan) {
@@ -123,7 +123,7 @@ ElasticController::StepReport ElasticController::OnStepBoundary(
     for (Placement* p : placements) {
       const Result<DrainReport> drained =
           DrainPlacement(health_, expert_state_bytes, p);
-      FLEXMOE_CHECK(drained.ok());
+      FLEXMOE_CHECK_OK(drained);
       report.experts_restored += drained->experts_restored;
       report.orphaned_experts += drained->orphaned_experts;
       report.recovery_seconds +=

@@ -46,7 +46,7 @@ Observability::Observability(const ObservabilityOptions& options)
       tracer_(options.trace_capacity > 0
                   ? static_cast<size_t>(options.trace_capacity)
                   : Tracer::kDefaultCapacity) {
-  FLEXMOE_CHECK(options.Validate().ok());
+  FLEXMOE_CHECK_OK(options.Validate());
 }
 
 Status Observability::ExportArtifacts() const {

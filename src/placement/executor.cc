@@ -27,7 +27,7 @@ PlacementExecutor::PlacementExecutor(const ExecutorOptions& options,
       expert_state_bytes_(expert_state_bytes),
       queue_(expert_state_bytes) {
   FLEXMOE_CHECK(profile != nullptr);
-  FLEXMOE_CHECK(options.Validate().ok());
+  FLEXMOE_CHECK_OK(options.Validate());
 }
 
 void PlacementExecutor::Enqueue(const std::vector<ModOp>& ops) {

@@ -53,7 +53,7 @@ Result<Placement> Placement::ExpertParallel(const PlacementOptions& options) {
     // Spread this GPU's slots across its homed experts round-robin.
     for (int s = 0; s < p.slots_per_gpu_; ++s) {
       const int expert = homed[static_cast<size_t>(s) % homed.size()];
-      FLEXMOE_CHECK(p.AddVExpert(expert, gpu).ok());
+      FLEXMOE_CHECK_OK(p.AddVExpert(expert, gpu));
     }
   }
   // GPUs with no homed expert (num_gpus > num_experts) receive replicas of
@@ -62,7 +62,7 @@ Result<Placement> Placement::ExpertParallel(const PlacementOptions& options) {
     while (p.FreeSlots(gpu) > 0) {
       const int expert = static_cast<int>(
           static_cast<int64_t>(gpu) * n / g);
-      FLEXMOE_CHECK(p.AddVExpert(expert, gpu).ok());
+      FLEXMOE_CHECK_OK(p.AddVExpert(expert, gpu));
     }
   }
   FLEXMOE_RETURN_IF_ERROR(p.Validate());

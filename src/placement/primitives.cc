@@ -90,11 +90,11 @@ Status ApplyOp(const ModOp& op, Placement* placement) {
       FLEXMOE_RETURN_IF_ERROR(placement->RemoveVExpert(op.expert, op.src));
       Status s = placement->RemoveVExpert(op.partner_expert, op.dst);
       if (!s.ok()) {
-        FLEXMOE_CHECK(placement->AddVExpert(op.expert, op.src).ok());
+        FLEXMOE_CHECK_OK(placement->AddVExpert(op.expert, op.src));
         return s;
       }
-      FLEXMOE_CHECK(placement->AddVExpert(op.expert, op.dst).ok());
-      FLEXMOE_CHECK(placement->AddVExpert(op.partner_expert, op.src).ok());
+      FLEXMOE_CHECK_OK(placement->AddVExpert(op.expert, op.dst));
+      FLEXMOE_CHECK_OK(placement->AddVExpert(op.partner_expert, op.src));
       return Status::OK();
     }
   }

@@ -21,7 +21,7 @@ Status GpuSpec::Validate() const {
 HardwareProfile::HardwareProfile(const Topology* topo, const GpuSpec& spec)
     : topo_(topo), spec_(spec) {
   FLEXMOE_CHECK(topo != nullptr);
-  FLEXMOE_CHECK(spec.Validate().ok());
+  FLEXMOE_CHECK_OK(spec.Validate());
   sec_per_flop_ = 1.0 / (spec.peak_flops * spec.efficiency);
   compute_overhead_sec_ = spec.kernel_overhead_sec;
   link_efficiency_[LinkClass::kLoopback] = 1.0;

@@ -8,6 +8,7 @@
 #ifndef FLEXMOE_UTIL_BYTE_IO_H_
 #define FLEXMOE_UTIL_BYTE_IO_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -30,7 +31,7 @@ template <typename T>
 Status GetPod(const char** cursor, const char* end, T* value) {
   static_assert(std::is_trivially_copyable<T>::value,
                 "GetPod requires a trivially copyable type");
-  if (end - *cursor < static_cast<ptrdiff_t>(sizeof(T))) {
+  if (end - *cursor < static_cast<std::ptrdiff_t>(sizeof(T))) {
     return Status::InvalidArgument("checkpoint truncated");
   }
   std::memcpy(value, *cursor, sizeof(T));

@@ -37,7 +37,12 @@ const char* StatusCodeName(StatusCode code);
 /// Functions that can fail for reasons the caller should handle return a
 /// Status. Use the factory functions (Status::InvalidArgument(...)) rather
 /// than constructing codes by hand so that messages stay consistent.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a
+/// compile-time warning (an error under FLEXMOE_WERROR). Callers must
+/// propagate (FLEXMOE_RETURN_IF_ERROR), assert (FLEXMOE_CHECK(s.ok())), or
+/// explicitly acknowledge the drop with IgnoreError().
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -72,6 +77,10 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Explicitly discards this status. Use only where failure is genuinely
+  /// acceptable (e.g. best-effort cleanup) and say why in a comment.
+  void IgnoreError() const {}
+
   /// \brief "<CodeName>: <message>" or "OK".
   std::string ToString() const;
 
@@ -90,9 +99,10 @@ class Status {
 /// \brief A value-or-error result, analogous to absl::StatusOr<T>.
 ///
 /// Access the value only after checking ok(); value access on an error
-/// Result aborts the process (programmer error).
+/// Result aborts the process (programmer error). Like Status, a returned
+/// Result must not be silently dropped ([[nodiscard]]).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -125,6 +135,10 @@ class Result {
     return std::move(std::get<T>(rep_));
   }
 
+  /// Explicitly discards this result (value and status alike). Use only
+  /// where failure is genuinely acceptable and say why in a comment.
+  void IgnoreError() const {}
+
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
   T&& operator*() && { return std::move(*this).value(); }
@@ -146,6 +160,14 @@ class Result {
 namespace internal {
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
                               const std::string& msg);
+
+/// Uniform Status accessor for FLEXMOE_CHECK_OK: accepts a Status or any
+/// Result<T>.
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+const Status& ToStatus(const Result<T>& r) {
+  return r.status();
+}
 }  // namespace internal
 
 }  // namespace flexmoe
@@ -163,6 +185,19 @@ namespace internal {
   do {                                                                   \
     if (!(cond)) {                                                       \
       ::flexmoe::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                    \
+  } while (false)
+
+/// Aborts with the failing call's code and message when a Status or
+/// Result<T> expression is not OK. Prefer this over FLEXMOE_CHECK(s.ok()),
+/// which loses the error's reason in the abort diagnostic.
+#define FLEXMOE_CHECK_OK(expr)                                           \
+  do {                                                                   \
+    const auto& _flexmoe_check_ok = (expr);                              \
+    if (!_flexmoe_check_ok.ok()) {                                       \
+      ::flexmoe::internal::CheckFailed(                                  \
+          __FILE__, __LINE__, #expr ".ok()",                             \
+          ::flexmoe::internal::ToStatus(_flexmoe_check_ok).ToString());  \
     }                                                                    \
   } while (false)
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Diff-only clang-format gate (DESIGN.md Section 13).
+#
+# Formats ONLY the lines this change touches via `git clang-format` against
+# a base ref, so the existing tree is never mass-reformatted. Usage:
+#
+#   tools/check_format.sh [<base-ref>]
+#
+# Base-ref default: merge-base with origin/main (falls back to HEAD^ when
+# origin/main is absent, e.g. on a shallow CI checkout of main itself).
+# Exits 0 when the diff is clean or clang-format is unavailable (the CI
+# format job installs it and sets FLEXMOE_REQUIRE_CLANG_FORMAT=1).
+set -u
+
+if ! command -v git-clang-format >/dev/null 2>&1 \
+    && ! git clang-format -h >/dev/null 2>&1; then
+  if [ "${FLEXMOE_REQUIRE_CLANG_FORMAT:-0}" = "1" ]; then
+    echo "check_format: git clang-format unavailable (required)" >&2
+    exit 2
+  fi
+  echo "check_format: git clang-format unavailable; skipping"
+  exit 0
+fi
+
+base="${1:-}"
+if [ -z "${base}" ]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    base="$(git merge-base HEAD origin/main)"
+  else
+    base="HEAD^"
+  fi
+fi
+
+echo "check_format: git clang-format --diff ${base}"
+out="$(git clang-format --diff "${base}" -- 2>&1)"
+status=$?
+# Exit codes differ across git-clang-format versions (some return 1 when a
+# diff exists, some 0), so decide from the output: a clean run prints either
+# nothing, "no modified files to format", or "clang-format did not modify".
+if printf '%s' "${out}" | grep -q '^---\|^+++\|^@@'; then
+  echo "${out}"
+  echo "check_format: formatting diff on changed lines;" \
+       "run: git clang-format ${base}" >&2
+  exit 1
+fi
+if [ ${status} -gt 1 ]; then
+  echo "${out}"
+  echo "check_format: git clang-format failed (exit ${status})" >&2
+  exit "${status}"
+fi
+echo "check_format: clean"
+exit 0

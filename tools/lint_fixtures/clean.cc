@@ -1,0 +1,46 @@
+// Clean fixture for tools/lint.py --selftest: everything here is allowed
+// and must produce NO findings (except the one deliberately broken
+// suppression at the bottom). Guards the lint against false positives on
+// comments, strings, lookup-only unordered use, and reasoned suppressions.
+// Lint input only; never compiled.
+
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+Status SaveCheckpoint(const char* path);
+
+struct RuntimeCache {
+  // Lookup-only use of an unordered container is fine; only iteration
+  // (ordering-dependent output) is banned. The word throw in a comment and
+  // "rand()" inside a string literal must not trip the lint either.
+  std::unordered_map<int, double> sigma_by_experts;
+
+  bool Has(int experts) const {
+    return sigma_by_experts.count(experts) != 0;
+  }
+};
+
+inline std::string HelpText() {
+  return "never calls rand() or time(); throw is also just a word here";
+}
+
+inline Status Checked() {
+  FLEXMOE_RETURN_IF_ERROR(SaveCheckpoint("/tmp/a"));
+  Status s = SaveCheckpoint("/tmp/b");
+  return s;
+}
+
+inline void BestEffort() {
+  // A reasoned suppression is the sanctioned escape hatch.
+  SaveCheckpoint("/tmp/c");  // lint:allow dropped-status -- best-effort flush on shutdown path
+}
+
+inline void BrokenSuppression() {
+  SaveCheckpoint("/tmp/d");  // lint:allow dropped-status  // expect-lint: bad-suppression
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,28 @@
+// Known-bad fixture for tools/lint.py --selftest: a bare statement calling
+// a Status/Result-returning function drops the error on the floor. Lint
+// input only; never compiled.
+
+#include "util/status.h"
+
+namespace flexmoe {
+
+Status SaveCheckpoint(const char* path);
+Result<int> LoadCheckpoint(const char* path);
+
+struct Trace {
+  Status Validate() const;
+};
+
+inline void Shutdown(const Trace& trace) {
+  SaveCheckpoint("/tmp/ckpt");  // expect-lint: dropped-status
+  trace.Validate();  // expect-lint: dropped-status
+  LoadCheckpoint("/tmp/ckpt");  // expect-lint: dropped-status
+}
+
+inline Status ShutdownChecked(const Trace& trace) {
+  FLEXMOE_RETURN_IF_ERROR(SaveCheckpoint("/tmp/ckpt"));  // ok: propagated
+  Status s = trace.Validate();  // ok: captured
+  return s;
+}
+
+}  // namespace flexmoe

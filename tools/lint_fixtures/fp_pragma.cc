@@ -1,0 +1,16 @@
+// Known-bad fixture for tools/lint.py --selftest: pragmas that license
+// floating-point reassociation break the byte-identical goldens contract.
+// Lint input only; never compiled.
+
+namespace flexmoe {
+
+#pragma GCC optimize("fast-math")  // expect-lint: fp-reassoc-pragma
+
+inline double Sum(const double* v, int n) {
+  double acc = 0.0;
+#pragma omp simd reduction(+ : acc)  // expect-lint: fp-reassoc-pragma
+  for (int i = 0; i < n; ++i) acc += v[i];
+  return acc;
+}
+
+}  // namespace flexmoe

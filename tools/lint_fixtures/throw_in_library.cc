@@ -1,0 +1,15 @@
+// Known-bad fixture for tools/lint.py --selftest: throwing from library
+// code instead of returning Status. Lint input only; never compiled.
+
+#include <stdexcept>
+
+namespace flexmoe {
+
+inline int ParsePort(int raw) {
+  if (raw < 0 || raw > 65535) {
+    throw std::out_of_range("bad port");  // expect-lint: throw-in-library
+  }
+  return raw;
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,36 @@
+// Known-bad fixture for tools/lint.py --selftest: iterating an unordered
+// container. Each `// expect-lint: <rule>` marker names a finding the lint
+// must produce at that line — and the selftest fails on any extra finding.
+// These files are lint inputs only; they are never compiled.
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace flexmoe {
+
+struct ExpertLoads {
+  std::unordered_map<int, long> tokens_per_expert;
+  std::unordered_set<int> hot_experts;
+
+  long Total() const {
+    long total = 0;
+    for (const auto& kv : tokens_per_expert) {  // expect-lint: unordered-iteration
+      total += kv.second;
+    }
+    return total;
+  }
+
+  int FirstHot() const {
+    return *hot_experts.begin();  // expect-lint: unordered-iteration
+  }
+};
+
+inline int SumTemporary() {
+  int s = 0;
+  for (int v : std::unordered_set<int>{1, 2, 3}) {  // expect-lint: unordered-iteration
+    s += v;
+  }
+  return s;
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,31 @@
+// Known-bad fixture for tools/lint.py --selftest: wall-clock and ambient
+// entropy reads in simulation code. Lint input only; never compiled.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace flexmoe {
+
+inline double JitterSeconds() {
+  return static_cast<double>(rand()) / RAND_MAX;  // expect-lint: wall-clock
+}
+
+inline long NowMicros() {
+  auto now = std::chrono::system_clock::now();  // expect-lint: wall-clock
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+inline unsigned FreshSeed() {
+  std::random_device rd;  // expect-lint: wall-clock
+  return rd();
+}
+
+inline long StampSeconds() {
+  return static_cast<long>(time(nullptr));  // expect-lint: wall-clock
+}
+
+}  // namespace flexmoe

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the project's compile_commands.json.
+
+Thin, stdlib-only driver (DESIGN.md Section 13): reads the compilation
+database emitted by CMake (CMAKE_EXPORT_COMPILE_COMMANDS is always on),
+filters to first-party translation units (src/, tests/, bench/, examples/
+plus the generated header self-containment TUs, skipping _deps/), and runs
+the committed .clang-tidy profile over them in parallel.
+
+Exit codes: 0 clean (or clang-tidy unavailable without --require),
+1 findings, 2 usage error. Pass --report to also write the combined
+diagnostics to a file (uploaded as a CI artifact on failure).
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+FIRST_PARTY_DIRS = ("/src/", "/tests/", "/bench/", "/examples/",
+                    "/header_check/")
+
+
+def first_party(entry):
+    path = entry["file"].replace(os.sep, "/")
+    if "/_deps/" in path or "/googletest/" in path:
+        return False
+    return any(d in path for d in FIRST_PARTY_DIRS)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", default="build",
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--binary", default="clang-tidy",
+                    help="clang-tidy executable to use")
+    ap.add_argument("--report", default=None,
+                    help="write combined diagnostics to this file")
+    ap.add_argument("--require", action="store_true",
+                    help="fail (exit 2) when clang-tidy is not installed "
+                         "instead of skipping; CI sets this")
+    ap.add_argument("-j", "--jobs", type=int, default=0,
+                    help="parallel clang-tidy processes (default: cpus)")
+    opts = ap.parse_args()
+
+    binary = shutil.which(opts.binary)
+    if binary is None:
+        msg = "clang-tidy not found on PATH"
+        if opts.require:
+            print("run_clang_tidy: ERROR: %s (--require)" % msg)
+            return 2
+        print("run_clang_tidy: %s; skipping (install clang-tidy or use "
+              "the CI static-analysis job)" % msg)
+        return 0
+
+    db_path = os.path.join(opts.build, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print("run_clang_tidy: %s missing — configure with cmake first"
+              % db_path)
+        return 2
+    with open(db_path, encoding="utf-8") as f:
+        entries = [e for e in json.load(f) if first_party(e)]
+    if not entries:
+        print("run_clang_tidy: no first-party entries in %s" % db_path)
+        return 2
+
+    files = sorted({e["file"] for e in entries})
+    jobs = opts.jobs if opts.jobs > 0 else (multiprocessing.cpu_count() or 1)
+    print("run_clang_tidy: %s over %d TUs (%d jobs)"
+          % (binary, len(files), jobs))
+
+    # Shard the file list across clang-tidy invocations; clang-tidy takes
+    # multiple files per process, which amortizes its startup cost.
+    shards = [files[i::jobs] for i in range(jobs) if files[i::jobs]]
+    procs = []
+    for shard in shards:
+        cmd = [binary, "-p", opts.build, "--quiet"] + shard
+        procs.append(subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True))
+    failed = False
+    chunks = []
+    for p in procs:
+        out, _ = p.communicate()
+        if out.strip():
+            chunks.append(out.strip())
+        if p.returncode != 0:
+            failed = True
+    combined = "\n\n".join(chunks)
+    if combined:
+        print(combined)
+    if opts.report:
+        with open(opts.report, "w", encoding="utf-8") as f:
+            f.write(combined + ("\n" if combined else ""))
+    if failed:
+        print("run_clang_tidy: FINDINGS (see above); fix or add an inline "
+              "NOLINT(check) with a reason per DESIGN.md Section 13")
+        return 1
+    print("run_clang_tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
